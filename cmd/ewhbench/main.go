@@ -1,0 +1,83 @@
+// Command ewhbench regenerates the paper's evaluation tables and figures at
+// a configurable scale. Run with -exp all (default) or a comma-separated
+// subset of: fig1, tab3, tab4, tab5, fig4a, fig4b, fig4c, fig4d, fig4e,
+// fig4f, fig4g, fig4h, worst.
+//
+//	ewhbench -exp fig4a,fig4h -j 16 -scale 2 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ewh/internal/bench"
+)
+
+func main() {
+	var (
+		exps  = flag.String("exp", "all", "experiments to run (comma-separated ids or 'all')")
+		scale = flag.Int("scale", 1, "dataset scale multiplier (1 ≈ paper ÷ 1000)")
+		j     = flag.Int("j", 8, "number of joiner machines J")
+		seed  = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, J: *j, Seed: *seed}
+	drivers := map[string]func(io.Writer, bench.Config) error{
+		"tab3":   bench.TableIII,
+		"tab4":   bench.TableIV,
+		"tab5":   bench.TableV,
+		"fig4a":  bench.Fig4a,
+		"fig4b":  bench.Fig4b,
+		"fig4c":  bench.Fig4c,
+		"fig4d":  bench.Fig4d,
+		"fig4e":  bench.Fig4e,
+		"fig4f":  bench.Fig4f,
+		"fig4g":  bench.Fig4g,
+		"fig3":   bench.Fig3,
+		"fig4h":  bench.Fig4h,
+		"worst":  bench.Worst,
+		"ablate": bench.Ablations,
+		"equi":   bench.EquiComparison,
+		"steal":  bench.WorkStealing,
+	}
+	order := []string{"fig1", "fig3", "tab4", "tab3", "fig4a", "fig4b", "fig4c",
+		"fig4d", "fig4e", "fig4f", "fig4g", "fig4h", "tab5", "worst", "ablate",
+		"equi", "steal"}
+
+	want := map[string]bool{}
+	if *exps == "all" {
+		for _, id := range order {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	for _, id := range order {
+		if !want[id] {
+			continue
+		}
+		delete(want, id)
+		var err error
+		if id == "fig1" {
+			err = bench.Fig1(os.Stdout, *seed)
+		} else {
+			err = drivers[id](os.Stdout, cfg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ewhbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	for id := range want {
+		fmt.Fprintf(os.Stderr, "ewhbench: unknown experiment %q\n", id)
+		os.Exit(2)
+	}
+}

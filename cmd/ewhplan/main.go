@@ -1,0 +1,102 @@
+// Command ewhplan builds a partitioning plan for a generated workload and
+// prints the resulting equi-weight histogram regions — a quick way to see
+// what the planner does without running the join.
+//
+//	ewhplan -workload bcb -x 19200 -beta 3 -j 8
+//	ewhplan -workload bicd -n 60000 -j 16 -scheme csi -p 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ewh/internal/core"
+	"ewh/internal/cost"
+	"ewh/internal/join"
+	"ewh/internal/workload"
+)
+
+func main() {
+	var (
+		wl     = flag.String("workload", "bcb", "workload: bcb | bicd | beocd | uniform | zipf")
+		scheme = flag.String("scheme", "csio", "scheme: csio | csi | ci")
+		n      = flag.Int("n", 60000, "rows per relation (bicd/beocd/uniform/zipf)")
+		x      = flag.Int("x", 19200, "dense-segment size (bcb); relations hold 5x rows")
+		beta   = flag.Int64("beta", 3, "band half-width (bcb/uniform/zipf)")
+		z      = flag.Float64("z", 0.25, "zipf skew (bicd/zipf)")
+		j      = flag.Int("j", 8, "number of machines J")
+		p      = flag.Int("p", 1000, "CSI bucket count")
+		seed   = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	var (
+		r1, r2 []join.Key
+		cond   join.Condition
+		model  = cost.DefaultBand
+	)
+	switch *wl {
+	case "bcb":
+		r1, r2, cond = workload.BCB(*x, *beta, *seed)
+	case "bicd":
+		r1, r2, cond = workload.BICD(*n, *z, *seed)
+	case "beocd":
+		var err error
+		r1, r2, cond, err = workload.BEOCD(workload.BEOCDConfig{N: *n}, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		model = cost.DefaultEquiBand
+	case "uniform":
+		r1 = workload.Uniform(*n, int64(*n), *seed)
+		r2 = workload.Uniform(*n, int64(*n), *seed+1)
+		cond = join.NewBand(*beta)
+	case "zipf":
+		r1 = workload.Zipfian(*n, int64(*n), *z, *seed)
+		r2 = workload.Zipfian(*n, int64(*n), *z, *seed+1)
+		cond = join.NewBand(*beta)
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+
+	opts := core.Options{J: *j, Model: model, Seed: *seed}
+	var (
+		plan *core.Plan
+		err  error
+	)
+	switch *scheme {
+	case "csio":
+		plan, err = core.PlanCSIO(r1, r2, cond, opts)
+	case "csi":
+		plan, err = core.PlanCSI(r1, r2, cond, *p, opts)
+	case "ci":
+		plan, err = core.PlanCI(opts)
+	default:
+		err = fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload=%s condition=%v n1=%d n2=%d J=%d\n", *wl, cond, len(r1), len(r2), *j)
+	fmt.Printf("scheme=%s workers=%d stats=%v fallback=%v\n",
+		plan.Scheme.Name(), plan.Scheme.Workers(), plan.StatsDuration.Round(1e6), plan.Fallback)
+	if plan.M > 0 {
+		fmt.Printf("exact output size m=%d (rho_oi=%.2f)\n",
+			plan.M, float64(plan.M)/float64(len(r1)+len(r2)))
+	}
+	if len(plan.Regions) > 0 {
+		fmt.Printf("ns=%d nc=%d estimated max region weight=%.0f\n",
+			plan.NS, plan.NC, plan.EstimatedMaxWeight)
+		fmt.Println("regions:")
+		for i, r := range plan.Regions {
+			fmt.Printf("  %2d: %v (input=%.0f output=%.0f)\n", i, r, r.Input, r.Output)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ewhplan:", err)
+	os.Exit(1)
+}

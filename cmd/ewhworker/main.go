@@ -1,0 +1,30 @@
+// Command ewhworker runs a join worker server for the networked execution
+// mode: it accepts jobs from an ewhcoord coordinator, joins the tuple
+// batches it receives and reports its metrics.
+//
+//	ewhworker -addr 127.0.0.1:7071
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ewh/internal/netexec"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "address to listen on")
+	flag.Parse()
+
+	w, err := netexec.ListenWorker(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ewhworker:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ewhworker listening on", w.Addr())
+	if err := w.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "ewhworker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+package ewh
+
+import (
+	"ewh/internal/core"
+	"ewh/internal/exec"
+	"ewh/internal/multiway"
+	"ewh/internal/partition"
+)
+
+// This file exposes the paper's extension features (§IV-B, §A5): multi-way
+// chain joins executed as a sequence of EWH-planned 2-way joins,
+// heterogeneous-cluster region assignment, and the payload-carrying tuple
+// engine that materializes join results for downstream operators.
+
+// MidRelation is the middle relation of a 3-way chain join: column A joins
+// left, column B joins right.
+type MidRelation = multiway.MidRelation
+
+// MultiwayQuery is a 3-way chain join R1 ⋈ Mid ⋈ R3 (§IV-B).
+type MultiwayQuery = multiway.Query
+
+// MultiwayResult reports a multi-way execution: per-stage schemes and
+// metrics, the intermediate size, and the final cardinality.
+type MultiwayResult = multiway.Result
+
+// ExecuteMultiway runs the chain join as a sequence of EWH-planned 2-way
+// joins, re-partitioning the materialized intermediate result with a fresh
+// equi-weight histogram so each stage is balanced on its own input and
+// output distribution.
+func ExecuteMultiway(q MultiwayQuery, opts Options, cfg ExecConfig) (*MultiwayResult, error) {
+	return multiway.Execute(q, opts, cfg)
+}
+
+// Assignment maps histogram regions onto machines of heterogeneous capacity
+// (§A5). Plan with J = a few × machine count, then assign.
+type Assignment = partition.Assignment
+
+// AssignRegions distributes regions over machines with the given relative
+// capacities, minimizing the capacity-normalized makespan (LPT for uniform
+// machines with speeds).
+func AssignRegions(regions []Region, capacities []float64) (*Assignment, error) {
+	return partition.AssignRegions(regions, capacities)
+}
+
+// Tuple carries a routing key plus an opaque payload through the engine.
+type Tuple[P any] = exec.Tuple[P]
+
+// WrapKeys lifts bare keys into payload-less tuples.
+func WrapKeys(keys []Key) []Tuple[struct{}] { return exec.WrapKeys(keys) }
+
+// ExecuteTuples runs a join over payload-carrying tuples, invoking emit for
+// every matching pair (never concurrently for the same workerID). Use it
+// when the join result feeds another operator rather than being counted.
+func ExecuteTuples[P1, P2 any](r1 []Tuple[P1], r2 []Tuple[P2], cond Condition,
+	plan *PlanResult, model CostModel, cfg ExecConfig,
+	emit func(workerID int, a Tuple[P1], b Tuple[P2])) *Result {
+	if !model.Valid() {
+		model = DefaultBandModel
+	}
+	return exec.RunTuples(r1, r2, cond, plan.Scheme, model, cfg, emit)
+}
+
+// Refine re-plans with runtime feedback: measuredOutput holds the output
+// tuples each region actually produced (Result.Workers[i].Output, indexed
+// like plan.Regions). Region estimates are corrected by measured/estimated
+// before the regionalization reruns — the paper's suggested combination of
+// EWH planning with adaptive estimators (§V).
+func Refine(plan *PlanResult, measuredOutput []int64, opts Options) (*PlanResult, error) {
+	return core.Refine(plan, measuredOutput, opts)
+}
+
+// EncodePlan serializes a plan to JSON so a coordinator can persist it or
+// ship it to another process. Decoded plans route and execute identically;
+// only Refine needs the original in-memory plan.
+func EncodePlan(plan *PlanResult) ([]byte, error) { return core.EncodePlan(plan) }
+
+// DecodePlan reconstructs a plan serialized by EncodePlan.
+func DecodePlan(data []byte) (*PlanResult, error) { return core.DecodePlan(data) }

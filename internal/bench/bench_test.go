@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ewh/internal/cost"
+)
+
+func testCfg() Config { return Config{Scale: 1, J: 4, Seed: 42} }
+
+func TestMakeJoinIDs(t *testing.T) {
+	for _, id := range TableIVJoins {
+		spec, err := MakeJoin(id, testCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if spec.InputSize() == 0 {
+			t.Fatalf("%s: empty input", id)
+		}
+	}
+	if _, err := MakeJoin("nope", testCfg()); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if _, err := MakeJoin("BCB-x", testCfg()); err == nil {
+		t.Error("bad BCB beta accepted")
+	}
+}
+
+func TestCalibrateThroughputPositive(t *testing.T) {
+	tp := CalibrateThroughput(cost.DefaultBand, 1)
+	if tp <= 0 {
+		t.Fatalf("throughput %v", tp)
+	}
+	if tp.Seconds(float64(tp)) < 0.99 || tp.Seconds(float64(tp)) > 1.01 {
+		t.Error("Seconds(1 second of work) != 1s")
+	}
+	if Throughput(0).Seconds(100) != 0 {
+		t.Error("zero throughput should yield 0 seconds")
+	}
+}
+
+func TestRunSchemeAll(t *testing.T) {
+	cfg := testCfg()
+	spec, err := MakeJoin("BCB-2", Config{Scale: 1, J: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink for test speed.
+	spec.R1 = spec.R1[:20000]
+	spec.R2 = spec.R2[:20000]
+	tp := CalibrateThroughput(spec.Model, cfg.Seed)
+	var outputs []int64
+	for _, s := range Schemes {
+		r, err := RunScheme(spec, s, cfg, tp)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if r.TotalSeconds < 0 || r.JoinSeconds < 0 {
+			t.Fatalf("%s: negative seconds", s)
+		}
+		outputs = append(outputs, r.Output)
+	}
+	// All schemes compute the same join.
+	if outputs[0] != outputs[1] || outputs[1] != outputs[2] {
+		t.Fatalf("schemes disagree on output: %v", outputs)
+	}
+	if _, err := RunScheme(spec, "bogus", cfg, tp); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestFig1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig1(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CI", "CSI", "CSIO", "exact output size: 29"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableIV(&buf, testCfg()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range TableIVJoins {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("Table IV missing row %s", id)
+		}
+	}
+}
+
+func TestTableIIIOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TableIII(&buf, testCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MonotonicBSP") {
+		t.Error("Table III missing header")
+	}
+}
+
+func TestWorstOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Worst(&buf, testCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fallback=true") {
+		t.Errorf("worst-case 2 did not trip the fallback:\n%s", buf.String())
+	}
+}
+
+// TestDriversSmoke runs every experiment driver end to end at a small
+// configuration, checking they produce output without error.
+func TestDriversSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow in -short mode")
+	}
+	cfg := Config{Scale: 1, J: 4, Seed: 42}
+	drivers := map[string]func(*bytes.Buffer) error{
+		"fig3":   func(b *bytes.Buffer) error { return Fig3(b, cfg) },
+		"fig4a":  func(b *bytes.Buffer) error { return Fig4a(b, cfg) },
+		"fig4b":  func(b *bytes.Buffer) error { return Fig4b(b, cfg) },
+		"fig4c":  func(b *bytes.Buffer) error { return Fig4c(b, cfg) },
+		"fig4d":  func(b *bytes.Buffer) error { return Fig4d(b, cfg) },
+		"fig4f":  func(b *bytes.Buffer) error { return Fig4f(b, cfg) },
+		"fig4h":  func(b *bytes.Buffer) error { return Fig4h(b, cfg) },
+		"tab5":   func(b *bytes.Buffer) error { return TableV(b, cfg) },
+		"ablate": func(b *bytes.Buffer) error { return Ablations(b, cfg) },
+	}
+	for name, f := range drivers {
+		var buf bytes.Buffer
+		if err := f(&buf); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestEquiAndStealDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow in -short mode")
+	}
+	cfg := Config{Scale: 1, J: 4, Seed: 42}
+	var buf bytes.Buffer
+	if err := EquiComparison(&buf, cfg); err != nil {
+		t.Fatalf("equi: %v", err)
+	}
+	if !strings.Contains(buf.String(), "HashPRPD") {
+		t.Error("equi output missing PRPD row")
+	}
+	buf.Reset()
+	if err := WorkStealing(&buf, cfg); err != nil {
+		t.Fatalf("steal: %v", err)
+	}
+	if !strings.Contains(buf.String(), "K=8") {
+		t.Error("steal output missing K=8 row")
+	}
+}

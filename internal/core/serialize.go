@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ewh/internal/join"
+	"ewh/internal/matrix"
+	"ewh/internal/partition"
+	"ewh/internal/tiling"
+)
+
+// planWire is the serialized form of a Plan. Only what routing and
+// diagnostics need is persisted: the coarsened matrix is not serialized, so
+// a decoded plan routes and executes normally but cannot be Refined.
+type planWire struct {
+	Version            int          `json:"version"`
+	Scheme             string       `json:"scheme"`
+	CIWorkers          int          `json:"ci_workers,omitempty"`
+	Regions            []regionWire `json:"regions,omitempty"`
+	EstimatedMaxWeight float64      `json:"estimated_max_weight,omitempty"`
+	M                  int64        `json:"m,omitempty"`
+	NS                 int          `json:"ns,omitempty"`
+	NC                 int          `json:"nc,omitempty"`
+	Fallback           bool         `json:"fallback,omitempty"`
+}
+
+type regionWire struct {
+	R0     int      `json:"r0"`
+	C0     int      `json:"c0"`
+	R1     int      `json:"r1"`
+	C1     int      `json:"c1"`
+	RowLo  join.Key `json:"row_lo"`
+	RowHi  join.Key `json:"row_hi"`
+	ColLo  join.Key `json:"col_lo"`
+	ColHi  join.Key `json:"col_hi"`
+	Input  float64  `json:"input"`
+	Output float64  `json:"output"`
+	Weight float64  `json:"weight"`
+}
+
+const planWireVersion = 1
+
+// EncodePlan serializes a plan to JSON. CI plans record only the worker
+// count; region plans record the full equi-weight histogram.
+func EncodePlan(p *Plan) ([]byte, error) {
+	w := planWire{
+		Version:            planWireVersion,
+		Scheme:             p.Scheme.Name(),
+		EstimatedMaxWeight: p.EstimatedMaxWeight,
+		M:                  p.M,
+		NS:                 p.NS,
+		NC:                 p.NC,
+		Fallback:           p.Fallback,
+	}
+	switch s := p.Scheme.(type) {
+	case *partition.CI:
+		w.CIWorkers = s.Workers()
+	case *partition.RegionScheme:
+		for _, r := range p.Regions {
+			w.Regions = append(w.Regions, regionWire{
+				R0: r.Rect.R0, C0: r.Rect.C0, R1: r.Rect.R1, C1: r.Rect.C1,
+				RowLo: r.RowLo, RowHi: r.RowHi, ColLo: r.ColLo, ColHi: r.ColHi,
+				Input: r.Input, Output: r.Output, Weight: r.Weight,
+			})
+		}
+	default:
+		return nil, fmt.Errorf("core: cannot serialize scheme %T", p.Scheme)
+	}
+	return json.Marshal(w)
+}
+
+// DecodePlan reconstructs a plan from EncodePlan's output. The decoded plan
+// routes and executes identically; Refine requires the original in-memory
+// plan (the coarsened matrix is not persisted).
+func DecodePlan(data []byte) (*Plan, error) {
+	var w planWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("core: decode plan: %w", err)
+	}
+	if w.Version != planWireVersion {
+		return nil, fmt.Errorf("core: plan version %d unsupported (want %d)", w.Version, planWireVersion)
+	}
+	p := &Plan{
+		EstimatedMaxWeight: w.EstimatedMaxWeight,
+		M:                  w.M,
+		NS:                 w.NS,
+		NC:                 w.NC,
+		Fallback:           w.Fallback,
+	}
+	switch w.Scheme {
+	case "CI":
+		if w.CIWorkers < 1 {
+			return nil, fmt.Errorf("core: CI plan without worker count")
+		}
+		p.Scheme = partition.NewCI(w.CIWorkers)
+	case "CSI", "CSIO":
+		regions := make([]tiling.Region, len(w.Regions))
+		for i, r := range w.Regions {
+			if r.RowLo >= r.RowHi || r.ColLo >= r.ColHi {
+				return nil, fmt.Errorf("core: region %d has empty key range", i)
+			}
+			regions[i] = tiling.Region{
+				Rect:  matrix.Rect{R0: r.R0, C0: r.C0, R1: r.R1, C1: r.C1},
+				RowLo: r.RowLo, RowHi: r.RowHi, ColLo: r.ColLo, ColHi: r.ColHi,
+				Input: r.Input, Output: r.Output, Weight: r.Weight,
+			}
+		}
+		p.Regions = regions
+		p.Scheme = partition.NewRegionScheme(w.Scheme, regions)
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q", w.Scheme)
+	}
+	return p, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"ewh/internal/exec"
+	"ewh/internal/join"
+)
+
+func TestPlanRoundTripCSIO(t *testing.T) {
+	r1 := randKeys(2500, 1200, 50)
+	r2 := randKeys(2500, 1200, 51)
+	cond := join.NewBand(2)
+	plan, err := PlanCSIO(r1, r2, cond, Options{J: 6, Model: model, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scheme.Name() != "CSIO" || len(back.Regions) != len(plan.Regions) {
+		t.Fatalf("decoded scheme %s with %d regions, want CSIO/%d",
+			back.Scheme.Name(), len(back.Regions), len(plan.Regions))
+	}
+	if back.M != plan.M || back.NS != plan.NS || back.NC != plan.NC ||
+		back.EstimatedMaxWeight != plan.EstimatedMaxWeight {
+		t.Fatal("plan metadata lost in round trip")
+	}
+	// The decoded plan must route identically: same execution result.
+	orig := exec.Run(r1, r2, cond, plan.Scheme, model, exec.Config{Seed: 53})
+	dec := exec.Run(r1, r2, cond, back.Scheme, model, exec.Config{Seed: 53})
+	if orig.Output != dec.Output || orig.NetworkTuples != dec.NetworkTuples {
+		t.Fatalf("decoded plan executes differently: out %d/%d net %d/%d",
+			orig.Output, dec.Output, orig.NetworkTuples, dec.NetworkTuples)
+	}
+	// Refine is unavailable on decoded plans.
+	if _, err := Refine(back, make([]int64, len(back.Regions)), Options{J: 6, Model: model}); err == nil {
+		t.Error("Refine on a decoded plan accepted")
+	}
+}
+
+func TestPlanRoundTripCI(t *testing.T) {
+	plan, err := PlanCI(Options{J: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scheme.Name() != "CI" || back.Scheme.Workers() != 12 {
+		t.Fatalf("decoded %s with %d workers", back.Scheme.Name(), back.Scheme.Workers())
+	}
+}
+
+func TestDecodePlanErrors(t *testing.T) {
+	if _, err := DecodePlan([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := DecodePlan([]byte(`{"version":99,"scheme":"CI","ci_workers":2}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, err := DecodePlan([]byte(`{"version":1,"scheme":"nope"}`)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := DecodePlan([]byte(`{"version":1,"scheme":"CI"}`)); err == nil {
+		t.Error("CI without workers accepted")
+	}
+	bad := `{"version":1,"scheme":"CSIO","regions":[{"row_lo":5,"row_hi":5,"col_lo":0,"col_hi":1}]}`
+	if _, err := DecodePlan([]byte(bad)); err == nil {
+		t.Error("empty-key-range region accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Package cost implements the paper's linear cost model (§VI-A):
+//
+//	w(r) = ci(r) + co(r) = wi·input(r) + wo·output(r)
+//
+// where input(r) is the number of input tuples a machine receives for region
+// r (the region's semi-perimeter in join-matrix terms) and output(r) the
+// number of output tuples it produces. The weights wi and wo are fitted by
+// ordinary least squares on benchmark runs, mirroring the paper's regression
+// ("wi = 1 and wo = 0.2 for band-joins, wi = 1 and wo = 0.3 for combinations
+// of equi- and band-joins").
+package cost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model holds the per-tuple processing costs.
+type Model struct {
+	Wi float64 // cost of processing one input tuple (receive + join)
+	Wo float64 // cost of processing one output tuple (post-process/forward)
+}
+
+// DefaultBand is the paper's fitted model for band-joins.
+var DefaultBand = Model{Wi: 1, Wo: 0.2}
+
+// DefaultEquiBand is the paper's fitted model for combined equi+band joins.
+var DefaultEquiBand = Model{Wi: 1, Wo: 0.3}
+
+// Weight returns wi·input + wo·output.
+func (m Model) Weight(input, output float64) float64 {
+	return m.Wi*input + m.Wo*output
+}
+
+// Valid reports whether the model has usable non-negative weights with at
+// least one positive term.
+func (m Model) Valid() bool {
+	return m.Wi >= 0 && m.Wo >= 0 && (m.Wi > 0 || m.Wo > 0) &&
+		!math.IsNaN(m.Wi) && !math.IsNaN(m.Wo) && !math.IsInf(m.Wi, 0) && !math.IsInf(m.Wo, 0)
+}
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	return fmt.Sprintf("w(r) = %.3g·input + %.3g·output", m.Wi, m.Wo)
+}
+
+// Run is one calibration observation: a machine processed Input input tuples
+// and Output output tuples in Seconds wall-clock seconds.
+type Run struct {
+	Input   float64
+	Output  float64
+	Seconds float64
+}
+
+// ErrSingular is returned by Calibrate when the observations do not determine
+// the two weights (fewer than two runs, or all runs collinear).
+var ErrSingular = errors.New("cost: calibration system is singular; vary the input/output mix across runs")
+
+// Calibrate fits (wi, wo) by least squares through the origin:
+// minimize Σ (wi·in + wo·out - sec)². Negative fitted weights are clamped to
+// zero (a realistic cost is non-negative); the result is rescaled so wi = 1
+// when wi > 0, matching the paper's normalized reporting.
+func Calibrate(runs []Run) (Model, error) {
+	var sII, sIO, sOO, sIS, sOS float64
+	for _, r := range runs {
+		sII += r.Input * r.Input
+		sIO += r.Input * r.Output
+		sOO += r.Output * r.Output
+		sIS += r.Input * r.Seconds
+		sOS += r.Output * r.Seconds
+	}
+	det := sII*sOO - sIO*sIO
+	if len(runs) < 2 || math.Abs(det) < 1e-9*(sII*sOO+1) {
+		return Model{}, ErrSingular
+	}
+	wi := (sIS*sOO - sOS*sIO) / det
+	wo := (sOS*sII - sIS*sIO) / det
+	if wi < 0 {
+		wi = 0
+	}
+	if wo < 0 {
+		wo = 0
+	}
+	m := Model{Wi: wi, Wo: wo}
+	if !m.Valid() {
+		return Model{}, ErrSingular
+	}
+	if m.Wi > 0 {
+		m.Wo /= m.Wi
+		m.Wi = 1
+	}
+	return m, nil
+}

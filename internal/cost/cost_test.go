@@ -1,0 +1,103 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ewh/internal/stats"
+)
+
+func TestWeight(t *testing.T) {
+	m := Model{Wi: 1, Wo: 0.2}
+	if got := m.Weight(10, 50); got != 20 {
+		t.Fatalf("Weight(10,50) = %v, want 20", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		m    Model
+		want bool
+	}{
+		{Model{1, 0.2}, true},
+		{Model{0, 1}, true},
+		{Model{0, 0}, false},
+		{Model{-1, 1}, false},
+		{Model{math.NaN(), 1}, false},
+		{Model{math.Inf(1), 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.m.Valid(); got != c.want {
+			t.Errorf("Valid(%+v) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestCalibrateRecoversWeights(t *testing.T) {
+	// Synthesize runs from a known model plus small noise; Calibrate must
+	// recover the wo/wi ratio.
+	truth := Model{Wi: 1, Wo: 0.25}
+	r := stats.NewRNG(1)
+	var runs []Run
+	for i := 0; i < 50; i++ {
+		in := 1000 + r.Float64()*9000
+		out := 500 + r.Float64()*20000
+		sec := truth.Weight(in, out) * (1 + (r.Float64()-0.5)*0.02)
+		runs = append(runs, Run{Input: in, Output: out, Seconds: sec})
+	}
+	m, err := Calibrate(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Wi != 1 {
+		t.Fatalf("wi = %v, want normalized 1", m.Wi)
+	}
+	if math.Abs(m.Wo-0.25) > 0.02 {
+		t.Fatalf("wo = %v, want ~0.25", m.Wo)
+	}
+}
+
+func TestCalibrateSingular(t *testing.T) {
+	if _, err := Calibrate(nil); err != ErrSingular {
+		t.Errorf("nil runs: err = %v, want ErrSingular", err)
+	}
+	if _, err := Calibrate([]Run{{1, 1, 1}}); err != ErrSingular {
+		t.Errorf("one run: err = %v, want ErrSingular", err)
+	}
+	// Collinear observations: output always 2x input.
+	runs := []Run{{1, 2, 1}, {2, 4, 2}, {3, 6, 3}}
+	if _, err := Calibrate(runs); err != ErrSingular {
+		t.Errorf("collinear runs: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestCalibrateClampsNegative(t *testing.T) {
+	// Pure-output cost: fitted wi should clamp at 0, not go negative.
+	r := stats.NewRNG(2)
+	var runs []Run
+	for i := 0; i < 30; i++ {
+		in := 1000 + r.Float64()*1000
+		out := r.Float64() * 50000
+		runs = append(runs, Run{Input: in, Output: out, Seconds: 0.5 * out})
+	}
+	m, err := Calibrate(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Wi < 0 || m.Wo <= 0 {
+		t.Fatalf("got %+v, want wi >= 0, wo > 0", m)
+	}
+}
+
+func TestWeightMonotoneProperty(t *testing.T) {
+	// More work never costs less.
+	m := DefaultBand
+	f := func(a, b, da, db uint16) bool {
+		in, out := float64(a), float64(b)
+		return m.Weight(in+float64(da), out+float64(db)) >= m.Weight(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

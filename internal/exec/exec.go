@@ -1,0 +1,195 @@
+// Package exec is the in-memory shared-nothing execution substrate standing
+// in for the paper's Squall-on-Storm cluster (see DESIGN.md, substitutions).
+// Mappers shuffle the input relations to J reducer workers according to a
+// partitioning scheme; each worker joins the tuples it received with a local
+// join algorithm. The engine records exactly the quantities the paper's
+// evaluation is about: per-worker input received and output produced, the
+// modeled makespan max_r w(r), cluster memory and network consumption, and
+// the wall-clock execution time.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ewh/internal/cost"
+	"ewh/internal/join"
+	"ewh/internal/localjoin"
+	"ewh/internal/partition"
+	"ewh/internal/stats"
+)
+
+// Config tunes an engine run.
+type Config struct {
+	// Mappers is the shuffle parallelism; 0 means GOMAXPROCS.
+	Mappers int
+	// Seed drives the randomized schemes' routing.
+	Seed uint64
+	// BytesPerTuple models tuple width for the memory metric (default 16:
+	// an 8-byte key plus minimal payload/bookkeeping, as the statistics
+	// tuples in the paper carry only join keys).
+	BytesPerTuple int
+}
+
+func (c *Config) defaults() {
+	if c.Mappers <= 0 {
+		c.Mappers = runtime.GOMAXPROCS(0)
+	}
+	if c.BytesPerTuple <= 0 {
+		c.BytesPerTuple = 16
+	}
+}
+
+// WorkerMetrics records one reducer's work.
+type WorkerMetrics struct {
+	InputR1, InputR2 int64 // tuples received from each relation
+	Output           int64 // output tuples produced
+	Work             float64
+}
+
+// Input returns the worker's total received tuples.
+func (w WorkerMetrics) Input() int64 { return w.InputR1 + w.InputR2 }
+
+// Result summarizes a join execution.
+type Result struct {
+	Scheme  string
+	Workers []WorkerMetrics
+
+	// Output is the total number of output tuples (exactly once per match).
+	Output int64
+	// NetworkTuples is the total tuples shuffled mapper→reducer; replication
+	// makes this exceed the input size for CI.
+	NetworkTuples int64
+	// MemoryBytes is the cluster-wide reducer-side memory: every received
+	// tuple is materialized for the local join.
+	MemoryBytes int64
+	// MaxWork and TotalWork are the modeled per-worker weights
+	// w = wi·input + wo·output; MaxWork is the makespan the paper's load
+	// balancing minimizes.
+	MaxWork, TotalWork float64
+	// WallTime is the measured end-to-end shuffle+join duration.
+	WallTime time.Duration
+}
+
+// MaxInput returns the largest per-worker input, the RS metric.
+func (r *Result) MaxInput() int64 {
+	var m int64
+	for _, w := range r.Workers {
+		if w.Input() > m {
+			m = w.Input()
+		}
+	}
+	return m
+}
+
+// MaxOutput returns the largest per-worker output, the JPS metric.
+func (r *Result) MaxOutput() int64 {
+	var m int64
+	for _, w := range r.Workers {
+		if w.Output > m {
+			m = w.Output
+		}
+	}
+	return m
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: J=%d out=%d net=%d mem=%dMB maxWork=%.0f wall=%v",
+		r.Scheme, len(r.Workers), r.Output, r.NetworkTuples,
+		r.MemoryBytes>>20, r.MaxWork, r.WallTime.Round(time.Millisecond))
+}
+
+// Run shuffles r1 and r2 to the scheme's workers and executes the join.
+func Run(r1, r2 []join.Key, cond join.Condition, scheme partition.Scheme,
+	model cost.Model, cfg Config) *Result {
+
+	cfg.defaults()
+	start := time.Now()
+	j := scheme.Workers()
+
+	// Shuffle phase: each mapper routes a shard of each relation into
+	// per-worker buffers, merged afterwards without copying (slice-of-slices
+	// per worker).
+	type shardOut struct {
+		perWorker1 [][]join.Key
+		perWorker2 [][]join.Key
+	}
+	mappers := cfg.Mappers
+	outs := make([]shardOut, mappers)
+	var wg sync.WaitGroup
+	master := stats.NewRNG(cfg.Seed)
+	rngs := make([]*stats.RNG, mappers)
+	for i := range rngs {
+		rngs[i] = master.Split()
+	}
+	for mi := 0; mi < mappers; mi++ {
+		wg.Add(1)
+		go func(mi int) {
+			defer wg.Done()
+			o := &outs[mi]
+			o.perWorker1 = make([][]join.Key, j)
+			o.perWorker2 = make([][]join.Key, j)
+			rng := rngs[mi]
+			var buf []int
+			lo, hi := shard(len(r1), mappers, mi)
+			for _, k := range r1[lo:hi] {
+				buf = scheme.RouteR1(k, rng, buf[:0])
+				for _, w := range buf {
+					o.perWorker1[w] = append(o.perWorker1[w], k)
+				}
+			}
+			lo, hi = shard(len(r2), mappers, mi)
+			for _, k := range r2[lo:hi] {
+				buf = scheme.RouteR2(k, rng, buf[:0])
+				for _, w := range buf {
+					o.perWorker2[w] = append(o.perWorker2[w], k)
+				}
+			}
+		}(mi)
+	}
+	wg.Wait()
+
+	// Reduce phase: each worker concatenates its shards and joins locally.
+	res := &Result{Scheme: scheme.Name(), Workers: make([]WorkerMetrics, j)}
+	var rwg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for w := 0; w < j; w++ {
+		rwg.Add(1)
+		go func(w int) {
+			defer rwg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var in1, in2 []join.Key
+			for mi := range outs {
+				in1 = append(in1, outs[mi].perWorker1[w]...)
+				in2 = append(in2, outs[mi].perWorker2[w]...)
+			}
+			out := localjoin.AutoCount(in1, in2, cond)
+			m := &res.Workers[w]
+			m.InputR1 = int64(len(in1))
+			m.InputR2 = int64(len(in2))
+			m.Output = out
+			m.Work = model.Weight(float64(m.Input()), float64(out))
+		}(w)
+	}
+	rwg.Wait()
+
+	for _, m := range res.Workers {
+		res.Output += m.Output
+		res.NetworkTuples += m.Input()
+		res.MemoryBytes += m.Input() * int64(cfg.BytesPerTuple)
+		res.TotalWork += m.Work
+		if m.Work > res.MaxWork {
+			res.MaxWork = m.Work
+		}
+	}
+	res.WallTime = time.Since(start)
+	return res
+}
+
+func shard(n, parts, i int) (lo, hi int) {
+	return n * i / parts, n * (i + 1) / parts
+}

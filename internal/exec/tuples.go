@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"ewh/internal/cost"
+	"ewh/internal/join"
+	"ewh/internal/partition"
+	"ewh/internal/stats"
+)
+
+// Tuple carries a routing join key and an opaque payload — the engine's
+// richer tuple model for pipelines that must materialize join results (e.g.
+// the multi-way join of §IV-B, where the output of one join feeds the next
+// operator over the network).
+type Tuple[P any] struct {
+	Key     join.Key
+	Payload P
+}
+
+// Keys projects the routing keys of a tuple slice.
+func Keys[P any](ts []Tuple[P]) []join.Key {
+	out := make([]join.Key, len(ts))
+	for i, t := range ts {
+		out[i] = t.Key
+	}
+	return out
+}
+
+// WrapKeys lifts bare keys into payload-less tuples.
+func WrapKeys(keys []join.Key) []Tuple[struct{}] {
+	out := make([]Tuple[struct{}], len(keys))
+	for i, k := range keys {
+		out[i].Key = k
+	}
+	return out
+}
+
+// RunTuples shuffles payload-carrying relations to the scheme's workers and
+// joins them locally, invoking emit once per matching pair. emit is called
+// concurrently from different workers but never concurrently for the same
+// workerID, so per-worker accumulation needs no locking. The returned Result
+// carries the same metrics as Run.
+func RunTuples[P1, P2 any](r1 []Tuple[P1], r2 []Tuple[P2], cond join.Condition,
+	scheme partition.Scheme, model cost.Model, cfg Config,
+	emit func(workerID int, a Tuple[P1], b Tuple[P2])) *Result {
+
+	cfg.defaults()
+	start := time.Now()
+	j := scheme.Workers()
+
+	type shardOut struct {
+		perWorker1 [][]Tuple[P1]
+		perWorker2 [][]Tuple[P2]
+	}
+	mappers := cfg.Mappers
+	outs := make([]shardOut, mappers)
+	var wg sync.WaitGroup
+	master := stats.NewRNG(cfg.Seed)
+	rngs := make([]*stats.RNG, mappers)
+	for i := range rngs {
+		rngs[i] = master.Split()
+	}
+	for mi := 0; mi < mappers; mi++ {
+		wg.Add(1)
+		go func(mi int) {
+			defer wg.Done()
+			o := &outs[mi]
+			o.perWorker1 = make([][]Tuple[P1], j)
+			o.perWorker2 = make([][]Tuple[P2], j)
+			rng := rngs[mi]
+			var buf []int
+			lo, hi := shard(len(r1), mappers, mi)
+			for _, t := range r1[lo:hi] {
+				buf = scheme.RouteR1(t.Key, rng, buf[:0])
+				for _, w := range buf {
+					o.perWorker1[w] = append(o.perWorker1[w], t)
+				}
+			}
+			lo, hi = shard(len(r2), mappers, mi)
+			for _, t := range r2[lo:hi] {
+				buf = scheme.RouteR2(t.Key, rng, buf[:0])
+				for _, w := range buf {
+					o.perWorker2[w] = append(o.perWorker2[w], t)
+				}
+			}
+		}(mi)
+	}
+	wg.Wait()
+
+	res := &Result{Scheme: scheme.Name(), Workers: make([]WorkerMetrics, j)}
+	var rwg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Mappers)
+	for w := 0; w < j; w++ {
+		rwg.Add(1)
+		go func(w int) {
+			defer rwg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var in1 []Tuple[P1]
+			var in2 []Tuple[P2]
+			for mi := range outs {
+				in1 = append(in1, outs[mi].perWorker1[w]...)
+				in2 = append(in2, outs[mi].perWorker2[w]...)
+			}
+			out := joinTuplesLocal(in1, in2, cond, w, emit)
+			m := &res.Workers[w]
+			m.InputR1 = int64(len(in1))
+			m.InputR2 = int64(len(in2))
+			m.Output = out
+			m.Work = model.Weight(float64(m.Input()), float64(out))
+		}(w)
+	}
+	rwg.Wait()
+
+	for _, m := range res.Workers {
+		res.Output += m.Output
+		res.NetworkTuples += m.Input()
+		res.MemoryBytes += m.Input() * int64(cfg.BytesPerTuple)
+		res.TotalWork += m.Work
+		if m.Work > res.MaxWork {
+			res.MaxWork = m.Work
+		}
+	}
+	res.WallTime = time.Since(start)
+	return res
+}
+
+// joinTuplesLocal is the sort-based monotonic local join over tuples.
+func joinTuplesLocal[P1, P2 any](r1 []Tuple[P1], r2 []Tuple[P2],
+	cond join.Condition, workerID int, emit func(int, Tuple[P1], Tuple[P2])) int64 {
+
+	if len(r1) == 0 || len(r2) == 0 {
+		return 0
+	}
+	sorted := make([]Tuple[P2], len(r2))
+	copy(sorted, r2)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var out int64
+	for _, a := range r1 {
+		lo, hi := cond.JoinableRange(a.Key)
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i].Key >= lo })
+		for ; i < len(sorted) && sorted[i].Key <= hi; i++ {
+			out++
+			if emit != nil {
+				emit(workerID, a, sorted[i])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ewh/internal/core"
+	"ewh/internal/join"
+	"ewh/internal/localjoin"
+)
+
+func TestRunTuplesMatchesRun(t *testing.T) {
+	r1 := randKeys(1200, 600, 50)
+	r2 := randKeys(1000, 600, 51)
+	cond := join.NewBand(2)
+	plan, err := core.PlanCSIO(r1, r2, cond, core.Options{J: 4, Model: model, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Run(r1, r2, cond, plan.Scheme, model, Config{Seed: 53})
+	var emitted int64
+	tup := RunTuples(WrapKeys(r1), WrapKeys(r2), cond, plan.Scheme, model, Config{Seed: 53},
+		func(w int, a, b Tuple[struct{}]) {
+			atomic.AddInt64(&emitted, 1)
+			if !cond.Matches(a.Key, b.Key) {
+				t.Errorf("emitted non-matching pair (%d,%d)", a.Key, b.Key)
+			}
+		})
+	if tup.Output != plain.Output {
+		t.Fatalf("tuple engine output %d, key engine %d", tup.Output, plain.Output)
+	}
+	if emitted != tup.Output {
+		t.Fatalf("emitted %d pairs, output %d", emitted, tup.Output)
+	}
+	if tup.NetworkTuples != plain.NetworkTuples {
+		t.Fatalf("network %d vs %d", tup.NetworkTuples, plain.NetworkTuples)
+	}
+}
+
+func TestRunTuplesPayloadsSurvive(t *testing.T) {
+	// Payload values must travel with the tuple through the shuffle.
+	r1 := make([]Tuple[string], 100)
+	r2 := make([]Tuple[int], 100)
+	for i := range r1 {
+		r1[i] = Tuple[string]{Key: join.Key(i), Payload: "left"}
+		r2[i] = Tuple[int]{Key: join.Key(i), Payload: i * 10}
+	}
+	plan, err := core.PlanCI(core.Options{J: 3, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad int64
+	res := RunTuples(r1, r2, join.Equi{}, plan.Scheme, model, Config{Seed: 54},
+		func(w int, a Tuple[string], b Tuple[int]) {
+			if a.Payload != "left" || b.Payload != int(b.Key)*10 {
+				atomic.AddInt64(&bad, 1)
+			}
+		})
+	if res.Output != 100 {
+		t.Fatalf("output %d, want 100", res.Output)
+	}
+	if bad != 0 {
+		t.Fatalf("%d pairs had corrupted payloads", bad)
+	}
+}
+
+func TestRunTuplesNilEmit(t *testing.T) {
+	r1 := WrapKeys(randKeys(500, 300, 55))
+	r2 := WrapKeys(randKeys(500, 300, 56))
+	plan, _ := core.PlanCI(core.Options{J: 2, Model: model})
+	res := RunTuples(r1, r2, join.NewBand(1), plan.Scheme, model, Config{Seed: 57}, nil)
+	want := localjoin.NestedLoopCount(Keys(r1), Keys(r2), join.NewBand(1))
+	if res.Output != want {
+		t.Fatalf("output %d, want %d", res.Output, want)
+	}
+}
+
+func TestKeysAndWrapKeys(t *testing.T) {
+	keys := []join.Key{3, 1, 4}
+	ts := WrapKeys(keys)
+	back := Keys(ts)
+	for i := range keys {
+		if back[i] != keys[i] {
+			t.Fatal("round trip failed")
+		}
+	}
+}

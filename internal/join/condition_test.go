@@ -1,0 +1,245 @@
+package join
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBandMatches(t *testing.T) {
+	b := NewBand(2)
+	cases := []struct {
+		a, k Key
+		want bool
+	}{
+		{0, 0, true}, {0, 2, true}, {0, 3, false},
+		{5, 3, true}, {5, 2, false}, {-4, -6, true}, {-4, -7, false},
+	}
+	for _, c := range cases {
+		if got := b.Matches(c.a, c.k); got != c.want {
+			t.Errorf("Band(2).Matches(%d,%d) = %v, want %v", c.a, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBandZeroIsEquality(t *testing.T) {
+	b := NewBand(0)
+	e := Equi{}
+	for a := Key(-5); a <= 5; a++ {
+		for k := Key(-5); k <= 5; k++ {
+			if b.Matches(a, k) != e.Matches(a, k) {
+				t.Fatalf("Band(0) and Equi disagree at (%d,%d)", a, k)
+			}
+		}
+	}
+}
+
+func TestNewBandPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBand(-1) did not panic")
+		}
+	}()
+	NewBand(-1)
+}
+
+// JoinableRange must agree with Matches: b is joinable with a iff b is in the
+// range. Property-checked over small keys for every condition type.
+func TestJoinableRangeConsistency(t *testing.T) {
+	conds := []Condition{
+		NewBand(0), NewBand(1), NewBand(7),
+		Equi{},
+		Inequality{Less}, Inequality{LessEq}, Inequality{Greater}, Inequality{GreaterEq},
+		Shifted{Inner: NewBand(2), Scale: 3, Offset: -1},
+	}
+	for _, c := range conds {
+		f := func(a8, b8 int8) bool {
+			a, b := Key(a8), Key(b8)
+			lo, hi := c.JoinableRange(a)
+			inRange := lo <= b && b <= hi
+			return inRange == c.Matches(a, b)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+// Range endpoints must be monotone nondecreasing in a, which CellCandidate
+// relies on.
+func TestJoinableRangeMonotone(t *testing.T) {
+	conds := []Condition{
+		NewBand(3), Equi{}, Inequality{Less}, Inequality{GreaterEq},
+		Shifted{Inner: NewBand(1), Scale: 10, Offset: 0},
+	}
+	for _, c := range conds {
+		prevLo, prevHi := c.JoinableRange(-100)
+		for a := Key(-99); a <= 100; a++ {
+			lo, hi := c.JoinableRange(a)
+			if lo < prevLo || hi < prevHi {
+				t.Fatalf("%v: joinable range not monotone at a=%d", c, a)
+			}
+			prevLo, prevHi = lo, hi
+		}
+	}
+}
+
+// CellCandidate must never report false for a cell that contains a matching
+// pair (no false negatives; false positives are allowed and expected).
+func TestCellCandidateNoFalseNegatives(t *testing.T) {
+	conds := []Condition{NewBand(2), Equi{}, Inequality{LessEq}}
+	for _, c := range conds {
+		f := func(aLo8, aW, bLo8, bW uint8) bool {
+			aLo := Key(int8(aLo8))
+			aHi := aLo + Key(aW%16)
+			bLo := Key(int8(bLo8))
+			bHi := bLo + Key(bW%16)
+			hasMatch := false
+			for a := aLo; a <= aHi && !hasMatch; a++ {
+				for b := bLo; b <= bHi; b++ {
+					if c.Matches(a, b) {
+						hasMatch = true
+						break
+					}
+				}
+			}
+			if hasMatch && !CellCandidate(c, aLo, aHi, bLo, bHi) {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+// For the band condition the candidacy check is exact (no false positives
+// either) because every key in a boundary range is attainable.
+func TestCellCandidateExactForBand(t *testing.T) {
+	c := NewBand(1)
+	// Paper example §II-B: grid cell (0,1) in Fig. 1c is a non-candidate
+	// because the distance between R2 lower bound 5 and R1 upper bound 3
+	// exceeds the band width 1.
+	if CellCandidate(c, 3, 3, 5, 5) {
+		t.Error("cell with R1 in [3,3], R2 in [5,5] should not be candidate for band 1")
+	}
+	if !CellCandidate(c, 3, 3, 4, 5) {
+		t.Error("cell with R1 in [3,3], R2 in [4,5] should be candidate for band 1")
+	}
+}
+
+func TestInequalityMatches(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b Key
+		want bool
+	}{
+		{Less, 1, 2, true}, {Less, 2, 2, false},
+		{LessEq, 2, 2, true}, {LessEq, 3, 2, false},
+		{Greater, 3, 2, true}, {Greater, 2, 2, false},
+		{GreaterEq, 2, 2, true}, {GreaterEq, 1, 2, false},
+	}
+	for _, c := range cases {
+		q := Inequality{c.op}
+		if got := q.Matches(c.a, c.b); got != c.want {
+			t.Errorf("%v.Matches(%d,%d) = %v, want %v", q, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompositeEncodingFaithful(t *testing.T) {
+	spec := CompositeSpec{SecondaryMax: 7, Beta: 2}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cond := spec.Condition()
+	for c1 := int64(0); c1 < 4; c1++ {
+		for p1 := int64(0); p1 <= 7; p1++ {
+			for c2 := int64(0); c2 < 4; c2++ {
+				for p2 := int64(0); p2 <= 7; p2++ {
+					want := c1 == c2 && abs64(p1-p2) <= 2
+					got := cond.Matches(spec.Encode(c1, p1), spec.Encode(c2, p2))
+					if got != want {
+						t.Fatalf("composite (%d,%d)x(%d,%d): got %v want %v", c1, p1, c2, p2, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompositeValidateRejectsBadStride(t *testing.T) {
+	spec := CompositeSpec{SecondaryMax: 7, Beta: 2, Stride: 8}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("stride 8 with max 7 + beta 2 should be rejected")
+	}
+	spec = CompositeSpec{SecondaryMax: -1}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("negative secondary max should be rejected")
+	}
+}
+
+func TestCompositeDecode(t *testing.T) {
+	spec := CompositeSpec{SecondaryMax: 7, Beta: 2}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, s := spec.Decode(spec.Encode(123, 5))
+	if p != 123 || s != 5 {
+		t.Fatalf("decode(encode(123,5)) = (%d,%d)", p, s)
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestValidateMonotonicAccepts(t *testing.T) {
+	conds := []Condition{
+		NewBand(0), NewBand(5), Equi{},
+		Inequality{Op: Less}, Inequality{Op: LessEq},
+		Inequality{Op: Greater}, Inequality{Op: GreaterEq},
+		Shifted{Inner: NewBand(2), Scale: 3, Offset: 1},
+	}
+	for _, c := range conds {
+		if err := ValidateMonotonic(c, -1000, 1000, 64); err != nil {
+			t.Errorf("%v rejected: %v", c, err)
+		}
+	}
+}
+
+// reversedBand is a deliberately broken condition whose joinable range moves
+// backwards — ValidateMonotonic must reject it.
+type reversedBand struct{}
+
+func (reversedBand) Matches(a, b Key) bool {
+	d := -a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1
+}
+func (reversedBand) JoinableRange(a Key) (Key, Key) { return -a - 1, -a + 1 }
+func (reversedBand) String() string                 { return "reversed band" }
+
+// lyingRange reports a joinable range inconsistent with Matches.
+type lyingRange struct{}
+
+func (lyingRange) Matches(a, b Key) bool          { return a == b }
+func (lyingRange) JoinableRange(a Key) (Key, Key) { return a, a + 5 }
+func (lyingRange) String() string                 { return "lying range" }
+
+func TestValidateMonotonicRejects(t *testing.T) {
+	if err := ValidateMonotonic(reversedBand{}, -100, 100, 32); err == nil {
+		t.Error("reversed band accepted")
+	}
+	if err := ValidateMonotonic(lyingRange{}, -100, 100, 32); err == nil {
+		t.Error("lying range accepted")
+	}
+	if err := ValidateMonotonic(Equi{}, 10, 5, 8); err == nil {
+		t.Error("inverted validation range accepted")
+	}
+}

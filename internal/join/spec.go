@@ -1,0 +1,63 @@
+package join
+
+import "fmt"
+
+// Spec is a wire-encodable description of a Condition, used by the networked
+// execution mode to ship the join predicate to remote workers. All condition
+// types this package defines round-trip through a Spec.
+type Spec struct {
+	Kind   string // "band" | "equi" | "inequality" | "shifted"
+	Beta   int64  // band
+	Op     Op     // inequality
+	Scale  int64  // shifted
+	Offset int64  // shifted
+	Inner  *Spec  // shifted
+}
+
+// SpecOf describes a condition; it fails for condition types defined outside
+// this package (ship those as their own Spec kinds or pre-encode the keys).
+func SpecOf(c Condition) (Spec, error) {
+	switch v := c.(type) {
+	case Band:
+		return Spec{Kind: "band", Beta: v.Beta}, nil
+	case Equi:
+		return Spec{Kind: "equi"}, nil
+	case Inequality:
+		return Spec{Kind: "inequality", Op: v.Op}, nil
+	case Shifted:
+		inner, err := SpecOf(v.Inner)
+		if err != nil {
+			return Spec{}, err
+		}
+		return Spec{Kind: "shifted", Scale: v.Scale, Offset: v.Offset, Inner: &inner}, nil
+	}
+	return Spec{}, fmt.Errorf("join: condition %T has no wire spec", c)
+}
+
+// Condition reconstructs the condition a Spec describes.
+func (s Spec) Condition() (Condition, error) {
+	switch s.Kind {
+	case "band":
+		if s.Beta < 0 {
+			return nil, fmt.Errorf("join: spec band beta %d < 0", s.Beta)
+		}
+		return Band{Beta: s.Beta}, nil
+	case "equi":
+		return Equi{}, nil
+	case "inequality":
+		if s.Op < Less || s.Op > GreaterEq {
+			return nil, fmt.Errorf("join: spec inequality op %d unknown", s.Op)
+		}
+		return Inequality{Op: s.Op}, nil
+	case "shifted":
+		if s.Inner == nil {
+			return nil, fmt.Errorf("join: shifted spec without inner condition")
+		}
+		inner, err := s.Inner.Condition()
+		if err != nil {
+			return nil, err
+		}
+		return Shifted{Inner: inner, Scale: s.Scale, Offset: s.Offset}, nil
+	}
+	return nil, fmt.Errorf("join: spec kind %q unknown", s.Kind)
+}

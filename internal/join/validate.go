@@ -1,0 +1,51 @@
+package join
+
+import "fmt"
+
+// ValidateMonotonic checks, over the inclusive key range [lo, hi] probed at
+// `probes` evenly spaced points, that a condition behaves monotonically:
+// JoinableRange endpoints nondecreasing in the key and consistent with
+// Matches at the range boundaries. The whole framework (candidacy checks,
+// MonotonicBSP, Stream-Sample) relies on these properties, so the planner
+// can cheaply vet user-supplied conditions instead of silently producing
+// wrong partitionings.
+func ValidateMonotonic(c Condition, lo, hi Key, probes int) error {
+	if probes < 2 {
+		probes = 2
+	}
+	if lo > hi {
+		return fmt.Errorf("join: validate range [%d, %d] inverted", lo, hi)
+	}
+	step := (hi - lo) / Key(probes-1)
+	if step < 1 {
+		step = 1
+	}
+	prevLo, prevHi := c.JoinableRange(lo)
+	for k := lo; k <= hi; k += step {
+		rLo, rHi := c.JoinableRange(k)
+		if rLo < prevLo || rHi < prevHi {
+			return fmt.Errorf("join: %v not monotonic: joinable range regressed at key %d", c, k)
+		}
+		// Boundary consistency: endpoints inside the range must match; the
+		// neighbours just outside must not.
+		if rLo <= rHi {
+			if !c.Matches(k, rLo) {
+				return fmt.Errorf("join: %v inconsistent: range start %d not matched by key %d", c, rLo, k)
+			}
+			if !c.Matches(k, rHi) {
+				return fmt.Errorf("join: %v inconsistent: range end %d not matched by key %d", c, rHi, k)
+			}
+			if rLo > MinKey && c.Matches(k, rLo-1) {
+				return fmt.Errorf("join: %v inconsistent: key below range start matched by key %d", c, k)
+			}
+			if rHi < MaxKey && c.Matches(k, rHi+1) {
+				return fmt.Errorf("join: %v inconsistent: key above range end matched by key %d", c, k)
+			}
+		}
+		prevLo, prevHi = rLo, rHi
+		if k > hi-step {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package localjoin provides the algorithms each machine runs over its
+// region's tuples. The partitioning schemes are orthogonal to the local join
+// (§IV "Local Join Algorithm"); the engine defaults to the sort-based
+// monotonic join and uses the hash join for pure equality conditions.
+package localjoin
+
+import (
+	"sort"
+
+	"ewh/internal/join"
+	"ewh/internal/sample"
+)
+
+// Count returns |r1 ⋈_cond r2| using the sort-based monotonic join: R2 is
+// organized as a sorted multiset and each R1 tuple's joinable-set size is a
+// prefix-sum range count — O((n1+n2)·log n2) total, the standard plan for
+// band and inequality joins.
+func Count(r1, r2 []join.Key, cond join.Condition) int64 {
+	if len(r1) == 0 || len(r2) == 0 {
+		return 0
+	}
+	m2 := sample.BuildMultiset(r2)
+	var out int64
+	for _, k := range r1 {
+		out += m2.D2(cond, k)
+	}
+	return out
+}
+
+// HashCount returns |r1 ⋈ r2| for an equality join via a multiplicity map —
+// O(n1+n2) and the right choice when the condition is join.Equi or a
+// zero-width band.
+func HashCount(r1, r2 []join.Key) int64 {
+	if len(r1) == 0 || len(r2) == 0 {
+		return 0
+	}
+	small, large := r1, r2
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	mult := make(map[join.Key]int64, len(small))
+	for _, k := range small {
+		mult[k]++
+	}
+	var out int64
+	for _, k := range large {
+		out += mult[k]
+	}
+	return out
+}
+
+// NestedLoopCount is the O(n1·n2) reference implementation used by tests as
+// ground truth.
+func NestedLoopCount(r1, r2 []join.Key, cond join.Condition) int64 {
+	var out int64
+	for _, a := range r1 {
+		for _, b := range r2 {
+			if cond.Matches(a, b) {
+				out++
+			}
+		}
+	}
+	return out
+}
+
+// Emit calls fn for every matching pair, in R1 order with R2 partners
+// ascending, using the sorted monotonic join. It materializes the full
+// result and so is meant for small inputs (tests, examples).
+func Emit(r1, r2 []join.Key, cond join.Condition, fn func(a, b join.Key)) {
+	if len(r1) == 0 || len(r2) == 0 {
+		return
+	}
+	sorted := make([]join.Key, len(r2))
+	copy(sorted, r2)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, a := range r1 {
+		lo, hi := cond.JoinableRange(a)
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= lo })
+		for ; i < len(sorted) && sorted[i] <= hi; i++ {
+			fn(a, sorted[i])
+		}
+	}
+}
+
+// AutoCount picks HashCount for pure-equality conditions and Count otherwise.
+func AutoCount(r1, r2 []join.Key, cond join.Condition) int64 {
+	switch c := cond.(type) {
+	case join.Equi:
+		return HashCount(r1, r2)
+	case join.Band:
+		if c.Beta == 0 {
+			return HashCount(r1, r2)
+		}
+	}
+	return Count(r1, r2, cond)
+}

@@ -1,0 +1,155 @@
+// Package multiway executes multi-way monotonic joins as a sequence of
+// EWH-planned 2-way joins, the strategy §IV-B prescribes ("a multi-way join
+// can be efficiently executed using a sequence of our 2-way joins"). The
+// output of each stage is materialized as tuples keyed by the next stage's
+// join attribute and re-partitioned with a fresh equi-weight histogram, so
+// every stage is individually balanced on both its input and its output.
+package multiway
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ewh/internal/core"
+	"ewh/internal/cost"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+)
+
+// MidRelation is the middle relation of a 3-way chain join
+// R1 ⋈_A Mid ⋈_B R3: column A joins with R1 and column B with R3. Rows are
+// column-oriented; A and B must have equal length.
+type MidRelation struct {
+	A []join.Key
+	B []join.Key
+}
+
+// Rows returns the row count.
+func (m *MidRelation) Rows() int { return len(m.A) }
+
+// Validate checks column alignment.
+func (m *MidRelation) Validate() error {
+	if len(m.A) != len(m.B) {
+		return fmt.Errorf("multiway: mid relation columns differ: |A|=%d |B|=%d", len(m.A), len(m.B))
+	}
+	return nil
+}
+
+// Query is a 3-way chain join R1 ⋈_CondA Mid ⋈_CondB R3.
+type Query struct {
+	R1    []join.Key
+	Mid   MidRelation
+	R3    []join.Key
+	CondA join.Condition
+	CondB join.Condition
+}
+
+// StageResult reports one 2-way stage.
+type StageResult struct {
+	// Scheme is the partitioning scheme the stage used ("CSIO", or "CI"
+	// after a high-selectivity fallback).
+	Scheme string
+	// PlanDuration is the stage's statistics + histogram time.
+	PlanDuration time.Duration
+	// Exec carries the engine metrics.
+	Exec *exec.Result
+}
+
+// Result reports the whole multi-way execution.
+type Result struct {
+	Stages []StageResult
+	// Output is the final join cardinality |R1 ⋈ Mid ⋈ R3|.
+	Output int64
+	// Intermediate is the stage-1 output size (tuples shipped to stage 2).
+	Intermediate int64
+}
+
+// MaxIntermediate caps the materialized stage-1 result to protect callers
+// from accidentally Cartesian first stages; Execute fails beyond it.
+const MaxIntermediate = 200_000_000
+
+// Execute runs the chain join with per-stage EWH planning. opts.J machines
+// are used by both stages.
+func Execute(q Query, opts core.Options, cfg exec.Config) (*Result, error) {
+	if err := q.Mid.Validate(); err != nil {
+		return nil, err
+	}
+	if !opts.Model.Valid() {
+		opts.Model = cost.DefaultBand
+	}
+	if len(q.R1) == 0 || q.Mid.Rows() == 0 || len(q.R3) == 0 {
+		return nil, fmt.Errorf("multiway: empty relation (|R1|=%d |Mid|=%d |R3|=%d)",
+			len(q.R1), q.Mid.Rows(), len(q.R3))
+	}
+
+	// Stage 1: R1 ⋈_A Mid, materializing the matched Mid rows' B keys.
+	plan1Start := time.Now()
+	plan1, err := core.PlanCSIO(q.R1, q.Mid.A, q.CondA, opts)
+	if err != nil {
+		return nil, fmt.Errorf("multiway: stage 1 plan: %w", err)
+	}
+	plan1Dur := time.Since(plan1Start)
+
+	r1Tuples := exec.WrapKeys(q.R1)
+	midTuples := make([]exec.Tuple[join.Key], q.Mid.Rows())
+	for i := range midTuples {
+		midTuples[i] = exec.Tuple[join.Key]{Key: q.Mid.A[i], Payload: q.Mid.B[i]}
+	}
+
+	perWorker := make([][]join.Key, plan1.Scheme.Workers())
+	var mu sync.Mutex
+	overflow := false
+	res1 := exec.RunTuples(r1Tuples, midTuples, q.CondA, plan1.Scheme, opts.Model, cfg,
+		func(w int, _ exec.Tuple[struct{}], b exec.Tuple[join.Key]) {
+			perWorker[w] = append(perWorker[w], b.Payload)
+			if len(perWorker[w]) == MaxIntermediate {
+				mu.Lock()
+				overflow = true
+				mu.Unlock()
+			}
+		})
+	if overflow || res1.Output > MaxIntermediate {
+		return nil, fmt.Errorf("multiway: stage 1 produced %d tuples (cap %d); restructure the chain",
+			res1.Output, MaxIntermediate)
+	}
+
+	intermediate := make([]join.Key, 0, res1.Output)
+	for _, pw := range perWorker {
+		intermediate = append(intermediate, pw...)
+	}
+
+	out := &Result{
+		Stages: []StageResult{{
+			Scheme:       plan1.Scheme.Name(),
+			PlanDuration: plan1Dur,
+			Exec:         res1,
+		}},
+		Intermediate: res1.Output,
+	}
+	if len(intermediate) == 0 {
+		out.Stages = append(out.Stages, StageResult{Scheme: "none"})
+		return out, nil
+	}
+
+	// Stage 2: intermediate ⋈_B R3 — a fresh equi-weight histogram over the
+	// materialized result, which may be arbitrarily skewed regardless of the
+	// base relations' distributions (the JPS cascade §IV-B warns about).
+	opts2 := opts
+	opts2.Seed = opts.Seed + 0x9e37
+	plan2Start := time.Now()
+	plan2, err := core.PlanCSIO(intermediate, q.R3, q.CondB, opts2)
+	if err != nil {
+		return nil, fmt.Errorf("multiway: stage 2 plan: %w", err)
+	}
+	plan2Dur := time.Since(plan2Start)
+	res2 := exec.Run(intermediate, q.R3, q.CondB, plan2.Scheme, opts.Model, cfg)
+
+	out.Stages = append(out.Stages, StageResult{
+		Scheme:       plan2.Scheme.Name(),
+		PlanDuration: plan2Dur,
+		Exec:         res2,
+	})
+	out.Output = res2.Output
+	return out, nil
+}

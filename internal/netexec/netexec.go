@@ -1,0 +1,267 @@
+// Package netexec runs the shared-nothing join over real TCP workers: a
+// coordinator shuffles tuple batches to worker servers (gob-encoded
+// streams), each worker joins the tuples it received with the local join
+// algorithm and reports its metrics back. It is the process-distributed
+// counterpart of internal/exec's goroutine engine — same partitioning
+// schemes, same metrics — demonstrating that nothing in the EWH design
+// depends on shared memory.
+//
+// Protocol (one TCP connection per worker per job):
+//
+//	coordinator → worker: handshake{workerID, condition spec, cost model}
+//	coordinator → worker: batch{relation, keys}...   (streamed)
+//	coordinator → worker: end-of-stream
+//	worker → coordinator: metrics{inputR1, inputR2, output, nanos}
+package netexec
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ewh/internal/cost"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/localjoin"
+	"ewh/internal/partition"
+	"ewh/internal/stats"
+)
+
+// handshake opens a job on a worker.
+type handshake struct {
+	WorkerID int
+	Cond     join.Spec
+	Wi, Wo   float64
+}
+
+// batch carries a chunk of routed tuples; Rel is 1 or 2.
+type batch struct {
+	Rel  int8
+	Keys []join.Key
+	// EOS marks the end of the job's tuple stream.
+	EOS bool
+}
+
+// metrics is the worker's report.
+type metrics struct {
+	InputR1, InputR2 int64
+	Output           int64
+	Nanos            int64
+	Err              string
+}
+
+// BatchSize is the number of keys per shipped batch.
+const BatchSize = 8192
+
+// Worker is a join worker server. Each accepted connection processes one
+// job: it buffers the streamed tuples, runs the local join at end-of-stream
+// and replies with its metrics.
+type Worker struct {
+	ln     net.Listener
+	closed chan struct{}
+}
+
+// ListenWorker starts a worker on addr ("127.0.0.1:0" picks a free port).
+// Serve must be called to accept jobs.
+func ListenWorker(addr string) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netexec: listen %s: %w", addr, err)
+	}
+	return &Worker{ln: ln, closed: make(chan struct{})}, nil
+}
+
+// Addr returns the worker's bound address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Close stops accepting jobs.
+func (w *Worker) Close() error {
+	close(w.closed)
+	return w.ln.Close()
+}
+
+// Serve accepts and processes jobs until Close. It returns nil after Close.
+func (w *Worker) Serve() error {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			select {
+			case <-w.closed:
+				return nil
+			default:
+				return fmt.Errorf("netexec: accept: %w", err)
+			}
+		}
+		go w.handle(conn)
+	}
+}
+
+func (w *Worker) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	fail := func(err error) {
+		_ = enc.Encode(metrics{Err: err.Error()})
+	}
+
+	var hs handshake
+	if err := dec.Decode(&hs); err != nil {
+		fail(fmt.Errorf("handshake: %w", err))
+		return
+	}
+	cond, err := hs.Cond.Condition()
+	if err != nil {
+		fail(err)
+		return
+	}
+	var r1, r2 []join.Key
+	for {
+		var b batch
+		if err := dec.Decode(&b); err != nil {
+			fail(fmt.Errorf("batch: %w", err))
+			return
+		}
+		if b.EOS {
+			break
+		}
+		switch b.Rel {
+		case 1:
+			r1 = append(r1, b.Keys...)
+		case 2:
+			r2 = append(r2, b.Keys...)
+		default:
+			fail(fmt.Errorf("batch for unknown relation %d", b.Rel))
+			return
+		}
+	}
+	start := time.Now()
+	out := localjoin.AutoCount(r1, r2, cond)
+	_ = enc.Encode(metrics{
+		InputR1: int64(len(r1)),
+		InputR2: int64(len(r2)),
+		Output:  out,
+		Nanos:   time.Since(start).Nanoseconds(),
+	})
+}
+
+// Run shuffles the relations to the remote workers according to the scheme
+// and returns the aggregated result. The scheme must not need more workers
+// than addrs provides; extra addresses stay idle.
+func Run(addrs []string, r1, r2 []join.Key, cond join.Condition,
+	scheme partition.Scheme, model cost.Model, seed uint64) (*exec.Result, error) {
+
+	j := scheme.Workers()
+	if j > len(addrs) {
+		return nil, fmt.Errorf("netexec: scheme needs %d workers, only %d addresses", j, len(addrs))
+	}
+	spec, err := join.SpecOf(cond)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Route locally into per-worker buffers (the mapper side).
+	perWorker1 := make([][]join.Key, j)
+	perWorker2 := make([][]join.Key, j)
+	rng := stats.NewRNG(seed)
+	var buf []int
+	for _, k := range r1 {
+		buf = scheme.RouteR1(k, rng, buf[:0])
+		for _, w := range buf {
+			perWorker1[w] = append(perWorker1[w], k)
+		}
+	}
+	for _, k := range r2 {
+		buf = scheme.RouteR2(k, rng, buf[:0])
+		for _, w := range buf {
+			perWorker2[w] = append(perWorker2[w], k)
+		}
+	}
+
+	// Stream each worker's tuples and gather metrics concurrently.
+	res := &exec.Result{Scheme: scheme.Name() + "@net", Workers: make([]exec.WorkerMetrics, j)}
+	errs := make([]error, j)
+	var wg sync.WaitGroup
+	for wID := 0; wID < j; wID++ {
+		wg.Add(1)
+		go func(wID int) {
+			defer wg.Done()
+			m, err := runWorkerJob(addrs[wID], wID, spec, model, perWorker1[wID], perWorker2[wID])
+			if err != nil {
+				errs[wID] = err
+				return
+			}
+			wm := &res.Workers[wID]
+			wm.InputR1 = m.InputR1
+			wm.InputR2 = m.InputR2
+			wm.Output = m.Output
+			wm.Work = model.Weight(float64(m.InputR1+m.InputR2), float64(m.Output))
+		}(wID)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, m := range res.Workers {
+		res.Output += m.Output
+		res.NetworkTuples += m.Input()
+		res.MemoryBytes += m.Input() * 16
+		res.TotalWork += m.Work
+		if m.Work > res.MaxWork {
+			res.MaxWork = m.Work
+		}
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+func runWorkerJob(addr string, workerID int, spec join.Spec, model cost.Model,
+	r1, r2 []join.Key) (*metrics, error) {
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netexec: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	if err := enc.Encode(handshake{WorkerID: workerID, Cond: spec, Wi: model.Wi, Wo: model.Wo}); err != nil {
+		return nil, fmt.Errorf("netexec: handshake to %s: %w", addr, err)
+	}
+	send := func(rel int8, keys []join.Key) error {
+		for off := 0; off < len(keys); off += BatchSize {
+			end := off + BatchSize
+			if end > len(keys) {
+				end = len(keys)
+			}
+			if err := enc.Encode(batch{Rel: rel, Keys: keys[off:end]}); err != nil {
+				return fmt.Errorf("netexec: send to %s: %w", addr, err)
+			}
+		}
+		return nil
+	}
+	if err := send(1, r1); err != nil {
+		return nil, err
+	}
+	if err := send(2, r2); err != nil {
+		return nil, err
+	}
+	if err := enc.Encode(batch{EOS: true}); err != nil {
+		return nil, fmt.Errorf("netexec: eos to %s: %w", addr, err)
+	}
+	var m metrics
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("netexec: metrics from %s: %w", addr, err)
+	}
+	if m.Err != "" {
+		return nil, fmt.Errorf("netexec: worker %s: %s", addr, m.Err)
+	}
+	return &m, nil
+}

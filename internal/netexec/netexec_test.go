@@ -1,0 +1,232 @@
+package netexec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ewh/internal/core"
+	"ewh/internal/cost"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/localjoin"
+	"ewh/internal/stats"
+)
+
+var model = cost.Model{Wi: 1, Wo: 0.2}
+
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		w, err := ListenWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = w.Addr()
+		go func() { _ = w.Serve() }()
+		t.Cleanup(func() { _ = w.Close() })
+	}
+	return addrs
+}
+
+func randKeys(n int, domain int64, seed uint64) []join.Key {
+	r := stats.NewRNG(seed)
+	out := make([]join.Key, n)
+	for i := range out {
+		out[i] = r.Int64n(domain)
+	}
+	return out
+}
+
+func TestNetRunMatchesLocal(t *testing.T) {
+	r1 := randKeys(3000, 1500, 1)
+	r2 := randKeys(3000, 1500, 2)
+	cond := join.NewBand(2)
+	plan, err := core.PlanCSIO(r1, r2, cond, core.Options{J: 4, Model: model, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startWorkers(t, plan.Scheme.Workers())
+
+	netRes, err := Run(addrs, r1, r2, cond, plan.Scheme, model, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRes := exec.Run(r1, r2, cond, plan.Scheme, model, exec.Config{Seed: 4})
+	if netRes.Output != localRes.Output {
+		t.Fatalf("net output %d != local %d", netRes.Output, localRes.Output)
+	}
+	if want := localjoin.NestedLoopCount(r1, r2, cond); netRes.Output != want {
+		t.Fatalf("net output %d != ground truth %d", netRes.Output, want)
+	}
+	if netRes.NetworkTuples != localRes.NetworkTuples {
+		t.Fatalf("net shipped %d != local %d", netRes.NetworkTuples, localRes.NetworkTuples)
+	}
+	if !strings.HasSuffix(netRes.Scheme, "@net") {
+		t.Errorf("scheme label %q", netRes.Scheme)
+	}
+}
+
+func TestNetRunCIScheme(t *testing.T) {
+	// The randomized CI scheme also works over the wire (routing happens on
+	// the coordinator, so the random choices are made once).
+	r1 := randKeys(1000, 800, 5)
+	r2 := randKeys(1000, 800, 6)
+	cond := join.Equi{}
+	plan, err := core.PlanCI(core.Options{J: 4, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startWorkers(t, 4)
+	res, err := Run(addrs, r1, r2, cond, plan.Scheme, model, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := localjoin.NestedLoopCount(r1, r2, cond); res.Output != want {
+		t.Fatalf("output %d, want %d", res.Output, want)
+	}
+}
+
+func TestNetRunTooFewWorkers(t *testing.T) {
+	plan, err := core.PlanCI(core.Options{J: 8, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startWorkers(t, 2)
+	if _, err := Run(addrs, nil, nil, join.Equi{}, plan.Scheme, model, 1); err == nil {
+		t.Fatal("scheme wider than worker pool accepted")
+	}
+}
+
+func TestNetRunDialFailure(t *testing.T) {
+	plan, err := core.PlanCI(core.Options{J: 1, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run([]string{"127.0.0.1:1"}, []join.Key{1}, []join.Key{1},
+		join.Equi{}, plan.Scheme, model, 1)
+	if err == nil {
+		t.Fatal("dead worker address accepted")
+	}
+}
+
+func TestNetRunUnsupportedCondition(t *testing.T) {
+	plan, err := core.PlanCI(core.Options{J: 1, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startWorkers(t, 1)
+	_, err = Run(addrs, []join.Key{1}, []join.Key{1}, badCond{}, plan.Scheme, model, 1)
+	if err == nil {
+		t.Fatal("unspecable condition accepted")
+	}
+}
+
+type badCond struct{}
+
+func (badCond) Matches(a, b join.Key) bool               { return a == b }
+func (badCond) JoinableRange(a join.Key) (x, y join.Key) { return a, a }
+func (badCond) String() string                           { return "bad" }
+
+func TestSpecRoundTrip(t *testing.T) {
+	conds := []join.Condition{
+		join.NewBand(0), join.NewBand(7), join.Equi{},
+		join.Inequality{Op: join.Less}, join.Inequality{Op: join.GreaterEq},
+		join.Shifted{Inner: join.NewBand(2), Scale: 10, Offset: -3},
+	}
+	for _, c := range conds {
+		spec, err := join.SpecOf(c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		back, err := spec.Condition()
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		for a := join.Key(-20); a <= 20; a += 3 {
+			for b := join.Key(-20); b <= 20; b += 3 {
+				if c.Matches(a, b) != back.Matches(a, b) {
+					t.Fatalf("%v: round-tripped condition disagrees at (%d,%d)", c, a, b)
+				}
+			}
+		}
+	}
+	if _, err := join.SpecOf(badCond{}); err == nil {
+		t.Error("foreign condition specced")
+	}
+	if _, err := (join.Spec{Kind: "nope"}).Condition(); err == nil {
+		t.Error("bad spec kind accepted")
+	}
+	if _, err := (join.Spec{Kind: "shifted"}).Condition(); err == nil {
+		t.Error("shifted spec without inner accepted")
+	}
+}
+
+func TestNetRunSkewedCSIO(t *testing.T) {
+	r := stats.NewRNG(8)
+	z := stats.NewZipf(600, 0.9)
+	r1 := make([]join.Key, 2000)
+	r2 := make([]join.Key, 2000)
+	for i := range r1 {
+		r1[i] = z.Draw(r)
+		r2[i] = z.Draw(r)
+	}
+	cond := join.NewBand(1)
+	plan, err := core.PlanCSIO(r1, r2, cond, core.Options{J: 6, Model: model, Seed: 9, DisableFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startWorkers(t, plan.Scheme.Workers())
+	res, err := Run(addrs, r1, r2, cond, plan.Scheme, model, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := localjoin.NestedLoopCount(r1, r2, cond); res.Output != want {
+		t.Fatalf("output %d, want %d", res.Output, want)
+	}
+}
+
+func TestNetRunConcurrentJobs(t *testing.T) {
+	// One worker pool serves two jobs concurrently (each job is one
+	// connection; the worker handles connections independently).
+	r1 := randKeys(800, 500, 20)
+	r2 := randKeys(800, 500, 21)
+	cond := join.NewBand(1)
+	plan, err := core.PlanCI(core.Options{J: 2, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startWorkers(t, 2)
+	want := localjoin.NestedLoopCount(r1, r2, cond)
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(seed uint64) {
+			res, err := Run(addrs, r1, r2, cond, plan.Scheme, model, seed)
+			if err == nil && res.Output != want {
+				err = fmt.Errorf("output %d, want %d", res.Output, want)
+			}
+			done <- err
+		}(uint64(30 + i))
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWorkerCloseStopsServe(t *testing.T) {
+	w, err := ListenWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- w.Serve() }()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v after Close, want nil", err)
+	}
+}

@@ -1,0 +1,80 @@
+package partition
+
+import (
+	"math"
+
+	"ewh/internal/join"
+	"ewh/internal/stats"
+)
+
+// CI is the content-insensitive scheme (1-Bucket [4], §II-A): the join
+// matrix is covered by a rows×cols grid of equal-area regions. An incoming
+// R1 tuple picks a random grid row and is replicated to every region in it
+// (cols copies); an R2 tuple picks a random grid column (rows copies). Every
+// tuple pair meets in exactly one region, so the join is complete and
+// duplicate-free regardless of the join condition — at the price of a
+// replication factor of rows+cols, the scheme's defining weakness for
+// low-selectivity joins.
+type CI struct {
+	rows, cols int
+}
+
+// NewCI builds the scheme for j workers, choosing the divisor factorization
+// rows×cols = j that minimizes the replication factor rows+cols — the most
+// square grid using every machine (the paper's J=32 runs use 4×8).
+func NewCI(j int) *CI {
+	if j < 1 {
+		j = 1
+	}
+	bestR := 1
+	for r := 1; r*r <= j; r++ {
+		if j%r == 0 {
+			bestR = r
+		}
+	}
+	return &CI{rows: bestR, cols: j / bestR}
+}
+
+// Grid returns the region grid dimensions.
+func (s *CI) Grid() (rows, cols int) { return s.rows, s.cols }
+
+// ReplicationFactor returns rows+cols: the copies created per tuple pair
+// (cols per R1 tuple plus rows per R2 tuple, averaged over both relations
+// of equal size this is (rows+cols)/2 each).
+func (s *CI) ReplicationFactor() int { return s.rows + s.cols }
+
+// Name implements Scheme.
+func (s *CI) Name() string { return "CI" }
+
+// Workers implements Scheme.
+func (s *CI) Workers() int { return s.rows * s.cols }
+
+// RouteR1 implements Scheme: a random row, replicated across all columns.
+func (s *CI) RouteR1(_ join.Key, rng *stats.RNG, buf []int) []int {
+	r := rng.Intn(s.rows)
+	for c := 0; c < s.cols; c++ {
+		buf = append(buf, r*s.cols+c)
+	}
+	return buf
+}
+
+// RouteR2 implements Scheme: a random column, replicated across all rows.
+func (s *CI) RouteR2(_ join.Key, rng *stats.RNG, buf []int) []int {
+	c := rng.Intn(s.cols)
+	for r := 0; r < s.rows; r++ {
+		buf = append(buf, r*s.cols+c)
+	}
+	return buf
+}
+
+// IdealGrid reports the most balanced achievable grid for j workers —
+// exposed for tests and capacity planning.
+func IdealGrid(j int) (rows, cols int) {
+	r := int(math.Sqrt(float64(j)))
+	for ; r > 1; r-- {
+		if j%r == 0 {
+			break
+		}
+	}
+	return r, j / r
+}

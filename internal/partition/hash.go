@@ -1,0 +1,140 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"ewh/internal/join"
+	"ewh/internal/stats"
+)
+
+// Hash is the classic equi-join partitioner the paper's related work starts
+// from (§V.1): both relations hash-partition by join key, so matching tuples
+// land on the same worker with no replication. It is correct ONLY for pure
+// equality conditions — hashing scatters neighbouring keys, which is exactly
+// why the paper develops range-based schemes for monotonic joins.
+//
+// HeavyKeys enables PRPD-style skew handling [1]: tuples of a heavy R1 key
+// are scattered round-robin over all workers (eliminating the hash hot
+// spot), while R2 tuples with that key broadcast to all workers so every
+// scattered copy finds its partners; each pair still meets exactly once
+// because only the R1 side is scattered.
+type Hash struct {
+	workers int
+	heavy   []join.Key // sorted
+}
+
+// NewHash builds a hash scheme for j workers with the given heavy-hitter
+// keys (may be nil).
+func NewHash(j int, heavyKeys []join.Key) (*Hash, error) {
+	if j < 1 {
+		return nil, fmt.Errorf("partition: hash scheme needs j >= 1, got %d", j)
+	}
+	h := &Hash{workers: j, heavy: append([]join.Key(nil), heavyKeys...)}
+	sort.Slice(h.heavy, func(a, b int) bool { return h.heavy[a] < h.heavy[b] })
+	return h, nil
+}
+
+// DetectHeavyKeys returns the keys whose frequency in keys exceeds
+// fraction·len(keys) — the PRPD heavy-hitter threshold. A sample works fine
+// as input.
+func DetectHeavyKeys(keys []join.Key, fraction float64) []join.Key {
+	if fraction <= 0 || len(keys) == 0 {
+		return nil
+	}
+	counts := make(map[join.Key]int, 1024)
+	for _, k := range keys {
+		counts[k]++
+	}
+	threshold := int(fraction * float64(len(keys)))
+	if threshold < 1 {
+		threshold = 1
+	}
+	var heavy []join.Key
+	for k, c := range counts {
+		if c > threshold {
+			heavy = append(heavy, k)
+		}
+	}
+	sort.Slice(heavy, func(a, b int) bool { return heavy[a] < heavy[b] })
+	return heavy
+}
+
+// Name implements Scheme.
+func (h *Hash) Name() string {
+	if len(h.heavy) > 0 {
+		return "HashPRPD"
+	}
+	return "Hash"
+}
+
+// Workers implements Scheme.
+func (h *Hash) Workers() int { return h.workers }
+
+func (h *Hash) isHeavy(k join.Key) bool {
+	i := sort.Search(len(h.heavy), func(i int) bool { return h.heavy[i] >= k })
+	return i < len(h.heavy) && h.heavy[i] == k
+}
+
+// hashKey is splitmix64-style mixing of the join key.
+func hashKey(k join.Key) uint64 {
+	z := uint64(k) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RouteR1 implements Scheme: heavy keys scatter uniformly at random (the
+// mapper-local RNG keeps routing race-free), others hash.
+func (h *Hash) RouteR1(k join.Key, rng *stats.RNG, buf []int) []int {
+	if h.isHeavy(k) {
+		return append(buf, rng.Intn(h.workers))
+	}
+	return append(buf, int(hashKey(k)%uint64(h.workers)))
+}
+
+// RouteR2 implements Scheme: heavy keys broadcast, others hash.
+func (h *Hash) RouteR2(k join.Key, _ *stats.RNG, buf []int) []int {
+	if h.isHeavy(k) {
+		for w := 0; w < h.workers; w++ {
+			buf = append(buf, w)
+		}
+		return buf
+	}
+	return append(buf, int(hashKey(k)%uint64(h.workers)))
+}
+
+// Broadcast replicates R2 (conventionally the smaller relation) to every
+// worker and scatters R1 uniformly — the broadcast join of §V, "efficient
+// only if the replicated relation is very small". It is correct for any
+// join condition.
+type Broadcast struct {
+	workers int
+}
+
+// NewBroadcast builds a broadcast scheme for j workers.
+func NewBroadcast(j int) (*Broadcast, error) {
+	if j < 1 {
+		return nil, fmt.Errorf("partition: broadcast scheme needs j >= 1, got %d", j)
+	}
+	return &Broadcast{workers: j}, nil
+}
+
+// Name implements Scheme.
+func (b *Broadcast) Name() string { return "Broadcast" }
+
+// Workers implements Scheme.
+func (b *Broadcast) Workers() int { return b.workers }
+
+// RouteR1 implements Scheme: uniform scatter.
+func (b *Broadcast) RouteR1(_ join.Key, rng *stats.RNG, buf []int) []int {
+	return append(buf, rng.Intn(b.workers))
+}
+
+// RouteR2 implements Scheme: replicate everywhere.
+func (b *Broadcast) RouteR2(_ join.Key, _ *stats.RNG, buf []int) []int {
+	for w := 0; w < b.workers; w++ {
+		buf = append(buf, w)
+	}
+	return buf
+}

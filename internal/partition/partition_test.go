@@ -1,0 +1,216 @@
+package partition
+
+import (
+	"testing"
+
+	"ewh/internal/join"
+	"ewh/internal/matrix"
+	"ewh/internal/stats"
+	"ewh/internal/tiling"
+)
+
+func TestNewCIGrid(t *testing.T) {
+	cases := []struct {
+		j, rows, cols int
+	}{
+		{1, 1, 1}, {4, 2, 2}, {16, 4, 4}, {32, 4, 8}, {64, 8, 8},
+		{6, 2, 3}, {7, 1, 7}, // primes degrade to a single grid row
+	}
+	for _, c := range cases {
+		ci := NewCI(c.j)
+		r, co := ci.Grid()
+		if r != c.rows || co != c.cols {
+			t.Errorf("NewCI(%d) grid %dx%d, want %dx%d", c.j, r, co, c.rows, c.cols)
+		}
+		if ci.Workers() > c.j {
+			t.Errorf("NewCI(%d) uses %d workers", c.j, ci.Workers())
+		}
+	}
+}
+
+func TestCIRouting(t *testing.T) {
+	ci := NewCI(8) // 2x4
+	rng := stats.NewRNG(1)
+	rows, cols := ci.Grid()
+	for i := 0; i < 200; i++ {
+		w1 := ci.RouteR1(join.Key(i), rng, nil)
+		if len(w1) != cols {
+			t.Fatalf("R1 tuple replicated to %d workers, want %d", len(w1), cols)
+		}
+		// All targets share one grid row.
+		row := w1[0] / cols
+		for _, w := range w1 {
+			if w/cols != row {
+				t.Fatal("R1 targets span multiple grid rows")
+			}
+		}
+		w2 := ci.RouteR2(join.Key(i), rng, nil)
+		if len(w2) != rows {
+			t.Fatalf("R2 tuple replicated to %d workers, want %d", len(w2), rows)
+		}
+		col := w2[0] % cols
+		for _, w := range w2 {
+			if w%cols != col {
+				t.Fatal("R2 targets span multiple grid columns")
+			}
+		}
+	}
+}
+
+func TestCIEveryPairMeetsOnce(t *testing.T) {
+	// For any routing outcome, |targets(t1) ∩ targets(t2)| == 1.
+	ci := NewCI(12)
+	rng := stats.NewRNG(2)
+	for i := 0; i < 100; i++ {
+		w1 := ci.RouteR1(0, rng, nil)
+		w2 := ci.RouteR2(0, rng, nil)
+		common := 0
+		for _, a := range w1 {
+			for _, b := range w2 {
+				if a == b {
+					common++
+				}
+			}
+		}
+		if common != 1 {
+			t.Fatalf("pair meets at %d workers, want exactly 1", common)
+		}
+	}
+}
+
+func TestCIRandomRowsCoverGrid(t *testing.T) {
+	ci := NewCI(16)
+	rng := stats.NewRNG(3)
+	rows, cols := ci.Grid()
+	seen := make([]bool, rows)
+	for i := 0; i < 500; i++ {
+		w := ci.RouteR1(join.Key(i), rng, nil)
+		seen[w[0]/cols] = true
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Fatalf("grid row %d never chosen in 500 draws", r)
+		}
+	}
+}
+
+func TestIdealGrid(t *testing.T) {
+	r, c := IdealGrid(32)
+	if r*c != 32 || r > c {
+		t.Fatalf("IdealGrid(32) = %dx%d", r, c)
+	}
+}
+
+// makeRegions builds a small hand-crafted partitioning:
+//
+//	R1 keys [0,100) × R2 keys [0,50)   -> region 0
+//	R1 keys [0,100) × R2 keys [50,100) -> region 1
+//	R1 keys [100,200) × R2 keys [0,100)-> region 2
+func makeRegions() []tiling.Region {
+	return []tiling.Region{
+		{Rect: matrix.Rect{}, RowLo: 0, RowHi: 100, ColLo: 0, ColHi: 50},
+		{Rect: matrix.Rect{}, RowLo: 0, RowHi: 100, ColLo: 50, ColHi: 100},
+		{Rect: matrix.Rect{}, RowLo: 100, RowHi: 200, ColLo: 0, ColHi: 100},
+	}
+}
+
+func TestRegionSchemeRouting(t *testing.T) {
+	s := NewRegionScheme("CSIO", makeRegions())
+	if s.Name() != "CSIO" || s.Workers() != 3 {
+		t.Fatalf("name=%s workers=%d", s.Name(), s.Workers())
+	}
+	cases := []struct {
+		k  join.Key
+		r1 []int // expected R1 targets (sorted)
+		r2 []int
+	}{
+		{25, []int{0, 1}, []int{0, 2}},
+		{75, []int{0, 1}, []int{1, 2}},
+		{150, []int{2}, []int{0, 2}}, // col 150 out of range clamps to top slab {1,2}? no: [50,100) is top
+	}
+	_ = cases
+	check := func(got []int, want ...int) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("targets %v, want %v", got, want)
+		}
+		m := map[int]bool{}
+		for _, g := range got {
+			m[g] = true
+		}
+		for _, w := range want {
+			if !m[w] {
+				t.Fatalf("targets %v, want %v", got, want)
+			}
+		}
+	}
+	check(s.RouteR1(25, nil, nil), 0, 1)
+	check(s.RouteR1(150, nil, nil), 2)
+	check(s.RouteR2(25, nil, nil), 0, 2)
+	check(s.RouteR2(75, nil, nil), 1, 2)
+	// Out-of-range keys clamp to edge slabs.
+	check(s.RouteR1(-10, nil, nil), 0, 1)
+	check(s.RouteR1(999, nil, nil), 2)
+	check(s.RouteR2(-10, nil, nil), 0, 2)
+	check(s.RouteR2(999, nil, nil), 1, 2)
+}
+
+func TestRegionSchemePairMeetsExactlyOnce(t *testing.T) {
+	s := NewRegionScheme("CSIO", makeRegions())
+	for k1 := join.Key(0); k1 < 200; k1 += 7 {
+		for k2 := join.Key(0); k2 < 100; k2 += 7 {
+			w1 := s.RouteR1(k1, nil, nil)
+			w2 := s.RouteR2(k2, nil, nil)
+			common := 0
+			for _, a := range w1 {
+				for _, b := range w2 {
+					if a == b {
+						common++
+					}
+				}
+			}
+			if common != 1 {
+				t.Fatalf("pair (%d,%d) meets at %d workers", k1, k2, common)
+			}
+		}
+	}
+}
+
+func TestRegionSchemeEmpty(t *testing.T) {
+	s := NewRegionScheme("CSIO", nil)
+	if s.Workers() != 0 {
+		t.Fatal("empty scheme has workers")
+	}
+	if got := s.RouteR1(5, nil, nil); len(got) != 0 {
+		t.Fatalf("empty scheme routed to %v", got)
+	}
+}
+
+func BenchmarkRegionSchemeRouting(b *testing.B) {
+	// Routing throughput matters: the shuffle calls this once per tuple.
+	regions := make([]tiling.Region, 64)
+	for i := range regions {
+		regions[i] = tiling.Region{
+			RowLo: join.Key(i * 100), RowHi: join.Key((i + 1) * 100),
+			ColLo: join.Key(i * 100), ColHi: join.Key((i + 1) * 100),
+		}
+	}
+	s := NewRegionScheme("CSIO", regions)
+	var buf []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.RouteR1(join.Key(i%6400), nil, buf[:0])
+	}
+}
+
+func BenchmarkCIRouting(b *testing.B) {
+	s := NewCI(32)
+	rng := stats.NewRNG(1)
+	var buf []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.RouteR1(join.Key(i), rng, buf[:0])
+	}
+}

@@ -1,0 +1,25 @@
+// Package partition implements the three partitioning schemes the paper
+// evaluates (§II, §VI): CI (content-insensitive, 1-Bucket [4]), CSI
+// (content-sensitive on input statistics, M-Bucket [4]) and CSIO (the
+// paper's equi-weight histogram scheme). A scheme decides, for each incoming
+// tuple, the set of workers (regions) that must receive it.
+package partition
+
+import (
+	"ewh/internal/join"
+	"ewh/internal/stats"
+)
+
+// Scheme routes tuples to workers. RouteR1/RouteR2 append worker ids to buf
+// and return it; buf lets hot shuffle loops avoid per-tuple allocations.
+// rng is consulted only by randomized schemes (CI).
+type Scheme interface {
+	// Name identifies the scheme ("CI", "CSI", "CSIO").
+	Name() string
+	// Workers returns the number of workers the scheme routes to.
+	Workers() int
+	// RouteR1 appends the workers receiving an R1 tuple with key k.
+	RouteR1(k join.Key, rng *stats.RNG, buf []int) []int
+	// RouteR2 appends the workers receiving an R2 tuple with key k.
+	RouteR2(k join.Key, rng *stats.RNG, buf []int) []int
+}

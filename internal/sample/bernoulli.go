@@ -1,0 +1,56 @@
+// Package sample implements the statistics-collection machinery of §IV:
+// Bernoulli input sampling, Efraimidis-Spirakis weighted reservoir sampling,
+// and the parallel Stream-Sample algorithm that produces a uniform random
+// sample of the *join output* without executing the join. Stream-Sample also
+// yields the exact output size m = Σ d2(t1.A), which the sample matrix needs
+// to scale cell frequencies (§III-A).
+package sample
+
+import (
+	"ewh/internal/join"
+	"ewh/internal/stats"
+)
+
+// Bernoulli returns an independent sample of keys where each key is kept
+// with probability rate (clamped to [0,1]). The expected sample size is
+// rate·len(keys); the paper uses rate qi = si/n for the input sample [19].
+func Bernoulli(keys []join.Key, rate float64, rng *stats.RNG) []join.Key {
+	if rate <= 0 {
+		return nil
+	}
+	if rate >= 1 {
+		out := make([]join.Key, len(keys))
+		copy(out, keys)
+		return out
+	}
+	out := make([]join.Key, 0, int(rate*float64(len(keys)))+16)
+	for _, k := range keys {
+		if rng.Float64() < rate {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// FixedSize returns a uniform random sample of exactly min(size, len(keys))
+// keys without replacement, via reservoir sampling (Algorithm R). The input
+// is not modified.
+func FixedSize(keys []join.Key, size int, rng *stats.RNG) []join.Key {
+	if size <= 0 {
+		return nil
+	}
+	if size >= len(keys) {
+		out := make([]join.Key, len(keys))
+		copy(out, keys)
+		return out
+	}
+	out := make([]join.Key, size)
+	copy(out, keys[:size])
+	for i := size; i < len(keys); i++ {
+		j := rng.Int64n(int64(i) + 1)
+		if j < int64(size) {
+			out[j] = keys[i]
+		}
+	}
+	return out
+}

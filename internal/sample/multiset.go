@@ -1,0 +1,81 @@
+package sample
+
+import (
+	"sort"
+
+	"ewh/internal/join"
+)
+
+// KeyMultiset is d2equi from §IV-A: the sorted distinct join keys of a
+// relation with their multiplicities and prefix sums. It answers
+// "how many R2 tuples are joinable with key k" (d2) and "select the u-th
+// joinable R2 key" in O(log n), which Stream-Sample uses to weight the R1
+// sample and to draw uniform output partners.
+type KeyMultiset struct {
+	keys   []join.Key
+	prefix []int64 // prefix[i] = total multiplicity of keys[0..i-1]; len = len(keys)+1
+}
+
+// BuildMultiset constructs the multiset from a relation's keys. The input is
+// copied; construction is O(n log n).
+func BuildMultiset(keys []join.Key) *KeyMultiset {
+	sorted := make([]join.Key, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	m := &KeyMultiset{}
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		m.keys = append(m.keys, sorted[i])
+		i = j
+	}
+	m.prefix = make([]int64, len(m.keys)+1)
+	ki := 0
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		m.prefix[ki+1] = m.prefix[ki] + int64(j-i)
+		ki++
+		i = j
+	}
+	return m
+}
+
+// Total returns the total multiplicity (the relation size).
+func (m *KeyMultiset) Total() int64 { return m.prefix[len(m.keys)] }
+
+// Distinct returns the number of distinct keys.
+func (m *KeyMultiset) Distinct() int { return len(m.keys) }
+
+// RangeCount returns the total multiplicity of keys in the inclusive range
+// [lo, hi]. For a condition c, RangeCount(c.JoinableRange(k)) is exactly
+// d2(k), the joinable-set size of k.
+func (m *KeyMultiset) RangeCount(lo, hi join.Key) int64 {
+	if lo > hi {
+		return 0
+	}
+	i := sort.Search(len(m.keys), func(i int) bool { return m.keys[i] >= lo })
+	j := sort.Search(len(m.keys), func(i int) bool { return m.keys[i] > hi })
+	return m.prefix[j] - m.prefix[i]
+}
+
+// Select returns the u-th key (0-based, ordered, counting multiplicity) among
+// keys >= lo. The caller guarantees 0 <= u < RangeCount(lo, hi) for the hi it
+// has in mind; Select only needs the lower bound.
+func (m *KeyMultiset) Select(lo join.Key, u int64) join.Key {
+	i := sort.Search(len(m.keys), func(i int) bool { return m.keys[i] >= lo })
+	target := m.prefix[i] + u
+	// First j with prefix[j+1] > target.
+	j := sort.Search(len(m.keys), func(j int) bool { return m.prefix[j+1] > target })
+	return m.keys[j]
+}
+
+// D2 returns the joinable-set size of the R1 key k under condition c.
+func (m *KeyMultiset) D2(c join.Condition, k join.Key) int64 {
+	lo, hi := c.JoinableRange(k)
+	return m.RangeCount(lo, hi)
+}

@@ -1,0 +1,94 @@
+package sample
+
+import (
+	"container/heap"
+	"math"
+
+	"ewh/internal/join"
+	"ewh/internal/stats"
+)
+
+// WeightedItem is a key with its sampling weight and the Efraimidis-Spirakis
+// priority assigned when it entered a reservoir.
+type WeightedItem struct {
+	Key      join.Key
+	Weight   float64
+	priority float64
+}
+
+// Reservoir is a one-pass weighted sampler without replacement of fixed
+// capacity, following Efraimidis & Spirakis [24]: each item gets priority
+// u^(1/w) with u ~ U(0,1), and the k items with the largest priorities form
+// the sample. Reservoirs built on different shards merge losslessly, which
+// is what makes the parallel Stream-Sample's step 2 possible (§IV-A).
+//
+// Reservoir is not safe for concurrent use; use one per goroutine and Merge.
+type Reservoir struct {
+	capacity int
+	items    prioHeap // min-heap on priority: root is the eviction candidate
+	rng      *stats.RNG
+}
+
+// NewReservoir returns a weighted reservoir holding at most capacity items.
+// It panics if capacity <= 0.
+func NewReservoir(capacity int, rng *stats.RNG) *Reservoir {
+	if capacity <= 0 {
+		panic("sample: NewReservoir capacity <= 0")
+	}
+	return &Reservoir{capacity: capacity, rng: rng}
+}
+
+// Add offers a key with the given weight. Items with weight <= 0 are never
+// sampled (they correspond to tuples with empty joinable sets, which cannot
+// contribute output).
+func (r *Reservoir) Add(key join.Key, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	p := math.Pow(r.rng.Float64Open(), 1/weight)
+	r.offer(WeightedItem{Key: key, Weight: weight, priority: p})
+}
+
+func (r *Reservoir) offer(it WeightedItem) {
+	if r.items.Len() < r.capacity {
+		heap.Push(&r.items, it)
+		return
+	}
+	if it.priority > r.items[0].priority {
+		r.items[0] = it
+		heap.Fix(&r.items, 0)
+	}
+}
+
+// Merge folds other's items into r, preserving the without-replacement
+// semantics: priorities assigned at Add time travel with the items, so the
+// merged reservoir holds the global top-capacity priorities.
+func (r *Reservoir) Merge(other *Reservoir) {
+	for _, it := range other.items {
+		r.offer(it)
+	}
+}
+
+// Len returns the number of items currently held.
+func (r *Reservoir) Len() int { return r.items.Len() }
+
+// Items returns the sampled items in unspecified order.
+func (r *Reservoir) Items() []WeightedItem {
+	out := make([]WeightedItem, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+type prioHeap []WeightedItem
+
+func (h prioHeap) Len() int            { return len(h) }
+func (h prioHeap) Less(i, j int) bool  { return h[i].priority < h[j].priority }
+func (h prioHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap) Push(x interface{}) { *h = append(*h, x.(WeightedItem)) }
+func (h *prioHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,427 @@
+package sample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ewh/internal/join"
+	"ewh/internal/stats"
+)
+
+func seqKeys(n int) []join.Key {
+	out := make([]join.Key, n)
+	for i := range out {
+		out[i] = join.Key(i)
+	}
+	return out
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := stats.NewRNG(1)
+	keys := seqKeys(100000)
+	s := Bernoulli(keys, 0.1, r)
+	if len(s) < 9000 || len(s) > 11000 {
+		t.Fatalf("rate 0.1 sample size %d, want ~10000", len(s))
+	}
+	if Bernoulli(keys, 0, r) != nil {
+		t.Error("rate 0 should return nil")
+	}
+	if got := Bernoulli(keys, 1.5, r); len(got) != len(keys) {
+		t.Error("rate >= 1 should return everything")
+	}
+}
+
+func TestFixedSize(t *testing.T) {
+	r := stats.NewRNG(2)
+	keys := seqKeys(1000)
+	s := FixedSize(keys, 100, r)
+	if len(s) != 100 {
+		t.Fatalf("got %d keys, want 100", len(s))
+	}
+	seen := map[join.Key]int{}
+	for _, k := range s {
+		seen[k]++
+		if seen[k] > 1 {
+			t.Fatal("without-replacement sample repeated a position-unique key")
+		}
+	}
+	if got := FixedSize(keys, 2000, r); len(got) != 1000 {
+		t.Error("oversized request should return all keys")
+	}
+	if FixedSize(keys, 0, r) != nil {
+		t.Error("size 0 should return nil")
+	}
+}
+
+func TestFixedSizeUniformity(t *testing.T) {
+	// Each key should appear with probability size/n.
+	r := stats.NewRNG(3)
+	counts := make([]int, 20)
+	const trials = 20000
+	keys := seqKeys(20)
+	for i := 0; i < trials; i++ {
+		for _, k := range FixedSize(keys, 5, r) {
+			counts[k]++
+		}
+	}
+	want := trials * 5 / 20
+	for k, c := range counts {
+		if math.Abs(float64(c-want)) > float64(want)/5 {
+			t.Errorf("key %d sampled %d times, want ~%d", k, c, want)
+		}
+	}
+}
+
+func TestReservoirBasics(t *testing.T) {
+	r := stats.NewRNG(4)
+	res := NewReservoir(5, r)
+	for i := 0; i < 100; i++ {
+		res.Add(join.Key(i), 1)
+	}
+	if res.Len() != 5 {
+		t.Fatalf("reservoir holds %d, want 5", res.Len())
+	}
+	res.Add(999, 0) // zero weight must be ignored
+	for _, it := range res.Items() {
+		if it.Key == 999 {
+			t.Fatal("zero-weight item sampled")
+		}
+	}
+}
+
+func TestReservoirPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReservoir(0, stats.NewRNG(1))
+}
+
+func TestReservoirWeightBias(t *testing.T) {
+	// Key 0 has weight 10, keys 1..10 weight 1; P(0 in sample of 1) ≈ 10/20.
+	r := stats.NewRNG(5)
+	hits := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		res := NewReservoir(1, r)
+		res.Add(0, 10)
+		for k := 1; k <= 10; k++ {
+			res.Add(join.Key(k), 1)
+		}
+		if res.Items()[0].Key == 0 {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if p < 0.42 || p > 0.58 {
+		t.Fatalf("heavy key sampled with p=%v, want ~0.5", p)
+	}
+}
+
+func TestReservoirMergeEquivalence(t *testing.T) {
+	// Merging shard reservoirs must keep exactly the global top-k priorities.
+	r := stats.NewRNG(6)
+	whole := NewReservoir(8, r)
+	a := NewReservoir(8, stats.NewRNG(100))
+	b := NewReservoir(8, stats.NewRNG(200))
+	_ = whole
+	for i := 0; i < 50; i++ {
+		a.Add(join.Key(i), float64(i+1))
+	}
+	for i := 50; i < 100; i++ {
+		b.Add(join.Key(i), float64(i+1))
+	}
+	// Collect all items, find the true top-8 by priority.
+	all := append(a.Items(), b.Items()...)
+	a.Merge(b)
+	if a.Len() != 8 {
+		t.Fatalf("merged reservoir holds %d, want 8", a.Len())
+	}
+	merged := a.Items()
+	// Every merged item's priority must be >= every dropped item's priority.
+	minMerged := math.Inf(1)
+	for _, it := range merged {
+		if it.priority < minMerged {
+			minMerged = it.priority
+		}
+	}
+	inMerged := map[join.Key]bool{}
+	for _, it := range merged {
+		inMerged[it.Key] = true
+	}
+	for _, it := range all {
+		if !inMerged[it.Key] && it.priority > minMerged {
+			t.Fatalf("dropped item with priority %v > min merged %v", it.priority, minMerged)
+		}
+	}
+}
+
+func TestMultisetCounts(t *testing.T) {
+	m := BuildMultiset([]join.Key{5, 3, 5, 1, 5, 3})
+	if m.Total() != 6 {
+		t.Fatalf("total %d, want 6", m.Total())
+	}
+	if m.Distinct() != 3 {
+		t.Fatalf("distinct %d, want 3", m.Distinct())
+	}
+	cases := []struct {
+		lo, hi join.Key
+		want   int64
+	}{
+		{1, 5, 6}, {3, 5, 5}, {4, 10, 3}, {6, 10, 0}, {5, 1, 0}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := m.RangeCount(c.lo, c.hi); got != c.want {
+			t.Errorf("RangeCount(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestMultisetSelect(t *testing.T) {
+	m := BuildMultiset([]join.Key{1, 3, 3, 7})
+	wants := []join.Key{1, 3, 3, 7}
+	for u, want := range wants {
+		if got := m.Select(1, int64(u)); got != want {
+			t.Errorf("Select(1,%d) = %d, want %d", u, got, want)
+		}
+	}
+	if got := m.Select(3, 2); got != 7 {
+		t.Errorf("Select(3,2) = %d, want 7", got)
+	}
+}
+
+func TestMultisetD2MatchesBruteForce(t *testing.T) {
+	r := stats.NewRNG(7)
+	keys := make([]join.Key, 500)
+	for i := range keys {
+		keys[i] = r.Int64n(100)
+	}
+	m := BuildMultiset(keys)
+	cond := join.NewBand(3)
+	f := func(k8 int8) bool {
+		k := join.Key(k8)
+		var brute int64
+		for _, k2 := range keys {
+			if cond.Matches(k, k2) {
+				brute++
+			}
+		}
+		return m.D2(cond, k) == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// exactOutputSize is the nested-loop ground truth.
+func exactOutputSize(r1, r2 []join.Key, cond join.Condition) int64 {
+	var m int64
+	for _, a := range r1 {
+		for _, b := range r2 {
+			if cond.Matches(a, b) {
+				m++
+			}
+		}
+	}
+	return m
+}
+
+func TestStreamSampleExactM(t *testing.T) {
+	r := stats.NewRNG(8)
+	r1 := make([]join.Key, 300)
+	r2 := make([]join.Key, 400)
+	for i := range r1 {
+		r1[i] = r.Int64n(200)
+	}
+	for i := range r2 {
+		r2[i] = r.Int64n(200)
+	}
+	for _, cond := range []join.Condition{join.NewBand(2), join.Equi{}, join.Inequality{Op: join.LessEq}} {
+		s := StreamSample(r1, r2, cond, 100, 4, stats.NewRNG(9))
+		want := exactOutputSize(r1, r2, cond)
+		if s.M != want {
+			t.Errorf("%v: M = %d, want %d", cond, s.M, want)
+		}
+		if want > 0 && len(s.Pairs) != 100 {
+			t.Errorf("%v: %d pairs, want 100", cond, len(s.Pairs))
+		}
+		for _, p := range s.Pairs {
+			if !cond.Matches(p[0], p[1]) {
+				t.Errorf("%v: sampled non-matching pair %v", cond, p)
+			}
+		}
+	}
+}
+
+func TestStreamSampleEmptyCases(t *testing.T) {
+	r := stats.NewRNG(10)
+	if s := StreamSample(nil, []join.Key{1}, join.Equi{}, 10, 2, r); s.M != 0 || len(s.Pairs) != 0 {
+		t.Error("empty r1 should give empty sample")
+	}
+	// Disjoint ranges: zero output.
+	s := StreamSample([]join.Key{1, 2}, []join.Key{100, 200}, join.NewBand(1), 10, 2, r)
+	if s.M != 0 || len(s.Pairs) != 0 {
+		t.Errorf("disjoint join gave M=%d pairs=%d", s.M, len(s.Pairs))
+	}
+	// so = 0: M still computed.
+	s = StreamSample([]join.Key{1, 2}, []join.Key{1, 2}, join.Equi{}, 0, 2, r)
+	if s.M != 2 || len(s.Pairs) != 0 {
+		t.Errorf("so=0 gave M=%d pairs=%d", s.M, len(s.Pairs))
+	}
+}
+
+func TestStreamSampleUniformity(t *testing.T) {
+	// Join with known output: R1 = {0 (x1), 10 (x3)}, R2 = {0 (x2), 10 (x1)},
+	// equi-join output = 1*2 + 3*1 = 5 tuples. Pair (0,0) holds 2/5 of the
+	// output; over many samples its frequency must approach 2/5.
+	r1 := []join.Key{0, 10, 10, 10}
+	r2 := []join.Key{0, 0, 10}
+	rng := stats.NewRNG(11)
+	var zeroZero, total int
+	for trial := 0; trial < 300; trial++ {
+		s := StreamSample(r1, r2, join.Equi{}, 50, 3, rng)
+		for _, p := range s.Pairs {
+			total++
+			if p[0] == 0 && p[1] == 0 {
+				zeroZero++
+			}
+		}
+	}
+	got := float64(zeroZero) / float64(total)
+	if math.Abs(got-0.4) > 0.05 {
+		t.Fatalf("pair (0,0) frequency %v, want ~0.4", got)
+	}
+}
+
+func TestStreamSampleParallelConsistency(t *testing.T) {
+	// M must not depend on the worker count.
+	r := stats.NewRNG(12)
+	r1 := make([]join.Key, 1000)
+	r2 := make([]join.Key, 1000)
+	for i := range r1 {
+		r1[i] = r.Int64n(500)
+		r2[i] = r.Int64n(500)
+	}
+	cond := join.NewBand(4)
+	var first int64 = -1
+	for _, workers := range []int{1, 2, 7, 16} {
+		s := StreamSample(r1, r2, cond, 64, workers, stats.NewRNG(13))
+		if first < 0 {
+			first = s.M
+		} else if s.M != first {
+			t.Fatalf("workers=%d gave M=%d, earlier %d", workers, s.M, first)
+		}
+		if len(s.Pairs) != 64 {
+			t.Fatalf("workers=%d gave %d pairs", workers, len(s.Pairs))
+		}
+	}
+}
+
+func TestOutputSize(t *testing.T) {
+	r := stats.NewRNG(14)
+	r1 := make([]join.Key, 200)
+	r2 := make([]join.Key, 300)
+	for i := range r1 {
+		r1[i] = r.Int64n(100)
+	}
+	for i := range r2 {
+		r2[i] = r.Int64n(100)
+	}
+	cond := join.NewBand(1)
+	if got, want := OutputSize(r1, r2, cond, 4), exactOutputSize(r1, r2, cond); got != want {
+		t.Fatalf("OutputSize = %d, want %d", got, want)
+	}
+	if OutputSize(nil, r2, cond, 4) != 0 {
+		t.Error("empty r1 should give 0")
+	}
+}
+
+func BenchmarkStreamSample(b *testing.B) {
+	r := stats.NewRNG(15)
+	r1 := make([]join.Key, 100000)
+	r2 := make([]join.Key, 100000)
+	for i := range r1 {
+		r1[i] = r.Int64n(50000)
+		r2[i] = r.Int64n(50000)
+	}
+	cond := join.NewBand(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StreamSample(r1, r2, cond, 1000, 8, stats.NewRNG(uint64(i)))
+	}
+}
+
+func TestStreamSampleReservoirExactM(t *testing.T) {
+	r := stats.NewRNG(20)
+	r1 := make([]join.Key, 400)
+	r2 := make([]join.Key, 400)
+	for i := range r1 {
+		r1[i] = r.Int64n(200)
+		r2[i] = r.Int64n(200)
+	}
+	cond := join.NewBand(2)
+	s := StreamSampleReservoir(r1, r2, cond, 80, 4, stats.NewRNG(21))
+	if want := exactOutputSize(r1, r2, cond); s.M != want {
+		t.Fatalf("reservoir variant M = %d, want %d", s.M, want)
+	}
+	if len(s.Pairs) != 80 {
+		t.Fatalf("%d pairs, want 80", len(s.Pairs))
+	}
+	for _, p := range s.Pairs {
+		if !cond.Matches(p[0], p[1]) {
+			t.Fatalf("non-matching pair %v", p)
+		}
+	}
+}
+
+func TestStreamSampleReservoirEmpty(t *testing.T) {
+	r := stats.NewRNG(22)
+	if s := StreamSampleReservoir(nil, []join.Key{1}, join.Equi{}, 5, 2, r); s.M != 0 {
+		t.Error("empty r1 gave M != 0")
+	}
+	s := StreamSampleReservoir([]join.Key{1}, []join.Key{100}, join.NewBand(1), 5, 2, r)
+	if s.M != 0 || len(s.Pairs) != 0 {
+		t.Error("disjoint join gave pairs")
+	}
+}
+
+func TestStreamSampleVariantsAgreeInDistribution(t *testing.T) {
+	// Both estimators must put roughly the same mass on a heavy region of
+	// the output space.
+	r := stats.NewRNG(23)
+	var r1, r2 []join.Key
+	// 30% of tuples in a dense head [0,20), rest spread over [1000, 5000).
+	for i := 0; i < 600; i++ {
+		if i%10 < 3 {
+			r1 = append(r1, r.Int64n(20))
+			r2 = append(r2, r.Int64n(20))
+		} else {
+			r1 = append(r1, 1000+r.Int64n(4000))
+			r2 = append(r2, 1000+r.Int64n(4000))
+		}
+	}
+	cond := join.NewBand(3)
+	headShare := func(pairs [][2]join.Key) float64 {
+		head := 0
+		for _, p := range pairs {
+			if p[0] < 20 {
+				head++
+			}
+		}
+		return float64(head) / float64(len(pairs))
+	}
+	var exactShare, resShare float64
+	const trials = 30
+	for i := uint64(0); i < trials; i++ {
+		exactShare += headShare(StreamSample(r1, r2, cond, 300, 4, stats.NewRNG(100+i)).Pairs)
+		resShare += headShare(StreamSampleReservoir(r1, r2, cond, 300, 4, stats.NewRNG(200+i)).Pairs)
+	}
+	exactShare /= trials
+	resShare /= trials
+	if diff := exactShare - resShare; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("estimators disagree: exact head share %.3f vs reservoir %.3f", exactShare, resShare)
+	}
+}

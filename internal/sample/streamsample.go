@@ -1,0 +1,180 @@
+package sample
+
+import (
+	"sort"
+	"sync"
+
+	"ewh/internal/join"
+	"ewh/internal/stats"
+)
+
+// OutputSample is a uniform random sample of the join output, with
+// replacement, plus the exact output size m computed as a by-product
+// (m = Σ_{t1∈R1} d2(t1.A), §IV-A "Parameters").
+type OutputSample struct {
+	// Pairs holds the join-key pairs (R1 key, R2 key) of the sampled output
+	// tuples. Output samples carry only join keys (§IV-A item 2).
+	Pairs [][2]join.Key
+	// M is the exact join output size.
+	M int64
+}
+
+// StreamSample draws a uniform random sample of size so (with replacement)
+// from the output of r1 ⋈_cond r2 without executing the join, extending
+// Chaudhuri et al.'s Stream-Sample [8] from equi-joins to monotonic joins
+// and parallelizing it over the given number of workers:
+//
+//  1. Build d2equi (sorted R2 key multiplicities) — one scan of R2.
+//  2. Shard R1; per shard, sum d2(t1.A) = |joinable set of t1| to obtain the
+//     exact output size M and per-shard weight offsets.
+//  3. Draw so positions uniformly in [0, M); each shard materializes the
+//     positions landing in its weight span (weighted WR sampling of R1,
+//     exact, one more scan).
+//  4. For each sampled t1, draw a partner R2 key uniformly from its joinable
+//     multiset via d2equi prefix sums.
+//
+// The result is an exact uniform WR sample of the output (each output tuple
+// equi-probable), which joining uniform input samples cannot provide [8].
+func StreamSample(r1, r2 []join.Key, cond join.Condition, so, workers int, rng *stats.RNG) *OutputSample {
+	if workers < 1 {
+		workers = 1
+	}
+	m2 := BuildMultiset(r2)
+	return streamSampleWithMultiset(r1, m2, cond, so, workers, rng)
+}
+
+func streamSampleWithMultiset(r1 []join.Key, m2 *KeyMultiset, cond join.Condition, so, workers int, rng *stats.RNG) *OutputSample {
+	n := len(r1)
+	if workers > n && n > 0 {
+		workers = n
+	}
+	if n == 0 {
+		return &OutputSample{}
+	}
+
+	// Step 2: per-shard total weights.
+	shardW := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := shardBounds(n, workers, w)
+			var sum int64
+			for _, k := range r1[lo:hi] {
+				sum += m2.D2(cond, k)
+			}
+			shardW[w] = sum
+		}(w)
+	}
+	wg.Wait()
+
+	offsets := make([]int64, workers+1)
+	for w := 0; w < workers; w++ {
+		offsets[w+1] = offsets[w] + shardW[w]
+	}
+	m := offsets[workers]
+	out := &OutputSample{M: m}
+	if m == 0 || so <= 0 {
+		return out
+	}
+
+	// Step 3: sorted uniform positions in [0, m), dispatched to shards.
+	positions := make([]int64, so)
+	for i := range positions {
+		positions[i] = rng.Int64n(m)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+
+	pairShards := make([][][2]join.Key, workers)
+	rngs := make([]*stats.RNG, workers)
+	for w := 0; w < workers; w++ {
+		rngs[w] = rng.Split()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := shardBounds(n, workers, w)
+			// Positions addressed to this shard.
+			pLo := sort.Search(so, func(i int) bool { return positions[i] >= offsets[w] })
+			pHi := sort.Search(so, func(i int) bool { return positions[i] >= offsets[w+1] })
+			if pLo == pHi {
+				return
+			}
+			local := positions[pLo:pHi]
+			pairs := make([][2]join.Key, 0, len(local))
+			cum := offsets[w]
+			pi := 0
+			for _, k := range r1[lo:hi] {
+				d2 := m2.D2(cond, k)
+				if d2 == 0 {
+					continue
+				}
+				next := cum + d2
+				for pi < len(local) && local[pi] < next {
+					// Step 4: uniform partner from the joinable multiset.
+					jLo, _ := cond.JoinableRange(k)
+					u := rngs[w].Int64n(d2)
+					pairs = append(pairs, [2]join.Key{k, m2.Select(jLo, u)})
+					pi++
+				}
+				cum = next
+				if pi == len(local) {
+					break
+				}
+			}
+			pairShards[w] = pairs
+		}(w)
+	}
+	wg.Wait()
+
+	for _, p := range pairShards {
+		out.Pairs = append(out.Pairs, p...)
+	}
+	return out
+}
+
+// OutputSize computes only m = Σ d2(t1.A), the exact join output size, in
+// parallel. It is what the planner uses when it needs m without a sample.
+func OutputSize(r1, r2 []join.Key, cond join.Condition, workers int) int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	m2 := BuildMultiset(r2)
+	n := len(r1)
+	if n == 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	sums := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := shardBounds(n, workers, w)
+			var sum int64
+			for _, k := range r1[lo:hi] {
+				sum += m2.D2(cond, k)
+			}
+			sums[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	var m int64
+	for _, s := range sums {
+		m += s
+	}
+	return m
+}
+
+// shardBounds splits [0, n) into `workers` near-equal contiguous shards and
+// returns the w-th shard's bounds.
+func shardBounds(n, workers, w int) (lo, hi int) {
+	lo = n * w / workers
+	hi = n * (w + 1) / workers
+	return lo, hi
+}

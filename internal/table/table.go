@@ -1,0 +1,151 @@
+// Package table is a minimal columnar in-memory relation: int64 columns,
+// materializing selections and key projections. It exists because the
+// paper's joins are not over base relations (§IV-B): BEOCD applies
+// order-priority and totalprice predicates before the join, and §IV-A's
+// "Synergy" note materializes the filtered relation during the statistics
+// scan so the join scans only surviving tuples. The workload generators
+// build Tables and the harness filters them exactly as Appendix B's SQL
+// does.
+package table
+
+import (
+	"fmt"
+
+	"ewh/internal/join"
+)
+
+// Table is a named collection of equal-length int64 columns.
+type Table struct {
+	name string
+	cols map[string][]int64
+	n    int
+}
+
+// New returns an empty table.
+func New(name string) *Table {
+	return &Table{name: name, cols: make(map[string][]int64)}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.n }
+
+// AddColumn installs a column; all columns must have equal length.
+func (t *Table) AddColumn(name string, values []int64) error {
+	if len(t.cols) > 0 && len(values) != t.n {
+		return fmt.Errorf("table %s: column %s has %d rows, table has %d",
+			t.name, name, len(values), t.n)
+	}
+	if _, dup := t.cols[name]; dup {
+		return fmt.Errorf("table %s: duplicate column %s", t.name, name)
+	}
+	t.cols[name] = values
+	t.n = len(values)
+	return nil
+}
+
+// Column returns a column by name; callers must not mutate it.
+func (t *Table) Column(name string) ([]int64, error) {
+	c, ok := t.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("table %s: no column %s", t.name, name)
+	}
+	return c, nil
+}
+
+// MustColumn is Column for statically known names.
+func (t *Table) MustColumn(name string) []int64 {
+	c, err := t.Column(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Pred is a row predicate over named columns.
+type Pred func(get func(col string) int64) bool
+
+// Filter materializes the rows satisfying pred into a new table — the
+// "materialize the filtered relation in the statistics scan" optimization.
+func (t *Table) Filter(pred Pred) *Table {
+	keep := make([]int, 0, t.n)
+	names := make([]string, 0, len(t.cols))
+	for name := range t.cols {
+		names = append(names, name)
+	}
+	row := 0
+	get := func(col string) int64 { return t.cols[col][row] }
+	for row = 0; row < t.n; row++ {
+		if pred(get) {
+			keep = append(keep, row)
+		}
+	}
+	out := New(t.name + "_filtered")
+	for _, name := range names {
+		src := t.cols[name]
+		dst := make([]int64, len(keep))
+		for i, r := range keep {
+			dst[i] = src[r]
+		}
+		// AddColumn cannot fail: all columns share len(keep).
+		_ = out.AddColumn(name, dst)
+	}
+	out.n = len(keep)
+	return out
+}
+
+// Keys projects a column as join keys.
+func (t *Table) Keys(col string) ([]join.Key, error) {
+	c, err := t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]join.Key, len(c))
+	copy(out, c)
+	return out, nil
+}
+
+// EncodeKeys projects a composite join key spec.Encode(primaryCol,
+// secondaryCol) per row — the encoding step for equality+band joins.
+func (t *Table) EncodeKeys(spec join.CompositeSpec, primaryCol, secondaryCol string) ([]join.Key, error) {
+	p, err := t.Column(primaryCol)
+	if err != nil {
+		return nil, err
+	}
+	s, err := t.Column(secondaryCol)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]join.Key, t.n)
+	for i := range out {
+		out[i] = spec.Encode(p[i], s[i])
+	}
+	return out, nil
+}
+
+// Between returns a predicate lo <= col <= hi.
+func Between(col string, lo, hi int64) Pred {
+	return func(get func(string) int64) bool {
+		v := get(col)
+		return lo <= v && v <= hi
+	}
+}
+
+// Eq returns a predicate col == v.
+func Eq(col string, v int64) Pred {
+	return func(get func(string) int64) bool { return get(col) == v }
+}
+
+// And conjoins predicates.
+func And(preds ...Pred) Pred {
+	return func(get func(string) int64) bool {
+		for _, p := range preds {
+			if !p(get) {
+				return false
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,116 @@
+package table
+
+import (
+	"testing"
+
+	"ewh/internal/join"
+)
+
+func buildTable(t *testing.T) *Table {
+	t.Helper()
+	tb := New("test")
+	if err := tb.AddColumn("a", []int64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddColumn("b", []int64{10, 20, 30, 40, 50}); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestAddColumnErrors(t *testing.T) {
+	tb := buildTable(t)
+	if err := tb.AddColumn("c", []int64{1}); err == nil {
+		t.Error("mismatched length accepted")
+	}
+	if err := tb.AddColumn("a", []int64{1, 2, 3, 4, 5}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if tb.NumRows() != 5 || tb.Name() != "test" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestColumnAccess(t *testing.T) {
+	tb := buildTable(t)
+	if _, err := tb.Column("nope"); err == nil {
+		t.Error("missing column accepted")
+	}
+	if got := tb.MustColumn("a"); got[2] != 3 {
+		t.Error("column values wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustColumn on missing column did not panic")
+		}
+	}()
+	tb.MustColumn("nope")
+}
+
+func TestFilter(t *testing.T) {
+	tb := buildTable(t)
+	f := tb.Filter(Between("a", 2, 4))
+	if f.NumRows() != 3 {
+		t.Fatalf("filtered rows %d, want 3", f.NumRows())
+	}
+	// Row alignment preserved across columns.
+	a := f.MustColumn("a")
+	b := f.MustColumn("b")
+	for i := range a {
+		if b[i] != a[i]*10 {
+			t.Fatalf("row %d misaligned: a=%d b=%d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPredCombinators(t *testing.T) {
+	tb := buildTable(t)
+	f := tb.Filter(And(Eq("a", 3), Between("b", 0, 100)))
+	if f.NumRows() != 1 || f.MustColumn("b")[0] != 30 {
+		t.Fatalf("And/Eq filter wrong: %d rows", f.NumRows())
+	}
+	if tb.Filter(And(Eq("a", 3), Eq("b", 10))).NumRows() != 0 {
+		t.Error("contradictory filter kept rows")
+	}
+}
+
+func TestKeysProjection(t *testing.T) {
+	tb := buildTable(t)
+	keys, err := tb.Keys("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 5 || keys[4] != 50 {
+		t.Fatal("projection wrong")
+	}
+	if _, err := tb.Keys("nope"); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestEncodeKeys(t *testing.T) {
+	tb := New("enc")
+	if err := tb.AddColumn("p", []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddColumn("s", []int64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	spec := join.CompositeSpec{SecondaryMax: 7, Beta: 2}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := tb.EncodeKeys(spec, "p", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, s := spec.Decode(keys[1]); p != 2 || s != 4 {
+		t.Fatalf("encoded key decodes to (%d,%d)", p, s)
+	}
+	if _, err := tb.EncodeKeys(spec, "nope", "s"); err == nil {
+		t.Error("missing primary accepted")
+	}
+	if _, err := tb.EncodeKeys(spec, "p", "nope"); err == nil {
+		t.Error("missing secondary accepted")
+	}
+}

@@ -1,0 +1,440 @@
+// Package tiling implements the rectangle-tiling algorithms of §III:
+// the coarsening stage (grid tiling over the sample matrix, [16]-style
+// iterative 1D refinement with binary search, with the MonotonicCoarsening
+// candidate-skip speedup) and the regionalization stage (BSP [10] and the
+// paper's novel MonotonicBSP, plus the binary search over the maximum region
+// weight δ that turns the dual problem into a J-region partitioning).
+package tiling
+
+import (
+	"math/bits"
+	"sort"
+
+	"ewh/internal/cost"
+	"ewh/internal/matrix"
+)
+
+// CoarsenOptions control the grid search.
+type CoarsenOptions struct {
+	// MaxIters bounds the row/column alternation rounds (default 3).
+	MaxIters int
+	// Probes bounds the binary-search iterations per 1D optimization
+	// (default 40).
+	Probes int
+}
+
+func (o *CoarsenOptions) defaults() {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 3
+	}
+	if o.Probes <= 0 {
+		o.Probes = 40
+	}
+}
+
+// CoarsenGrid chooses row and column cuts imposing an at-most nc×nc grid over
+// the sample matrix, minimizing the maximum grid-cell weight (§III-B). The
+// optimizer alternates 1D optimizations — given fixed column bands, choose
+// row cuts by binary search over the cell-weight threshold with a greedy
+// feasibility sweep — the classic recipe for MAX-WEIGHT-ID grid tiling [16].
+// Monotonicity is exploited throughout: a sweep's weight updates touch only
+// the bands intersecting each line's candidate span (MonotonicCoarsening).
+//
+// The returned cut vectors have at most nc+1 entries each and always start
+// at 0 and end at sm.Rows / sm.Cols.
+func CoarsenGrid(sm *matrix.Sample, nc int, model cost.Model, opts CoarsenOptions) (rowCuts, colCuts []int) {
+	opts.defaults()
+	if nc < 1 {
+		nc = 1
+	}
+	rowCuts = evenCuts(sm.Rows, nc)
+	colCuts = evenCuts(sm.Cols, nc)
+	if sm.Rows <= nc && sm.Cols <= nc {
+		return rowCuts, colCuts
+	}
+
+	best := gridMaxCellWeight(sm, rowCuts, colCuts, model)
+	bestRows, bestCols := rowCuts, colCuts
+	for it := 0; it < opts.MaxIters; it++ {
+		rowCuts = optimizeDim(sm, colCuts, nc, model, opts.Probes, false)
+		colCuts = optimizeDim(sm, rowCuts, nc, model, opts.Probes, true)
+		cur := gridMaxCellWeight(sm, rowCuts, colCuts, model)
+		if cur < best {
+			best, bestRows, bestCols = cur, rowCuts, colCuts
+		}
+		if cur >= best*0.999 {
+			break
+		}
+	}
+	return bestRows, bestCols
+}
+
+// evenCuts splits [0, n) into at most k near-equal bands.
+func evenCuts(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	cuts := make([]int, 0, k+1)
+	for i := 0; i <= k; i++ {
+		c := n * i / k
+		if len(cuts) == 0 || c > cuts[len(cuts)-1] {
+			cuts = append(cuts, c)
+		}
+	}
+	return cuts
+}
+
+// gridMaxCellWeight evaluates a full grid configuration.
+func gridMaxCellWeight(sm *matrix.Sample, rowCuts, colCuts []int, model cost.Model) float64 {
+	d := matrix.Coarsen(sm, rowCuts, colCuts)
+	max := 0.0
+	for i := 0; i < d.Rows; i++ {
+		for j := 0; j < d.Cols; j++ {
+			if !d.Candidate(i, j) {
+				continue // non-candidate cells weigh 0 (§III-B)
+			}
+			if w := d.Weight(model, matrix.Rect{R0: i, C0: j, R1: i, C1: j}); w > max {
+				max = w
+			}
+		}
+	}
+	return max
+}
+
+// optimizeDim chooses cuts along one dimension given fixed bands on the
+// other: binary search the smallest threshold T for which the greedy sweep
+// needs at most nc bands, then return that sweep's cuts.
+func optimizeDim(sm *matrix.Sample, otherCuts []int, nc int, model cost.Model, probes int, transpose bool) []int {
+	sw := newSweeper(sm, otherCuts, transpose)
+	lo, hi := 0.0, sm.TotalWeight(model)+1
+	for p := 0; p < probes && hi-lo > 1e-9*(hi+1); p++ {
+		mid := (lo + hi) / 2
+		if cuts := sw.sweep(model, mid, nc); cuts != nil {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	cuts := sw.sweep(model, hi, nc)
+	if cuts == nil {
+		cuts = []int{0, sw.n} // defensive: one band always fits below TotalWeight+1
+	}
+	return refineCuts(cuts, nc)
+}
+
+// refineCuts splits the longest bands at their midpoints until all nc bands
+// are used. Subdividing a band can only shrink grid cells, so the sweep's
+// max-cell-weight guarantee is preserved while the regionalization gains
+// granularity (its regions are unions of grid cells).
+func refineCuts(cuts []int, nc int) []int {
+	n := cuts[len(cuts)-1]
+	for len(cuts)-1 < nc && len(cuts)-1 < n {
+		longest, width := -1, 1
+		for i := 1; i < len(cuts); i++ {
+			if w := cuts[i] - cuts[i-1]; w > width {
+				longest, width = i, w
+			}
+		}
+		if longest < 0 {
+			break // all bands are single lines
+		}
+		mid := cuts[longest-1] + width/2
+		cuts = append(cuts, 0)
+		copy(cuts[longest+1:], cuts[longest:])
+		cuts[longest] = mid
+	}
+	return cuts
+}
+
+// sweeper runs greedy 1D feasibility checks over swept lines (MS rows, or MS
+// columns when transposed), accumulating output per fixed band and closing a
+// band whenever the next line would push some grid cell over the threshold.
+type sweeper struct {
+	sm        *matrix.Sample
+	transpose bool
+	n         int       // number of swept lines
+	other     []int     // fixed-dimension cuts
+	otherIn   []float64 // input tuples per fixed band
+	lineUnit  float64   // input tuples per swept line
+	rangeMax  [][]float64
+
+	// per-sweep state and scratch
+	acc          []float64
+	touched      []int
+	contrib      []float64
+	contribBands []int
+
+	// transposed views (built lazily when transpose is set)
+	colHitRows [][]int32
+	colHitCnt  [][]int32
+}
+
+func newSweeper(sm *matrix.Sample, otherCuts []int, transpose bool) *sweeper {
+	s := &sweeper{sm: sm, transpose: transpose, other: otherCuts}
+	nb := len(otherCuts) - 1
+	s.otherIn = make([]float64, nb)
+	var otherUnit float64
+	if transpose {
+		s.n = sm.Cols
+		s.lineUnit = sm.ColUnit
+		otherUnit = sm.RowUnit
+	} else {
+		s.n = sm.Rows
+		s.lineUnit = sm.RowUnit
+		otherUnit = sm.ColUnit
+	}
+	for b := 0; b < nb; b++ {
+		s.otherIn[b] = float64(otherCuts[b+1]-otherCuts[b]) * otherUnit
+	}
+	s.acc = make([]float64, nb)
+	s.contrib = make([]float64, nb)
+	s.rangeMax = buildRangeMax(s.otherIn)
+	if transpose {
+		s.colHitRows = make([][]int32, sm.Cols)
+		s.colHitCnt = make([][]int32, sm.Cols)
+		for r := 0; r < sm.Rows; r++ {
+			cols, cnt := sm.RowHits(r)
+			for k, c := range cols {
+				s.colHitRows[c] = append(s.colHitRows[c], int32(r))
+				s.colHitCnt[c] = append(s.colHitCnt[c], cnt[k])
+			}
+		}
+	}
+	return s
+}
+
+// buildRangeMax precomputes a sparse table for O(1) range-maximum queries.
+func buildRangeMax(v []float64) [][]float64 {
+	n := len(v)
+	if n == 0 {
+		return nil
+	}
+	levels := bits.Len(uint(n))
+	t := make([][]float64, levels)
+	t[0] = v
+	for l := 1; l < levels; l++ {
+		span := 1 << l
+		t[l] = make([]float64, n-span+1)
+		for i := 0; i+span <= n; i++ {
+			a, b := t[l-1][i], t[l-1][i+span/2]
+			if b > a {
+				a = b
+			}
+			t[l][i] = a
+		}
+	}
+	return t
+}
+
+// queryRangeMax returns max(v[lo..hi]).
+func (s *sweeper) queryRangeMax(lo, hi int) float64 {
+	if lo > hi {
+		return 0
+	}
+	l := bits.Len(uint(hi-lo+1)) - 1
+	a, b := s.rangeMax[l][lo], s.rangeMax[l][hi-(1<<l)+1]
+	if b > a {
+		a = b
+	}
+	return a
+}
+
+// bandOf maps a fixed-dimension MS index to its band.
+func (s *sweeper) bandOf(c int) int {
+	return sort.SearchInts(s.other[1:], c+1)
+}
+
+// gather fills contrib/contribBands with line i's output per fixed band and
+// returns the line's candidate span in fixed-dimension MS coordinates.
+func (s *sweeper) gather(i int) (spanLo, spanHi int, hasSpan bool) {
+	s.contribBands = s.contribBands[:0]
+	addBand := func(b int, v float64) {
+		if v == 0 {
+			return
+		}
+		if s.contrib[b] == 0 {
+			s.contribBands = append(s.contribBands, b)
+		}
+		s.contrib[b] += v
+	}
+	if !s.transpose {
+		cols, cnt := s.sm.RowHits(i)
+		if s.sm.Scale > 0 {
+			for k, c := range cols {
+				addBand(s.bandOf(int(c)), s.sm.Scale*float64(cnt[k]))
+			}
+		}
+		if s.sm.RowEmpty(i) {
+			return 0, -1, false
+		}
+		spanLo, spanHi = s.sm.CandLo[i], s.sm.CandHi[i]
+	} else {
+		if s.sm.Scale > 0 {
+			for k, r := range s.colHitRows[i] {
+				addBand(s.bandOf(int(r)), s.sm.Scale*float64(s.colHitCnt[i][k]))
+			}
+		}
+		var ok bool
+		spanLo, spanHi, ok = s.colCandRows(i)
+		if !ok {
+			return 0, -1, false
+		}
+	}
+	if s.sm.UnitCand > 0 {
+		b0, b1 := s.bandOf(spanLo), s.bandOf(spanHi)
+		for b := b0; b <= b1; b++ {
+			il := maxI(spanLo, s.other[b])
+			ih := minI(spanHi, s.other[b+1]-1)
+			if il <= ih {
+				addBand(b, s.sm.UnitCand*float64(ih-il+1))
+			}
+		}
+	}
+	return spanLo, spanHi, true
+}
+
+// colCandRows returns the inclusive MS row range whose candidate spans
+// contain column c; by monotonicity it is contiguous.
+func (s *sweeper) colCandRows(c int) (int, int, bool) {
+	sm := s.sm
+	// First row with CandHi >= c (CandHi nondecreasing).
+	r0 := sort.Search(sm.Rows, func(r int) bool { return sm.CandHi[r] >= c })
+	// Last row with CandLo <= c (CandLo nondecreasing).
+	r1 := sort.Search(sm.Rows, func(r int) bool { return sm.CandLo[r] > c }) - 1
+	if r0 > r1 {
+		return 0, -1, false
+	}
+	return r0, r1, true
+}
+
+func (s *sweeper) clearContrib() {
+	for _, b := range s.contribBands {
+		s.contrib[b] = 0
+	}
+}
+
+// sweep greedily forms bands with max candidate-cell weight <= t; it returns
+// the cut vector or nil when more than ncMax bands are needed or a single
+// line already exceeds t.
+func (s *sweeper) sweep(model cost.Model, t float64, ncMax int) []int {
+	for _, b := range s.touched {
+		s.acc[b] = 0
+	}
+	s.touched = s.touched[:0]
+	cuts := []int{0}
+	lines := 0
+	maxFixed := 0.0      // max over touched bands of wi·otherIn + wo·acc
+	curLo, curHi := 1, 0 // band candidate span (fixed coords), empty initially
+
+	commit := func() float64 {
+		m := maxFixed
+		for _, b := range s.contribBands {
+			if s.acc[b] == 0 {
+				s.touched = append(s.touched, b)
+			}
+			s.acc[b] += s.contrib[b]
+			v := model.Wi*s.otherIn[b] + model.Wo*s.acc[b]
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	closeBand := func(at int) {
+		cuts = append(cuts, at)
+		for _, b := range s.touched {
+			s.acc[b] = 0
+		}
+		s.touched = s.touched[:0]
+		lines = 0
+		maxFixed = 0
+		curLo, curHi = 1, 0
+	}
+
+	for i := 0; i < s.n; i++ {
+		spanLo, spanHi, hasSpan := s.gather(i)
+		// Trial weight if line i joins the current band.
+		tryMax := maxFixed
+		for _, b := range s.contribBands {
+			v := model.Wi*s.otherIn[b] + model.Wo*(s.acc[b]+s.contrib[b])
+			if v > tryMax {
+				tryMax = v
+			}
+		}
+		tLo, tHi := curLo, curHi
+		if hasSpan {
+			if tLo > tHi {
+				tLo, tHi = spanLo, spanHi
+			} else {
+				tLo, tHi = minI(tLo, spanLo), maxI(tHi, spanHi)
+			}
+		}
+		if tLo <= tHi {
+			// Candidate cells with no accumulated output still weigh their
+			// input; include the heaviest fixed band in the candidate range.
+			floor := model.Wi * s.queryRangeMax(s.bandOf(tLo), s.bandOf(tHi))
+			if floor > tryMax {
+				tryMax = floor
+			}
+		}
+		cellW := model.Wi*float64(lines+1)*s.lineUnit + tryMax
+		if cellW > t && lines > 0 {
+			closeBand(i)
+			if len(cuts)-1 >= ncMax {
+				s.clearContrib()
+				return nil
+			}
+			// Recompute for a fresh band holding only line i.
+			tryMax = 0
+			for _, b := range s.contribBands {
+				v := model.Wi*s.otherIn[b] + model.Wo*s.contrib[b]
+				if v > tryMax {
+					tryMax = v
+				}
+			}
+			tLo, tHi = spanLo, spanHi
+			if !hasSpan {
+				tLo, tHi = 1, 0
+			}
+			if tLo <= tHi {
+				floor := model.Wi * s.queryRangeMax(s.bandOf(tLo), s.bandOf(tHi))
+				if floor > tryMax {
+					tryMax = floor
+				}
+			}
+			cellW = model.Wi*s.lineUnit + tryMax
+		}
+		if cellW > t {
+			s.clearContrib()
+			return nil
+		}
+		maxFixed = commit()
+		lines++
+		curLo, curHi = tLo, tHi
+		s.clearContrib()
+	}
+	if lines > 0 {
+		closeBand(s.n)
+	}
+	if len(cuts)-1 > ncMax {
+		return nil
+	}
+	if cuts[len(cuts)-1] != s.n {
+		cuts = append(cuts, s.n)
+	}
+	return cuts
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
