@@ -22,10 +22,18 @@ func main() {
 		scale = flag.Int("scale", 1, "dataset scale multiplier (1 ≈ paper ÷ 1000)")
 		j     = flag.Int("j", 8, "number of joiner machines J")
 		seed  = flag.Uint64("seed", 42, "random seed")
+		bout  = flag.String("benchout", "", "write the engine hot-path benchmark to this JSON file (e.g. BENCH_exec.json) and exit")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, J: *j, Seed: *seed}
+	if *bout != "" {
+		if err := bench.WriteExecBenchJSON(os.Stdout, cfg, *bout); err != nil {
+			fmt.Fprintf(os.Stderr, "ewhbench: benchout: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	drivers := map[string]func(io.Writer, bench.Config) error{
 		"tab3":   bench.TableIII,
 		"tab4":   bench.TableIV,

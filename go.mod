@@ -1,0 +1,3 @@
+module ewh
+
+go 1.24

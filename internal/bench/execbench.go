@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ewh/internal/core"
+	"ewh/internal/cost"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/localjoin"
+	"ewh/internal/partition"
+	"ewh/internal/stats"
+)
+
+// ExecBenchRow is one engine micro-measurement. WallNS is the minimum of
+// three repetitions, the most noise-robust point estimate on shared machines.
+type ExecBenchRow struct {
+	Name          string  `json:"name"`
+	Scheme        string  `json:"scheme"`
+	N1            int     `json:"n1"`
+	N2            int     `json:"n2"`
+	Mappers       int     `json:"mappers"`
+	WallNS        int64   `json:"wall_ns"`
+	Output        int64   `json:"output"`
+	NetworkTuples int64   `json:"network_tuples"`
+	MaxWork       float64 `json:"max_work"`
+}
+
+// ExecBenchReport is the machine-readable engine benchmark ewhbench emits as
+// BENCH_exec.json so successive PRs can track the hot-path trajectory.
+type ExecBenchReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Scale      int            `json:"scale"`
+	Seed       uint64         `json:"seed"`
+	Rows       []ExecBenchRow `json:"rows"`
+}
+
+const execBenchReps = 3
+
+// ExecBench times the engine's hot paths: the shuffle (fan-out-1 and
+// replicating), the full CSIO band-join execution, and the local merge-sweep
+// count in isolation.
+func ExecBench(cfg Config) (*ExecBenchReport, error) {
+	cfg.Defaults()
+	n := 200000 * cfg.Scale
+	rep := &ExecBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: cfg.Scale, Seed: cfg.Seed}
+
+	rng := stats.NewRNG(cfg.Seed)
+	r1 := make([]join.Key, n)
+	r2 := make([]join.Key, n)
+	for i := range r1 {
+		r1[i] = rng.Int64n(int64(n))
+	}
+	for i := range r2 {
+		r2[i] = rng.Int64n(int64(n))
+	}
+	empty := []join.Key{}
+
+	hash, err := partition.NewHash(cfg.J, nil)
+	if err != nil {
+		return nil, err
+	}
+	ci := partition.NewCI(cfg.J)
+	band := join.NewBand(2)
+	csio, err := core.PlanCSIO(r1, r2, band, core.Options{J: cfg.J, Model: cost.DefaultBand, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("execbench: plan CSIO: %w", err)
+	}
+
+	runRow := func(name string, s partition.Scheme, ra, rb []join.Key, cond join.Condition) {
+		var best *exec.Result
+		for i := 0; i < execBenchReps; i++ {
+			res := exec.Run(ra, rb, cond, s, cost.DefaultBand, exec.Config{Seed: cfg.Seed, Mappers: 4})
+			if best == nil || res.WallTime < best.WallTime {
+				best = res
+			}
+		}
+		rep.Rows = append(rep.Rows, ExecBenchRow{
+			Name: name, Scheme: s.Name(), N1: len(ra), N2: len(rb), Mappers: 4,
+			WallNS: best.WallTime.Nanoseconds(), Output: best.Output,
+			NetworkTuples: best.NetworkTuples, MaxWork: best.MaxWork,
+		})
+	}
+
+	runRow("shuffle-hash", hash, r1, empty, join.Equi{})
+	runRow("shuffle-ci-replicated", ci, r1, empty, band)
+	runRow("run-csio-band", csio.Scheme, r1, r2, band)
+
+	var bestCount time.Duration
+	var out int64
+	for i := 0; i < execBenchReps; i++ {
+		start := time.Now()
+		out = localjoin.Count(r1, r2, band)
+		if d := time.Since(start); bestCount == 0 || d < bestCount {
+			bestCount = d
+		}
+	}
+	rep.Rows = append(rep.Rows, ExecBenchRow{
+		Name: "localjoin-band-count", Scheme: "-", N1: n, N2: n, Mappers: 1,
+		WallNS: bestCount.Nanoseconds(), Output: out,
+	})
+	return rep, nil
+}
+
+// WriteExecBenchJSON runs ExecBench and writes the report to path, echoing a
+// one-line summary per row to w.
+func WriteExecBenchJSON(w io.Writer, cfg Config, path string) error {
+	rep, err := ExecBench(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%-22s %-6s wall=%8.2fms out=%d net=%d\n",
+			r.Name, r.Scheme, float64(r.WallNS)/1e6, r.Output, r.NetworkTuples)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,9 +1,10 @@
 package bench
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"ewh/internal/core"
 	"ewh/internal/cost"
@@ -51,7 +52,7 @@ func Fig1(w io.Writer, seed uint64) error {
 		for _, m := range res.Workers {
 			works = append(works, m.Work)
 		}
-		sort.Sort(sort.Reverse(sort.Float64Slice(works)))
+		slices.SortFunc(works, func(a, b float64) int { return cmp.Compare(b, a) })
 		fmt.Fprintf(w, "%-5s max w(r) = %-5.0f per-machine weights = %v (output %d)\n",
 			name, res.MaxWork, works, res.Output)
 	}

@@ -1,0 +1,157 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ewh/internal/core"
+	"ewh/internal/join"
+	"ewh/internal/localjoin"
+	"ewh/internal/partition"
+	"ewh/internal/stats"
+)
+
+// TestCrossCheckRunAgainstNestedLoop is the randomized harness for the
+// batch-routed engine: across every condition type (Equi, Band, Inequality,
+// Composite), every applicable scheme, and Mappers ∈ {1, 4, GOMAXPROCS}, the
+// engine's Output must equal the nested-loop ground truth exactly, and a
+// scheme's NetworkTuples must not depend on the mapper count (routing
+// decisions are per tuple, so shard boundaries must be invisible).
+func TestCrossCheckRunAgainstNestedLoop(t *testing.T) {
+	mapperCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	for seed := uint64(200); seed < 206; seed++ {
+		rng := stats.NewRNG(seed)
+		n1 := 300 + int(rng.Int64n(1200))
+		n2 := 300 + int(rng.Int64n(1200))
+		domain := 100 + rng.Int64n(900)
+
+		r1 := randKeys(n1, domain, seed+1)
+		r2 := randKeys(n2, domain, seed+2)
+
+		comp := join.CompositeSpec{SecondaryMax: 20, Beta: 2}
+		if err := comp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		c1 := make([]join.Key, n1)
+		c2 := make([]join.Key, n2)
+		for i := range c1 {
+			c1[i] = comp.Encode(rng.Int64n(50), rng.Int64n(21))
+		}
+		for i := range c2 {
+			c2[i] = comp.Encode(rng.Int64n(50), rng.Int64n(21))
+		}
+
+		cases := []struct {
+			name     string
+			cond     join.Condition
+			s1, s2   []join.Key
+			regioned bool // CSIO/CSI apply (not the inequality join)
+		}{
+			{"equi", join.Equi{}, r1, r2, true},
+			{"band", join.NewBand(3), r1, r2, true},
+			{"inequality", join.Inequality{Op: join.LessEq}, r1, r2, false},
+			{"composite", comp.Condition(), c1, c2, true},
+		}
+
+		for _, tc := range cases {
+			want := localjoin.NestedLoopCount(tc.s1, tc.s2, tc.cond)
+			if got := localjoin.Count(tc.s1, tc.s2, tc.cond); got != want {
+				t.Errorf("seed %d %s: merge-sweep Count = %d, nested loop = %d",
+					seed, tc.name, got, want)
+			}
+
+			opts := core.Options{J: 6, Model: model, Seed: seed + 3}
+			schemes := []partition.Scheme{}
+			if ci, err := core.PlanCI(opts); err == nil {
+				schemes = append(schemes, ci.Scheme)
+			} else {
+				t.Fatal(err)
+			}
+			if bcast, err := partition.NewBroadcast(5); err == nil {
+				schemes = append(schemes, bcast)
+			}
+			if _, isEqui := tc.cond.(join.Equi); isEqui {
+				if h, err := partition.NewHash(7, nil); err == nil {
+					schemes = append(schemes, h)
+				}
+			}
+			if tc.regioned {
+				csio, err := core.PlanCSIO(tc.s1, tc.s2, tc.cond, opts)
+				if err != nil {
+					t.Fatalf("seed %d %s: PlanCSIO: %v", seed, tc.name, err)
+				}
+				csi, err := core.PlanCSI(tc.s1, tc.s2, tc.cond, 64, opts)
+				if err != nil {
+					t.Fatalf("seed %d %s: PlanCSI: %v", seed, tc.name, err)
+				}
+				schemes = append(schemes, csio.Scheme, csi.Scheme)
+			}
+
+			for _, s := range schemes {
+				var firstNet int64 = -1
+				for _, mappers := range mapperCounts {
+					res := Run(tc.s1, tc.s2, tc.cond, s, model,
+						Config{Seed: seed + 4, Mappers: mappers})
+					id := fmt.Sprintf("seed %d %s/%s mappers=%d", seed, tc.name, s.Name(), mappers)
+					if res.Output != want {
+						t.Errorf("%s: output %d, want %d", id, res.Output, want)
+					}
+					if firstNet < 0 {
+						firstNet = res.NetworkTuples
+					} else if res.NetworkTuples != firstNet {
+						t.Errorf("%s: network tuples %d differ from mappers=%d run's %d",
+							id, res.NetworkTuples, mapperCounts[0], firstNet)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrossCheckRunTuples drives the payload-carrying path the same way: the
+// emitted pair multiset must match the nested-loop ground truth for every
+// mapper count.
+func TestCrossCheckRunTuples(t *testing.T) {
+	r1 := randKeys(600, 300, 90)
+	r2 := randKeys(500, 300, 91)
+	cond := join.NewBand(2)
+	want := localjoin.NestedLoopCount(r1, r2, cond)
+	ci, err := core.PlanCI(core.Options{J: 6, Model: model, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mappers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		// emit runs concurrently across workers but never concurrently for
+		// the same workerID, so accumulation must be per worker.
+		perWorker := make([]map[[2]join.Key]int64, ci.Scheme.Workers())
+		for w := range perWorker {
+			perWorker[w] = map[[2]join.Key]int64{}
+		}
+		res := RunTuples(WrapKeys(r1), WrapKeys(r2), cond, ci.Scheme, model,
+			Config{Seed: 93, Mappers: mappers},
+			func(w int, a Tuple[struct{}], b Tuple[struct{}]) {
+				perWorker[w][[2]join.Key{a.Key, b.Key}]++
+			})
+		pairs := map[[2]join.Key]int64{}
+		for _, m := range perWorker {
+			for p, n := range m {
+				pairs[p] += n
+			}
+		}
+		if res.Output != want {
+			t.Errorf("mappers=%d: output %d, want %d", mappers, res.Output, want)
+		}
+		var emitted int64
+		for p, n := range pairs {
+			if !cond.Matches(p[0], p[1]) {
+				t.Errorf("mappers=%d: emitted non-matching pair %v", mappers, p)
+			}
+			emitted += n
+		}
+		if emitted != want {
+			t.Errorf("mappers=%d: emitted %d pairs, want %d", mappers, emitted, want)
+		}
+	}
+}

@@ -103,56 +103,36 @@ func (r *Result) String() string {
 }
 
 // Run shuffles r1 and r2 to the scheme's workers and executes the join.
+//
+// The shuffle is two-pass: each mapper batch-routes its shard once, recording
+// receiver lists and per-worker counts, then scatters tuples into one
+// exactly-sized flat buffer per relation (see shuffleRelation). The reduce
+// phase therefore receives contiguous per-worker slices it owns outright —
+// no concatenation copies — and sorts them in place (in parallel, one worker
+// per goroutine) for the merge-sweep local join.
 func Run(r1, r2 []join.Key, cond join.Condition, scheme partition.Scheme,
 	model cost.Model, cfg Config) *Result {
 
 	cfg.defaults()
 	start := time.Now()
 	j := scheme.Workers()
-
-	// Shuffle phase: each mapper routes a shard of each relation into
-	// per-worker buffers, merged afterwards without copying (slice-of-slices
-	// per worker).
-	type shardOut struct {
-		perWorker1 [][]join.Key
-		perWorker2 [][]join.Key
-	}
 	mappers := cfg.Mappers
-	outs := make([]shardOut, mappers)
-	var wg sync.WaitGroup
 	master := stats.NewRNG(cfg.Seed)
 	rngs := make([]*stats.RNG, mappers)
 	for i := range rngs {
 		rngs[i] = master.Split()
 	}
-	for mi := 0; mi < mappers; mi++ {
-		wg.Add(1)
-		go func(mi int) {
-			defer wg.Done()
-			o := &outs[mi]
-			o.perWorker1 = make([][]join.Key, j)
-			o.perWorker2 = make([][]join.Key, j)
-			rng := rngs[mi]
-			var buf []int
-			lo, hi := shard(len(r1), mappers, mi)
-			for _, k := range r1[lo:hi] {
-				buf = scheme.RouteR1(k, rng, buf[:0])
-				for _, w := range buf {
-					o.perWorker1[w] = append(o.perWorker1[w], k)
-				}
-			}
-			lo, hi = shard(len(r2), mappers, mi)
-			for _, k := range r2[lo:hi] {
-				buf = scheme.RouteR2(k, rng, buf[:0])
-				for _, w := range buf {
-					o.perWorker2[w] = append(o.perWorker2[w], k)
-				}
-			}
-		}(mi)
+	route1 := func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
+		partition.RouteBatchR1(scheme, keys, rng, b)
 	}
-	wg.Wait()
+	route2 := func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
+		partition.RouteBatchR2(scheme, keys, rng, b)
+	}
+	batches := getBatches(mappers)
+	s1 := shuffleRelation(r1, r1, j, mappers, rngs, batches, route1, getKeySlice)
+	s2 := shuffleRelation(r2, r2, j, mappers, rngs, batches, route2, getKeySlice)
 
-	// Reduce phase: each worker concatenates its shards and joins locally.
+	// Reduce phase: each worker joins its contiguous slices locally.
 	res := &Result{Scheme: scheme.Name(), Workers: make([]WorkerMetrics, j)}
 	var rwg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -162,12 +142,8 @@ func Run(r1, r2 []join.Key, cond join.Condition, scheme partition.Scheme,
 			defer rwg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			var in1, in2 []join.Key
-			for mi := range outs {
-				in1 = append(in1, outs[mi].perWorker1[w]...)
-				in2 = append(in2, outs[mi].perWorker2[w]...)
-			}
-			out := localjoin.AutoCount(in1, in2, cond)
+			in1, in2 := s1.worker(w), s2.worker(w)
+			out := localjoin.AutoCountOwned(in1, in2, cond)
 			m := &res.Workers[w]
 			m.InputR1 = int64(len(in1))
 			m.InputR2 = int64(len(in2))
@@ -176,6 +152,9 @@ func Run(r1, r2 []join.Key, cond join.Condition, scheme partition.Scheme,
 		}(w)
 	}
 	rwg.Wait()
+	putKeySlice(s1.flat)
+	putKeySlice(s2.flat)
+	putBatches(batches)
 
 	for _, m := range res.Workers {
 		res.Output += m.Output

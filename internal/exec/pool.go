@@ -1,0 +1,51 @@
+package exec
+
+import (
+	"sync"
+
+	"ewh/internal/join"
+	"ewh/internal/partition"
+)
+
+// The engine's big transient buffers — the flat shuffled relations and each
+// mapper's recorded routes — live only between a Run's shuffle and the end of
+// its reduce phase, so they are recycled across calls. A pooled buffer is
+// returned unzeroed: the shuffle overwrites every slot (the offsets cover the
+// buffer exactly), which is what lets the hot path skip the 10s-of-MB memclr
+// a fresh make would pay.
+
+var keySlicePool sync.Pool // stores *[]join.Key
+
+func getKeySlice(n int) []join.Key {
+	if v := keySlicePool.Get(); v != nil {
+		s := *v.(*[]join.Key)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]join.Key, n)
+}
+
+func putKeySlice(s []join.Key) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	keySlicePool.Put(&s)
+}
+
+var batchPool sync.Pool // stores *[]partition.RouteBatch
+
+func getBatches(mappers int) []partition.RouteBatch {
+	if v := batchPool.Get(); v != nil {
+		b := *v.(*[]partition.RouteBatch)
+		if cap(b) >= mappers {
+			return b[:mappers]
+		}
+	}
+	return make([]partition.RouteBatch, mappers)
+}
+
+func putBatches(b []partition.RouteBatch) {
+	batchPool.Put(&b)
+}

@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"sync"
+
+	"ewh/internal/join"
+	"ewh/internal/partition"
+	"ewh/internal/stats"
+)
+
+// routeFn batch-routes a shard of keys into b
+// (partition.RouteBatchR1/R2 curried over a scheme).
+type routeFn func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch)
+
+// shuffled is one relation after the shuffle: worker w's tuples are the
+// contiguous slice flat[off[w]:off[w+1]]. The whole relation lives in a
+// single exactly-sized allocation, so the reduce phase reads (and may sort in
+// place) per-worker slices with zero concatenation copies.
+type shuffled[T any] struct {
+	flat []T
+	off  []int // len j+1
+}
+
+func (s *shuffled[T]) worker(w int) []T { return s.flat[s.off[w]:s.off[w+1]] }
+
+// shuffleRelation routes items to j workers with a two-pass shuffle across
+// mappers parallel shards. keys[i] is the routing key of items[i]; for bare
+// key relations the two slices alias. Pass 1 batch-routes each shard exactly
+// once, recording the receiver lists compactly (with per-worker counts
+// tallied inside the routing loop); a barrier then computes exact
+// per-(mapper, worker) write offsets; pass 2 replays the recorded routes and
+// scatters items into disjoint ranges of one flat buffer. Recording routes
+// instead of re-routing keeps randomized schemes deterministic and pays the
+// routing cost once.
+//
+// batches provides per-mapper routing storage (reused across relations and,
+// via the pool, across runs); alloc provides the flat buffer and may return
+// unzeroed pooled memory — the scatter overwrites every slot.
+func shuffleRelation[T any](items []T, keys []join.Key, j, mappers int,
+	rngs []*stats.RNG, batches []partition.RouteBatch, route routeFn,
+	alloc func(n int) []T) shuffled[T] {
+
+	var wg sync.WaitGroup
+	for mi := 0; mi < mappers; mi++ {
+		wg.Add(1)
+		go func(mi int) {
+			defer wg.Done()
+			lo, hi := shard(len(keys), mappers, mi)
+			b := &batches[mi]
+			b.Reset(j, hi-lo) // exact Routes capacity for fan-out-1 schemes
+			route(keys[lo:hi], rngs[mi], b)
+		}(mi)
+	}
+	wg.Wait()
+
+	out := shuffled[T]{off: make([]int, j+1)}
+	for w := 0; w < j; w++ {
+		total := 0
+		for mi := 0; mi < mappers; mi++ {
+			total += batches[mi].Counts[w]
+		}
+		out.off[w+1] = out.off[w] + total
+	}
+	out.flat = alloc(out.off[j])
+
+	// pos[mi*j+w] is mapper mi's next write index inside worker w's range;
+	// mappers write disjoint ranges, so pass 2 needs no synchronization.
+	pos := make([]int, mappers*j)
+	for w := 0; w < j; w++ {
+		c := out.off[w]
+		for mi := 0; mi < mappers; mi++ {
+			pos[mi*j+w] = c
+			c += batches[mi].Counts[w]
+		}
+	}
+	for mi := 0; mi < mappers; mi++ {
+		wg.Add(1)
+		go func(mi int) {
+			defer wg.Done()
+			lo, _ := shard(len(keys), mappers, mi)
+			scatter(out.flat, pos[mi*j:(mi+1)*j], items[lo:], &batches[mi])
+		}(mi)
+	}
+	wg.Wait()
+	return out
+}
+
+// scatter places one mapper's shard into the flat buffer following the
+// routes recorded in pass 1. p is the mapper's per-worker write cursor set;
+// items is the shard (indexed from 0).
+func scatter[T any](flat []T, p []int, items []T, b *partition.RouteBatch) {
+	routes := b.Routes
+	switch {
+	case b.Fanout == 1:
+		// One receiver per key: routes[i] pairs with items[i] directly. The
+		// reslice pins len(items) == len(routes) so the items access needs no
+		// bounds check inside the loop.
+		items = items[:len(routes)]
+		for ti, w := range routes {
+			idx := p[w]
+			flat[idx] = items[ti]
+			p[w] = idx + 1
+		}
+	case b.Fanout > 1:
+		f := b.Fanout
+		for ri, ti := 0, 0; ri < len(routes); ri, ti = ri+f, ti+1 {
+			item := items[ti]
+			for _, w := range routes[ri : ri+f] {
+				flat[p[w]] = item
+				p[w]++
+			}
+		}
+	default:
+		ri := 0
+		for ti, n := range b.Lens {
+			item := items[ti]
+			for _, w := range routes[ri : ri+int(n)] {
+				flat[p[w]] = item
+				p[w]++
+			}
+			ri += int(n)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package exec
 
 import (
-	"sort"
+	"cmp"
+	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -50,61 +52,34 @@ func RunTuples[P1, P2 any](r1 []Tuple[P1], r2 []Tuple[P2], cond join.Condition,
 	cfg.defaults()
 	start := time.Now()
 	j := scheme.Workers()
-
-	type shardOut struct {
-		perWorker1 [][]Tuple[P1]
-		perWorker2 [][]Tuple[P2]
-	}
 	mappers := cfg.Mappers
-	outs := make([]shardOut, mappers)
-	var wg sync.WaitGroup
 	master := stats.NewRNG(cfg.Seed)
 	rngs := make([]*stats.RNG, mappers)
 	for i := range rngs {
 		rngs[i] = master.Split()
 	}
-	for mi := 0; mi < mappers; mi++ {
-		wg.Add(1)
-		go func(mi int) {
-			defer wg.Done()
-			o := &outs[mi]
-			o.perWorker1 = make([][]Tuple[P1], j)
-			o.perWorker2 = make([][]Tuple[P2], j)
-			rng := rngs[mi]
-			var buf []int
-			lo, hi := shard(len(r1), mappers, mi)
-			for _, t := range r1[lo:hi] {
-				buf = scheme.RouteR1(t.Key, rng, buf[:0])
-				for _, w := range buf {
-					o.perWorker1[w] = append(o.perWorker1[w], t)
-				}
-			}
-			lo, hi = shard(len(r2), mappers, mi)
-			for _, t := range r2[lo:hi] {
-				buf = scheme.RouteR2(t.Key, rng, buf[:0])
-				for _, w := range buf {
-					o.perWorker2[w] = append(o.perWorker2[w], t)
-				}
-			}
-		}(mi)
+	route1 := func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
+		partition.RouteBatchR1(scheme, keys, rng, b)
 	}
-	wg.Wait()
+	route2 := func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
+		partition.RouteBatchR2(scheme, keys, rng, b)
+	}
+	batches := getBatches(mappers)
+	s1 := shuffleRelation(r1, Keys(r1), j, mappers, rngs, batches, route1,
+		func(n int) []Tuple[P1] { return make([]Tuple[P1], n) })
+	s2 := shuffleRelation(r2, Keys(r2), j, mappers, rngs, batches, route2,
+		func(n int) []Tuple[P2] { return make([]Tuple[P2], n) })
 
 	res := &Result{Scheme: scheme.Name(), Workers: make([]WorkerMetrics, j)}
 	var rwg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Mappers)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for w := 0; w < j; w++ {
 		rwg.Add(1)
 		go func(w int) {
 			defer rwg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			var in1 []Tuple[P1]
-			var in2 []Tuple[P2]
-			for mi := range outs {
-				in1 = append(in1, outs[mi].perWorker1[w]...)
-				in2 = append(in2, outs[mi].perWorker2[w]...)
-			}
+			in1, in2 := s1.worker(w), s2.worker(w)
 			out := joinTuplesLocal(in1, in2, cond, w, emit)
 			m := &res.Workers[w]
 			m.InputR1 = int64(len(in1))
@@ -114,6 +89,7 @@ func RunTuples[P1, P2 any](r1 []Tuple[P1], r2 []Tuple[P2], cond join.Condition,
 		}(w)
 	}
 	rwg.Wait()
+	putBatches(batches)
 
 	for _, m := range res.Workers {
 		res.Output += m.Output
@@ -128,24 +104,26 @@ func RunTuples[P1, P2 any](r1 []Tuple[P1], r2 []Tuple[P2], cond join.Condition,
 	return res
 }
 
-// joinTuplesLocal is the sort-based monotonic local join over tuples.
+// joinTuplesLocal is the sort-based monotonic local join over tuples. The
+// worker owns its shuffled slices, so the R2 side is sorted in place (by key;
+// slices.SortFunc, no reflection) rather than copied; R1 stays in arrival
+// order so emit sees pairs in R1 order with R2 partners ascending.
 func joinTuplesLocal[P1, P2 any](r1 []Tuple[P1], r2 []Tuple[P2],
 	cond join.Condition, workerID int, emit func(int, Tuple[P1], Tuple[P2])) int64 {
 
 	if len(r1) == 0 || len(r2) == 0 {
 		return 0
 	}
-	sorted := make([]Tuple[P2], len(r2))
-	copy(sorted, r2)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	slices.SortFunc(r2, func(a, b Tuple[P2]) int { return cmp.Compare(a.Key, b.Key) })
 	var out int64
 	for _, a := range r1 {
 		lo, hi := cond.JoinableRange(a.Key)
-		i := sort.Search(len(sorted), func(i int) bool { return sorted[i].Key >= lo })
-		for ; i < len(sorted) && sorted[i].Key <= hi; i++ {
+		i, _ := slices.BinarySearchFunc(r2, lo,
+			func(t Tuple[P2], k join.Key) int { return cmp.Compare(t.Key, k) })
+		for ; i < len(r2) && r2[i].Key <= hi; i++ {
 			out++
 			if emit != nil {
-				emit(workerID, a, sorted[i])
+				emit(workerID, a, r2[i])
 			}
 		}
 	}

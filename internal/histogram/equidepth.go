@@ -8,9 +8,10 @@ package histogram
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ewh/internal/join"
+	"ewh/internal/keysort"
 )
 
 // EquiDepth is an equi-depth histogram over join keys: buckets() contiguous
@@ -36,9 +37,8 @@ func FromSample(sample []join.Key, ns int) (*EquiDepth, error) {
 	if len(sample) == 0 {
 		return nil, fmt.Errorf("histogram: empty sample")
 	}
-	sorted := make([]join.Key, len(sample))
-	copy(sorted, sample)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted := slices.Clone(sample)
+	keysort.Sort(sorted)
 	return FromSorted(sorted, ns)
 }
 
@@ -81,8 +81,12 @@ func (h *EquiDepth) Buckets() int { return len(h.bounds) - 1 }
 // boundary map to bucket 0 and keys at or above the last map to the final
 // bucket, so routing is total even for keys the sample missed.
 func (h *EquiDepth) Bucket(k join.Key) int {
-	// First i with bounds[i] > k; bucket is i-1.
-	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] > k })
+	// First i with bounds[i] > k (bounds are strictly increasing); bucket is
+	// i-1.
+	i, found := slices.BinarySearch(h.bounds, k)
+	if found {
+		i++
+	}
 	switch {
 	case i == 0:
 		return 0

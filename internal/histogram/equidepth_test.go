@@ -1,7 +1,7 @@
 package histogram
 
 import (
-	"sort"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -118,7 +118,7 @@ func TestBoundsAreSortedAndDistinct(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := h.Boundaries()
-	if !sort.SliceIsSorted(b, func(i, j int) bool { return b[i] < b[j] }) {
+	if !slices.IsSorted(b) {
 		t.Fatal("boundaries not sorted")
 	}
 	for i := 1; i < len(b); i++ {

@@ -1,0 +1,86 @@
+package keysort
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"ewh/internal/stats"
+)
+
+func TestSortMatchesSlicesSort(t *testing.T) {
+	rng := stats.NewRNG(1)
+	cases := [][]int64{
+		nil,
+		{5},
+		{3, 1, 2},
+		{math.MaxInt64, math.MinInt64, 0, -1, 1},
+	}
+	// Random cases across sizes straddling the radix cutoff, with negatives
+	// and duplicates.
+	for _, n := range []int{cutoff - 1, cutoff, 1000, 10000} {
+		c := make([]int64, n)
+		for i := range c {
+			c[i] = rng.Int64n(500) - 250
+		}
+		cases = append(cases, c)
+		wide := make([]int64, n)
+		for i := range wide {
+			wide[i] = int64(rng.Uint64())
+		}
+		cases = append(cases, wide)
+	}
+	for ci, c := range cases {
+		want := slices.Clone(c)
+		slices.Sort(want)
+		got := slices.Clone(c)
+		Sort(got)
+		if !slices.Equal(got, want) {
+			t.Errorf("case %d: radix sort differs from slices.Sort", ci)
+		}
+	}
+}
+
+func TestSortAllEqual(t *testing.T) {
+	a := make([]int64, 2*cutoff)
+	for i := range a {
+		a[i] = 42
+	}
+	Sort(a)
+	for _, v := range a {
+		if v != 42 {
+			t.Fatal("all-equal input modified")
+		}
+	}
+}
+
+func BenchmarkRadixSort(b *testing.B) {
+	rng := stats.NewRNG(2)
+	orig := make([]int64, 1<<17)
+	for i := range orig {
+		orig[i] = rng.Int64n(1 << 16)
+	}
+	buf := make([]int64, len(orig))
+	scratch := make([]int64, len(orig))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, orig)
+		SortWithScratch(buf, scratch)
+	}
+}
+
+func BenchmarkSlicesSort(b *testing.B) {
+	rng := stats.NewRNG(2)
+	orig := make([]int64, 1<<17)
+	for i := range orig {
+		orig[i] = rng.Int64n(1 << 16)
+	}
+	buf := make([]int64, len(orig))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, orig)
+		slices.Sort(buf)
+	}
+}

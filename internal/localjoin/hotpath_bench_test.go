@@ -1,0 +1,34 @@
+package localjoin
+
+import (
+	"testing"
+
+	"ewh/internal/join"
+)
+
+// BenchmarkLocalJoinCount measures the band-join count on one worker's
+// received tuples — the reduce-phase hot path of the engine.
+func BenchmarkLocalJoinCount(b *testing.B) {
+	r1 := randKeys(1<<17, 1<<16, 30)
+	r2 := randKeys(1<<17, 1<<16, 31)
+	cond := join.NewBand(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Count(r1, r2, cond)
+	}
+}
+
+// BenchmarkLocalJoinCountInequality measures the inequality count, whose
+// joinable ranges are half-open and whose output is quadratic — the count
+// must still be linear after sorting.
+func BenchmarkLocalJoinCountInequality(b *testing.B) {
+	r1 := randKeys(1<<17, 1<<16, 32)
+	r2 := randKeys(1<<17, 1<<16, 33)
+	cond := join.Inequality{Op: join.LessEq}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Count(r1, r2, cond)
+	}
+}

@@ -1,28 +1,55 @@
 // Package localjoin provides the algorithms each machine runs over its
 // region's tuples. The partitioning schemes are orthogonal to the local join
-// (§IV "Local Join Algorithm"); the engine defaults to the sort-based
+// (§IV "Local Join Algorithm"); the engine defaults to the sort-merge
 // monotonic join and uses the hash join for pure equality conditions.
 package localjoin
 
 import (
-	"sort"
+	"slices"
 
 	"ewh/internal/join"
-	"ewh/internal/sample"
+	"ewh/internal/keysort"
 )
 
-// Count returns |r1 ⋈_cond r2| using the sort-based monotonic join: R2 is
-// organized as a sorted multiset and each R1 tuple's joinable-set size is a
-// prefix-sum range count — O((n1+n2)·log n2) total, the standard plan for
-// band and inequality joins.
+// Count returns |r1 ⋈_cond r2| with a sort-merge sweep: both sides are
+// sorted once (radix keysort, no reflection or comparison overhead) and the
+// joinable window of R2 keys is maintained with two advancing cursors — the
+// sorts are O(n) counting passes and the sweep is O(n1+n2), with no
+// per-tuple binary-search probes. It requires the condition's JoinableRange
+// endpoints to be nondecreasing in the R1 key, which holds for every
+// monotonic condition in this library (§III-B).
 func Count(r1, r2 []join.Key, cond join.Condition) int64 {
 	if len(r1) == 0 || len(r2) == 0 {
 		return 0
 	}
-	m2 := sample.BuildMultiset(r2)
+	s1 := slices.Clone(r1)
+	s2 := slices.Clone(r2)
+	keysort.Sort(s1)
+	keysort.Sort(s2)
+	return CountSorted(s1, s2, cond)
+}
+
+// CountSorted is Count over pre-sorted inputs: callers that own their buffers
+// (the engine's reduce phase sorts its flat shuffle output in place) skip the
+// defensive copies and pay only the O(n1+n2) sweep.
+func CountSorted(s1, s2 []join.Key, cond join.Condition) int64 {
+	if len(s1) == 0 || len(s2) == 0 {
+		return 0
+	}
 	var out int64
-	for _, k := range r1 {
-		out += m2.D2(cond, k)
+	loIdx, hiIdx := 0, 0 // window [loIdx, hiIdx) of joinable s2 keys
+	for _, k := range s1 {
+		lo, hi := cond.JoinableRange(k)
+		for loIdx < len(s2) && s2[loIdx] < lo {
+			loIdx++
+		}
+		if hiIdx < loIdx {
+			hiIdx = loIdx
+		}
+		for hiIdx < len(s2) && s2[hiIdx] <= hi {
+			hiIdx++
+		}
+		out += int64(hiIdx - loIdx)
 	}
 	return out
 }
@@ -70,19 +97,19 @@ func Emit(r1, r2 []join.Key, cond join.Condition, fn func(a, b join.Key)) {
 	if len(r1) == 0 || len(r2) == 0 {
 		return
 	}
-	sorted := make([]join.Key, len(r2))
-	copy(sorted, r2)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted := slices.Clone(r2)
+	keysort.Sort(sorted)
 	for _, a := range r1 {
 		lo, hi := cond.JoinableRange(a)
-		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= lo })
+		i, _ := slices.BinarySearch(sorted, lo)
 		for ; i < len(sorted) && sorted[i] <= hi; i++ {
 			fn(a, sorted[i])
 		}
 	}
 }
 
-// AutoCount picks HashCount for pure-equality conditions and Count otherwise.
+// AutoCount picks HashCount for pure-equality conditions and the sort-merge
+// Count otherwise.
 func AutoCount(r1, r2 []join.Key, cond join.Condition) int64 {
 	switch c := cond.(type) {
 	case join.Equi:
@@ -93,4 +120,25 @@ func AutoCount(r1, r2 []join.Key, cond join.Condition) int64 {
 		}
 	}
 	return Count(r1, r2, cond)
+}
+
+// AutoCountOwned is AutoCount for callers that own their buffers, like the
+// engine's reduce phase over its flat shuffle output: non-equality conditions
+// sort r1 and r2 IN PLACE (no defensive copies) before the merge sweep, and
+// equality takes the copy-free hash path.
+func AutoCountOwned(r1, r2 []join.Key, cond join.Condition) int64 {
+	if len(r1) == 0 || len(r2) == 0 {
+		return 0
+	}
+	switch c := cond.(type) {
+	case join.Equi:
+		return HashCount(r1, r2)
+	case join.Band:
+		if c.Beta == 0 {
+			return HashCount(r1, r2)
+		}
+	}
+	keysort.Sort(r1)
+	keysort.Sort(r2)
+	return CountSorted(r1, r2, cond)
 }

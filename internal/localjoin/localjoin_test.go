@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"ewh/internal/join"
+	"ewh/internal/keysort"
 	"ewh/internal/stats"
 )
 
@@ -95,6 +96,34 @@ func TestCountProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCountSortedAndOwnedMatchNestedLoop(t *testing.T) {
+	conds := []join.Condition{
+		join.NewBand(0), join.NewBand(4), join.Equi{},
+		join.Inequality{Op: join.Less}, join.Inequality{Op: join.GreaterEq},
+	}
+	for seed := uint64(40); seed < 46; seed++ {
+		r1 := randKeys(150+int(seed*17), 90, seed)
+		r2 := randKeys(130+int(seed*13), 90, seed+100)
+		for _, c := range conds {
+			want := NestedLoopCount(r1, r2, c)
+			s1 := append([]join.Key(nil), r1...)
+			s2 := append([]join.Key(nil), r2...)
+			if got := AutoCountOwned(s1, s2, c); got != want {
+				t.Errorf("seed %d %v: AutoCountOwned = %d, want %d", seed, c, got, want)
+			}
+			// AutoCountOwned may have sorted s1/s2 in place; CountSorted over
+			// explicitly sorted copies must agree regardless.
+			s1 = append(s1[:0], r1...)
+			s2 = append(s2[:0], r2...)
+			keysort.Sort(s1)
+			keysort.Sort(s2)
+			if got := CountSorted(s1, s2, c); got != want {
+				t.Errorf("seed %d %v: CountSorted = %d, want %d", seed, c, got, want)
+			}
+		}
 	}
 }
 

@@ -1,45 +1,10 @@
 package localjoin
 
-import (
-	"sort"
+import "ewh/internal/join"
 
-	"ewh/internal/join"
-)
-
-// MergeCount counts the band-join output with the classic two-pointer sliding
-// window over both relations sorted: for each R1 key the window of joinable
-// R2 keys advances monotonically, giving O(n1 log n1 + n2 log n2 + n1) after
-// sorting instead of a binary search per tuple. It applies to any monotonic
-// condition whose joinable range has nondecreasing endpoints — all conditions
-// in this library.
+// MergeCount is the historical name of the sort-merge sweep that is now the
+// default Count implementation; it remains as a thin alias for callers and
+// tests that compare the two paths.
 func MergeCount(r1, r2 []join.Key, cond join.Condition) int64 {
-	if len(r1) == 0 || len(r2) == 0 {
-		return 0
-	}
-	s1 := sortedCopy(r1)
-	s2 := sortedCopy(r2)
-	// Prefix counts over s2 let the window contribute in O(1) per r1 tuple.
-	var out int64
-	loIdx, hiIdx := 0, 0 // window [loIdx, hiIdx) of joinable s2 keys
-	for _, k := range s1 {
-		lo, hi := cond.JoinableRange(k)
-		for loIdx < len(s2) && s2[loIdx] < lo {
-			loIdx++
-		}
-		if hiIdx < loIdx {
-			hiIdx = loIdx
-		}
-		for hiIdx < len(s2) && s2[hiIdx] <= hi {
-			hiIdx++
-		}
-		out += int64(hiIdx - loIdx)
-	}
-	return out
-}
-
-func sortedCopy(keys []join.Key) []join.Key {
-	out := make([]join.Key, len(keys))
-	copy(out, keys)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return Count(r1, r2, cond)
 }

@@ -1,7 +1,7 @@
 package matrix
 
 import (
-	"sort"
+	"slices"
 
 	"ewh/internal/cost"
 	"ewh/internal/join"
@@ -126,7 +126,8 @@ func Coarsen(sm *Sample, rowCuts, colCuts []int) *Dense {
 
 	// colOf maps an MS column index to its MC column band.
 	colOf := func(c int) int {
-		return sort.SearchInts(colCuts[1:], c+1)
+		i, _ := slices.BinarySearch(colCuts[1:], c+1)
+		return i
 	}
 	for i := 0; i < rows; i++ {
 		msR0, msR1 := rowCuts[i], rowCuts[i+1]-1
@@ -247,15 +248,18 @@ func (d *Dense) MinimalCandidateRect(r Rect) (Rect, bool) {
 		return Rect{}, false
 	}
 	// Compacted candidate rows within [R0, R1].
-	a := sort.SearchInts(d.candRows, r.R0)
-	b := sort.SearchInts(d.candRows, r.R1+1) - 1
+	a, _ := slices.BinarySearch(d.candRows, r.R0)
+	bp, _ := slices.BinarySearch(d.candRows, r.R1+1)
+	b := bp - 1
 	if a > b {
 		return Rect{}, false
 	}
 	// First compacted row whose span reaches C0 (cHiC nondecreasing).
-	i := a + sort.SearchInts(d.cHiC[a:b+1], r.C0)
+	iOff, _ := slices.BinarySearch(d.cHiC[a:b+1], r.C0)
+	i := a + iOff
 	// Last compacted row whose span starts at or before C1 (cLoC nondecreasing).
-	j := a + sort.Search(b-a+1, func(k int) bool { return d.cLoC[a+k] > r.C1 }) - 1
+	jOff, _ := slices.BinarySearch(d.cLoC[a:b+1], r.C1+1)
+	j := a + jOff - 1
 	if i > j {
 		return Rect{}, false
 	}

@@ -12,7 +12,9 @@
 package matrix
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"ewh/internal/cost"
@@ -142,7 +144,7 @@ func BuildSample(rh, ch *histogram.EquiDepth, cond join.Condition,
 			perRow[c.r] = append(perRow[c.r], c)
 		}
 		for r, cs := range perRow {
-			sort.Slice(cs, func(i, j int) bool { return cs[i].c < cs[j].c })
+			slices.SortFunc(cs, func(a, b cell) int { return cmp.Compare(a.c, b.c) })
 			colsArr := make([]int32, len(cs))
 			cntArr := make([]int32, len(cs))
 			for i, c := range cs {
@@ -216,8 +218,8 @@ func (s *Sample) Hits(r0, r1, c0, c1 int) int64 {
 		if len(cols) == 0 {
 			continue
 		}
-		lo := sort.Search(len(cols), func(j int) bool { return cols[j] >= int32(c0) })
-		hi := sort.Search(len(cols), func(j int) bool { return cols[j] > int32(c1) })
+		lo, _ := slices.BinarySearch(cols, int32(c0))
+		hi, _ := slices.BinarySearch(cols, int32(c1)+1)
 		for j := lo; j < hi; j++ {
 			n += int64(s.hitCnt[i][j])
 		}

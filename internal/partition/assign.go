@@ -1,8 +1,9 @@
 package partition
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"ewh/internal/tiling"
 )
@@ -44,8 +45,8 @@ func AssignRegions(regions []tiling.Region, capacities []float64) (*Assignment, 
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(x, y int) bool {
-		return regions[order[x]].Weight > regions[order[y]].Weight
+	slices.SortFunc(order, func(x, y int) int {
+		return cmp.Compare(regions[y].Weight, regions[x].Weight)
 	})
 	for _, ri := range order {
 		best, bestRatio := 0, (a.Load[0]+regions[ri].Weight)/capacities[0]

@@ -67,6 +67,54 @@ func (s *CI) RouteR2(_ join.Key, rng *stats.RNG, buf []int) []int {
 	return buf
 }
 
+// RouteBatchR1 implements BatchRouter: one random row per key, replicated
+// across all columns, consuming exactly one RNG draw per key like RouteR1.
+// The fan-out is the constant cols, so Lens is skipped entirely; per-row
+// tallies are kept in a small local array and folded into Counts once.
+func (s *CI) RouteBatchR1(keys []join.Key, rng *stats.RNG, b *RouteBatch) {
+	cols := int32(s.cols)
+	rowHits := make([]int, s.rows)
+	routes := b.Routes
+	for range keys {
+		r := rng.Intn(s.rows)
+		rowHits[r]++
+		base := int32(r) * cols
+		for c := int32(0); c < cols; c++ {
+			routes = append(routes, base+c)
+		}
+	}
+	b.Routes = routes
+	for r, n := range rowHits {
+		for c := 0; c < s.cols; c++ {
+			b.Counts[r*s.cols+c] += n
+		}
+	}
+	b.Fanout = s.cols
+}
+
+// RouteBatchR2 implements BatchRouter: one random column per key, replicated
+// across all rows; constant fan-out rows.
+func (s *CI) RouteBatchR2(keys []join.Key, rng *stats.RNG, b *RouteBatch) {
+	cols := int32(s.cols)
+	rows := int32(s.rows)
+	colHits := make([]int, s.cols)
+	routes := b.Routes
+	for range keys {
+		c := int32(rng.Intn(s.cols))
+		colHits[c]++
+		for r := int32(0); r < rows; r++ {
+			routes = append(routes, r*cols+c)
+		}
+	}
+	b.Routes = routes
+	for c, n := range colHits {
+		for r := 0; r < s.rows; r++ {
+			b.Counts[r*s.cols+c] += n
+		}
+	}
+	b.Fanout = s.rows
+}
+
 // IdealGrid reports the most balanced achievable grid for j workers —
 // exposed for tests and capacity planning.
 func IdealGrid(j int) (rows, cols int) {

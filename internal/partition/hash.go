@@ -2,7 +2,7 @@ package partition
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ewh/internal/join"
 	"ewh/internal/stats"
@@ -31,7 +31,7 @@ func NewHash(j int, heavyKeys []join.Key) (*Hash, error) {
 		return nil, fmt.Errorf("partition: hash scheme needs j >= 1, got %d", j)
 	}
 	h := &Hash{workers: j, heavy: append([]join.Key(nil), heavyKeys...)}
-	sort.Slice(h.heavy, func(a, b int) bool { return h.heavy[a] < h.heavy[b] })
+	slices.Sort(h.heavy)
 	return h, nil
 }
 
@@ -56,7 +56,7 @@ func DetectHeavyKeys(keys []join.Key, fraction float64) []join.Key {
 			heavy = append(heavy, k)
 		}
 	}
-	sort.Slice(heavy, func(a, b int) bool { return heavy[a] < heavy[b] })
+	slices.Sort(heavy)
 	return heavy
 }
 
@@ -72,8 +72,8 @@ func (h *Hash) Name() string {
 func (h *Hash) Workers() int { return h.workers }
 
 func (h *Hash) isHeavy(k join.Key) bool {
-	i := sort.Search(len(h.heavy), func(i int) bool { return h.heavy[i] >= k })
-	return i < len(h.heavy) && h.heavy[i] == k
+	_, found := slices.BinarySearch(h.heavy, k)
+	return found
 }
 
 // hashKey is splitmix64-style mixing of the join key.
@@ -102,6 +102,67 @@ func (h *Hash) RouteR2(k join.Key, _ *stats.RNG, buf []int) []int {
 		return buf
 	}
 	return append(buf, int(hashKey(k)%uint64(h.workers)))
+}
+
+// RouteBatchR1 implements BatchRouter: fan-out is always exactly one worker
+// (heavy keys scatter, others hash), so Lens is skipped and the common
+// no-heavy-hitter case is a tight hash loop.
+func (h *Hash) RouteBatchR1(keys []join.Key, rng *stats.RNG, b *RouteBatch) {
+	j := uint64(h.workers)
+	routes, counts := b.Routes, b.Counts // keep slice headers in registers
+	if len(h.heavy) == 0 {
+		for _, k := range keys {
+			w := int32(hashKey(k) % j)
+			routes = append(routes, w)
+			counts[w]++
+		}
+	} else {
+		for _, k := range keys {
+			var w int32
+			if h.isHeavy(k) {
+				w = int32(rng.Intn(h.workers))
+			} else {
+				w = int32(hashKey(k) % j)
+			}
+			routes = append(routes, w)
+			counts[w]++
+		}
+	}
+	b.Routes = routes
+	b.Fanout = 1
+}
+
+// RouteBatchR2 implements BatchRouter: heavy keys broadcast, others hash, so
+// the fan-out is uniform (and Lens skippable) only without heavy hitters.
+func (h *Hash) RouteBatchR2(keys []join.Key, _ *stats.RNG, b *RouteBatch) {
+	j := uint64(h.workers)
+	routes, counts := b.Routes, b.Counts
+	if len(h.heavy) == 0 {
+		for _, k := range keys {
+			w := int32(hashKey(k) % j)
+			routes = append(routes, w)
+			counts[w]++
+		}
+		b.Routes = routes
+		b.Fanout = 1
+		return
+	}
+	lens := b.Lens
+	for _, k := range keys {
+		if h.isHeavy(k) {
+			for w := 0; w < h.workers; w++ {
+				routes = append(routes, int32(w))
+				counts[w]++
+			}
+			lens = append(lens, int32(h.workers))
+		} else {
+			w := int32(hashKey(k) % j)
+			routes = append(routes, w)
+			counts[w]++
+			lens = append(lens, 1)
+		}
+	}
+	b.Routes, b.Lens = routes, lens
 }
 
 // Broadcast replicates R2 (conventionally the smaller relation) to every
@@ -137,4 +198,32 @@ func (b *Broadcast) RouteR2(_ join.Key, _ *stats.RNG, buf []int) []int {
 		buf = append(buf, w)
 	}
 	return buf
+}
+
+// RouteBatchR1 implements BatchRouter: one RNG draw per key, like RouteR1.
+func (b *Broadcast) RouteBatchR1(keys []join.Key, rng *stats.RNG, rb *RouteBatch) {
+	routes, counts := rb.Routes, rb.Counts
+	for range keys {
+		w := int32(rng.Intn(b.workers))
+		routes = append(routes, w)
+		counts[w]++
+	}
+	rb.Routes = routes
+	rb.Fanout = 1
+}
+
+// RouteBatchR2 implements BatchRouter: every key replicates to all workers —
+// constant fan-out, Lens skipped.
+func (b *Broadcast) RouteBatchR2(keys []join.Key, _ *stats.RNG, rb *RouteBatch) {
+	routes := rb.Routes
+	for range keys {
+		for w := 0; w < b.workers; w++ {
+			routes = append(routes, int32(w))
+		}
+	}
+	rb.Routes = routes
+	for w := 0; w < b.workers; w++ {
+		rb.Counts[w] += len(keys)
+	}
+	rb.Fanout = b.workers
 }

@@ -1,7 +1,7 @@
 package partition
 
 import (
-	"sort"
+	"slices"
 
 	"ewh/internal/join"
 	"ewh/internal/stats"
@@ -48,13 +48,13 @@ func buildSlabs(regions []tiling.Region, bounds func(tiling.Region) (join.Key, j
 	for e := range edgeSet {
 		edges = append(edges, e)
 	}
-	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	slices.Sort(edges)
 	nSlabs := len(edges) + 1 // below first edge, between edges, at/above last
 	slabs := make([][]int32, nSlabs)
 	for idx, r := range regions {
 		lo, hi := bounds(r)
-		a := sort.Search(len(edges), func(i int) bool { return edges[i] >= lo })
-		b := sort.Search(len(edges), func(i int) bool { return edges[i] >= hi })
+		a, _ := slices.BinarySearch(edges, lo)
+		b, _ := slices.BinarySearch(edges, hi)
 		// Region covers slabs (a, b]: slab s covers keys [edges[s-1], edges[s]).
 		for sl := a + 1; sl <= b; sl++ {
 			slabs[sl] = append(slabs[sl], int32(idx))
@@ -71,8 +71,14 @@ func buildSlabs(regions []tiling.Region, bounds func(tiling.Region) (join.Key, j
 }
 
 // slabOf locates the slab of key k: slab s covers [edges[s-1], edges[s]).
+// Edges are distinct, so the first index with edges[i] > k is the insertion
+// point of k advanced past an exact hit.
 func slabOf(edges []join.Key, k join.Key) int {
-	return sort.Search(len(edges), func(i int) bool { return edges[i] > k })
+	i, found := slices.BinarySearch(edges, k)
+	if found {
+		i++
+	}
+	return i
 }
 
 // Name implements Scheme.
@@ -98,4 +104,28 @@ func (s *RegionScheme) RouteR2(k join.Key, _ *stats.RNG, buf []int) []int {
 		buf = append(buf, int(id))
 	}
 	return buf
+}
+
+// RouteBatchR1 implements BatchRouter: the slab lists are already []int32, so
+// each key's receivers are appended with a single bulk copy.
+func (s *RegionScheme) RouteBatchR1(keys []join.Key, _ *stats.RNG, b *RouteBatch) {
+	routeBatchSlabs(s.rowEdges, s.rowMap, keys, b)
+}
+
+// RouteBatchR2 implements BatchRouter.
+func (s *RegionScheme) RouteBatchR2(keys []join.Key, _ *stats.RNG, b *RouteBatch) {
+	routeBatchSlabs(s.colEdges, s.colMap, keys, b)
+}
+
+func routeBatchSlabs(edges []join.Key, slabMap [][]int32, keys []join.Key, b *RouteBatch) {
+	routes, lens, counts := b.Routes, b.Lens, b.Counts
+	for _, k := range keys {
+		ids := slabMap[slabOf(edges, k)]
+		routes = append(routes, ids...)
+		lens = append(lens, int32(len(ids)))
+		for _, id := range ids {
+			counts[id]++
+		}
+	}
+	b.Routes, b.Lens = routes, lens
 }

@@ -23,3 +23,91 @@ type Scheme interface {
 	// RouteR2 appends the workers receiving an R2 tuple with key k.
 	RouteR2(k join.Key, rng *stats.RNG, buf []int) []int
 }
+
+// RouteBatch accumulates the routing decisions for a whole shard of keys —
+// the shuffle hot path's unit of work. Receiver ids are appended to Routes,
+// concatenated in key order; per-worker totals are tallied into Counts in
+// the same loop (so callers never rescan Routes). Per-key receiver counts go
+// to Lens ONLY when Fanout == 0; a scheme whose every key routes to the same
+// number of workers sets Fanout to that constant instead and leaves Lens
+// untouched, which lets the shuffle skip an entire per-tuple array.
+type RouteBatch struct {
+	Routes []int32 // receiver worker ids, concatenated per key
+	Lens   []int32 // per-key receiver counts; meaningful only when Fanout == 0
+	Counts []int   // per-worker received-tuple totals; len = Workers()
+	Fanout int     // > 0: every key routed to exactly Fanout workers
+}
+
+// Reset prepares the batch for routing into j workers, retaining backing
+// storage across shards.
+func (b *RouteBatch) Reset(j, sizeHint int) {
+	if cap(b.Routes) < sizeHint {
+		b.Routes = make([]int32, 0, sizeHint)
+	} else {
+		b.Routes = b.Routes[:0]
+	}
+	b.Lens = b.Lens[:0]
+	if cap(b.Counts) < j {
+		b.Counts = make([]int, j)
+	} else {
+		b.Counts = b.Counts[:j]
+		for i := range b.Counts {
+			b.Counts[i] = 0
+		}
+	}
+	b.Fanout = 0
+}
+
+// BatchRouter is an optional Scheme extension for the shuffle hot path: it
+// routes a whole shard of keys in one call, amortizing per-tuple interface
+// dispatch and folding the per-worker tallies into the routing loop. A batch
+// call must make exactly the same routing decisions (including RNG
+// consumption) as the equivalent sequence of per-tuple RouteR1/RouteR2
+// calls, so the two paths are interchangeable.
+//
+// All schemes in this package implement BatchRouter; the per-tuple methods
+// remain the compatibility path for external Scheme implementations.
+type BatchRouter interface {
+	// RouteBatchR1 batch-routes R1 keys into b (appending to b.Routes/Lens,
+	// tallying b.Counts, and setting b.Fanout when the fan-out is uniform).
+	RouteBatchR1(keys []join.Key, rng *stats.RNG, b *RouteBatch)
+	// RouteBatchR2 batch-routes R2 keys into b.
+	RouteBatchR2(keys []join.Key, rng *stats.RNG, b *RouteBatch)
+}
+
+// RouteBatchR1 batch-routes R1 keys through s, using its BatchRouter fast
+// path when implemented and falling back to per-tuple RouteR1 otherwise.
+// b must have been Reset for s.Workers().
+func RouteBatchR1(s Scheme, keys []join.Key, rng *stats.RNG, b *RouteBatch) {
+	if br, ok := s.(BatchRouter); ok {
+		br.RouteBatchR1(keys, rng, b)
+		return
+	}
+	routeBatchFallback(s.RouteR1, keys, rng, b)
+}
+
+// RouteBatchR2 batch-routes R2 keys through s, using its BatchRouter fast
+// path when implemented and falling back to per-tuple RouteR2 otherwise.
+func RouteBatchR2(s Scheme, keys []join.Key, rng *stats.RNG, b *RouteBatch) {
+	if br, ok := s.(BatchRouter); ok {
+		br.RouteBatchR2(keys, rng, b)
+		return
+	}
+	routeBatchFallback(s.RouteR2, keys, rng, b)
+}
+
+func routeBatchFallback(route func(join.Key, *stats.RNG, []int) []int,
+	keys []join.Key, rng *stats.RNG, b *RouteBatch) {
+
+	routes, lens, counts := b.Routes, b.Lens, b.Counts
+	var buf []int
+	for _, k := range keys {
+		buf = route(k, rng, buf[:0])
+		for _, w := range buf {
+			routes = append(routes, int32(w))
+			counts[w]++
+		}
+		lens = append(lens, int32(len(buf)))
+	}
+	b.Routes, b.Lens = routes, lens
+}

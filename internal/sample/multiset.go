@@ -1,9 +1,10 @@
 package sample
 
 import (
-	"sort"
+	"slices"
 
 	"ewh/internal/join"
+	"ewh/internal/keysort"
 )
 
 // KeyMultiset is d2equi from §IV-A: the sorted distinct join keys of a
@@ -17,32 +18,24 @@ type KeyMultiset struct {
 }
 
 // BuildMultiset constructs the multiset from a relation's keys. The input is
-// copied; construction is O(n log n).
+// copied and radix-sorted (keysort), then the run-length groups are folded
+// into keys and prefix sums in a single pass over preallocated storage — a
+// handful of allocations regardless of the number of distinct keys.
 func BuildMultiset(keys []join.Key) *KeyMultiset {
-	sorted := make([]join.Key, len(keys))
-	copy(sorted, keys)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	m := &KeyMultiset{}
+	sorted := slices.Clone(keys)
+	keysort.Sort(sorted)
+	ks := make([]join.Key, 0, len(sorted))
+	prefix := make([]int64, 1, len(sorted)+1)
 	for i := 0; i < len(sorted); {
-		j := i
+		j := i + 1
 		for j < len(sorted) && sorted[j] == sorted[i] {
 			j++
 		}
-		m.keys = append(m.keys, sorted[i])
+		ks = append(ks, sorted[i])
+		prefix = append(prefix, prefix[len(prefix)-1]+int64(j-i))
 		i = j
 	}
-	m.prefix = make([]int64, len(m.keys)+1)
-	ki := 0
-	for i := 0; i < len(sorted); {
-		j := i
-		for j < len(sorted) && sorted[j] == sorted[i] {
-			j++
-		}
-		m.prefix[ki+1] = m.prefix[ki] + int64(j-i)
-		ki++
-		i = j
-	}
-	return m
+	return &KeyMultiset{keys: ks, prefix: prefix}
 }
 
 // Total returns the total multiplicity (the relation size).
@@ -58,8 +51,11 @@ func (m *KeyMultiset) RangeCount(lo, hi join.Key) int64 {
 	if lo > hi {
 		return 0
 	}
-	i := sort.Search(len(m.keys), func(i int) bool { return m.keys[i] >= lo })
-	j := sort.Search(len(m.keys), func(i int) bool { return m.keys[i] > hi })
+	i, _ := slices.BinarySearch(m.keys, lo)
+	j, found := slices.BinarySearch(m.keys, hi) // keys are distinct
+	if found {
+		j++
+	}
 	return m.prefix[j] - m.prefix[i]
 }
 
@@ -67,10 +63,10 @@ func (m *KeyMultiset) RangeCount(lo, hi join.Key) int64 {
 // keys >= lo. The caller guarantees 0 <= u < RangeCount(lo, hi) for the hi it
 // has in mind; Select only needs the lower bound.
 func (m *KeyMultiset) Select(lo join.Key, u int64) join.Key {
-	i := sort.Search(len(m.keys), func(i int) bool { return m.keys[i] >= lo })
+	i, _ := slices.BinarySearch(m.keys, lo)
 	target := m.prefix[i] + u
-	// First j with prefix[j+1] > target.
-	j := sort.Search(len(m.keys), func(j int) bool { return m.prefix[j+1] > target })
+	// First j with prefix[j+1] > target (prefix is strictly increasing).
+	j, _ := slices.BinarySearch(m.prefix[1:], target+1)
 	return m.keys[j]
 }
 

@@ -1,7 +1,7 @@
 package sample
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
 	"ewh/internal/join"
@@ -84,7 +84,7 @@ func streamSampleWithMultiset(r1 []join.Key, m2 *KeyMultiset, cond join.Conditio
 	for i := range positions {
 		positions[i] = rng.Int64n(m)
 	}
-	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	slices.Sort(positions)
 
 	pairShards := make([][][2]join.Key, workers)
 	rngs := make([]*stats.RNG, workers)
@@ -97,8 +97,8 @@ func streamSampleWithMultiset(r1 []join.Key, m2 *KeyMultiset, cond join.Conditio
 			defer wg.Done()
 			lo, hi := shardBounds(n, workers, w)
 			// Positions addressed to this shard.
-			pLo := sort.Search(so, func(i int) bool { return positions[i] >= offsets[w] })
-			pHi := sort.Search(so, func(i int) bool { return positions[i] >= offsets[w+1] })
+			pLo, _ := slices.BinarySearch(positions, offsets[w])
+			pHi, _ := slices.BinarySearch(positions, offsets[w+1])
 			if pLo == pHi {
 				return
 			}

@@ -2,7 +2,7 @@ package stats
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Zipf draws values in [0, N) with P(k) proportional to 1/(k+1)^s. It mirrors
@@ -70,7 +70,8 @@ func (z *Zipf) envelopeInv(p float64) float64 {
 func (z *Zipf) Draw(r *RNG) int64 {
 	if z.cdf != nil {
 		u := r.Float64()
-		k := int64(sort.SearchFloat64s(z.cdf, u))
+		i, _ := slices.BinarySearch(z.cdf, u)
+		k := int64(i)
 		if k >= z.n {
 			k = z.n - 1
 		}

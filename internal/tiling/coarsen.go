@@ -8,7 +8,7 @@ package tiling
 
 import (
 	"math/bits"
-	"sort"
+	"slices"
 
 	"ewh/internal/cost"
 	"ewh/internal/matrix"
@@ -241,7 +241,8 @@ func (s *sweeper) queryRangeMax(lo, hi int) float64 {
 
 // bandOf maps a fixed-dimension MS index to its band.
 func (s *sweeper) bandOf(c int) int {
-	return sort.SearchInts(s.other[1:], c+1)
+	i, _ := slices.BinarySearch(s.other[1:], c+1)
+	return i
 }
 
 // gather fills contrib/contribBands with line i's output per fixed band and
@@ -298,9 +299,10 @@ func (s *sweeper) gather(i int) (spanLo, spanHi int, hasSpan bool) {
 func (s *sweeper) colCandRows(c int) (int, int, bool) {
 	sm := s.sm
 	// First row with CandHi >= c (CandHi nondecreasing).
-	r0 := sort.Search(sm.Rows, func(r int) bool { return sm.CandHi[r] >= c })
+	r0, _ := slices.BinarySearch(sm.CandHi, c)
 	// Last row with CandLo <= c (CandLo nondecreasing).
-	r1 := sort.Search(sm.Rows, func(r int) bool { return sm.CandLo[r] > c }) - 1
+	r1p, _ := slices.BinarySearch(sm.CandLo, c+1)
+	r1 := r1p - 1
 	if r0 > r1 {
 		return 0, -1, false
 	}
