@@ -23,14 +23,23 @@ func main() {
 		j     = flag.Int("j", 8, "number of joiner machines J")
 		seed  = flag.Uint64("seed", 42, "random seed")
 		bout  = flag.String("benchout", "", "write the engine hot-path benchmark to this JSON file (e.g. BENCH_exec.json) and exit")
+		base  = flag.String("baseline", "", "with -benchout: compare against this committed baseline JSON and exit nonzero on regression")
+		maxRg = flag.Float64("maxregress", 0.25, "with -baseline: tolerated fractional cost-metric growth before failing")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, J: *j, Seed: *seed}
 	if *bout != "" {
-		if err := bench.WriteExecBenchJSON(os.Stdout, cfg, *bout); err != nil {
+		rep, err := bench.WriteExecBenchJSON(os.Stdout, cfg, *bout)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ewhbench: benchout: %v\n", err)
 			os.Exit(1)
+		}
+		if *base != "" {
+			if err := bench.CheckExecBenchAgainst(os.Stdout, rep, *base, *maxRg); err != nil {
+				fmt.Fprintf(os.Stderr, "ewhbench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

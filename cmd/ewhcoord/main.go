@@ -18,6 +18,7 @@ import (
 
 	"ewh/internal/core"
 	"ewh/internal/cost"
+	"ewh/internal/exec"
 	"ewh/internal/join"
 	"ewh/internal/netexec"
 	"ewh/internal/workload"
@@ -62,7 +63,7 @@ func main() {
 		addrs = strings.Split(*workers, ",")
 	}
 
-	res, err := netexec.Run(addrs, r1, r2, cond, plan.Scheme, model, *seed+2)
+	res, err := netexec.Run(addrs, r1, r2, cond, plan.Scheme, model, exec.Config{Seed: *seed + 2})
 	if err != nil {
 		fatal(err)
 	}

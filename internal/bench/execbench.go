@@ -13,6 +13,7 @@ import (
 	"ewh/internal/exec"
 	"ewh/internal/join"
 	"ewh/internal/localjoin"
+	"ewh/internal/netexec"
 	"ewh/internal/partition"
 	"ewh/internal/stats"
 )
@@ -40,15 +41,53 @@ type ExecBenchReport struct {
 	Rows       []ExecBenchRow `json:"rows"`
 }
 
-const execBenchReps = 3
+const execBenchReps = 5
+
+// CalibrationRow names the machine-speed calibration entry: a fixed
+// xorshift spin no repo change can affect, so the ratio of its wall time
+// across two reports measures hardware speed, not code. The regression gate
+// normalizes wall comparisons by it, making a committed baseline portable
+// across runners; its deterministic checksum rides in Output so the exact-
+// output rule also validates the spin itself.
+const CalibrationRow = "calibrate-spin"
+
+// spinCalibration runs the calibration loop (min wall over the usual reps).
+func spinCalibration() (int64, time.Duration) {
+	var best time.Duration
+	var sum uint64
+	for rep := 0; rep < execBenchReps; rep++ {
+		s := uint64(0x9E3779B97F4A7C15)
+		var acc uint64
+		start := time.Now()
+		for i := 0; i < 1<<25; i++ {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			acc += s
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+		sum = acc
+	}
+	return int64(sum), best
+}
 
 // ExecBench times the engine's hot paths: the shuffle (fan-out-1 and
-// replicating), the full CSIO band-join execution, and the local merge-sweep
-// count in isolation.
+// replicating), the full CSIO band-join execution, the local merge-sweep
+// count in isolation, and the distributed (netexec) path over loopback TCP
+// workers — both the v2 binary protocol and its v1 gob baseline, so the
+// wire-format advantage stays a tracked number.
 func ExecBench(cfg Config) (*ExecBenchReport, error) {
 	cfg.Defaults()
 	n := 200000 * cfg.Scale
 	rep := &ExecBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: cfg.Scale, Seed: cfg.Seed}
+
+	spinSum, spinWall := spinCalibration()
+	rep.Rows = append(rep.Rows, ExecBenchRow{
+		Name: CalibrationRow, Scheme: "-", Mappers: 1,
+		WallNS: spinWall.Nanoseconds(), Output: spinSum,
+	})
 
 	rng := stats.NewRNG(cfg.Seed)
 	r1 := make([]join.Key, n)
@@ -104,20 +143,82 @@ func ExecBench(cfg Config) (*ExecBenchReport, error) {
 		Name: "localjoin-band-count", Scheme: "-", N1: n, N2: n, Mappers: 1,
 		WallNS: bestCount.Nanoseconds(), Output: out,
 	})
+
+	// Distributed path over loopback TCP. The shuffle rows ship R1 against
+	// an empty R2, so the workers' local join is a no-op and the wall time
+	// is the wire path end to end: batch-route, encode, ship, decode.
+	workers := cfg.J
+	if w := csio.Scheme.Workers(); w > workers {
+		workers = w
+	}
+	addrs := make([]string, workers)
+	for i := range addrs {
+		w, err := netexec.ListenWorker("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("execbench: loopback worker: %w", err)
+		}
+		go func() { _ = w.Serve() }()
+		defer w.Close()
+		addrs[i] = w.Addr()
+	}
+	runNetRow := func(name string, run func(addrs []string, r1, r2 []join.Key,
+		cond join.Condition, s partition.Scheme, model cost.Model,
+		cfg exec.Config) (*exec.Result, error),
+		s partition.Scheme, ra, rb []join.Key, cond join.Condition) error {
+
+		var best *exec.Result
+		for i := 0; i < execBenchReps; i++ {
+			res, err := run(addrs, ra, rb, cond, s, cost.DefaultBand,
+				exec.Config{Seed: cfg.Seed, Mappers: 4})
+			if err != nil {
+				return fmt.Errorf("execbench: %s: %w", name, err)
+			}
+			if best == nil || res.WallTime < best.WallTime {
+				best = res
+			}
+		}
+		rep.Rows = append(rep.Rows, ExecBenchRow{
+			Name: name, Scheme: best.Scheme, N1: len(ra), N2: len(rb), Mappers: 4,
+			WallNS: best.WallTime.Nanoseconds(), Output: best.Output,
+			NetworkTuples: best.NetworkTuples, MaxWork: best.MaxWork,
+		})
+		return nil
+	}
+	if err := runNetRow("netexec-shuffle-binary", netexec.Run, hash, r1, empty, join.Equi{}); err != nil {
+		return nil, err
+	}
+	if err := runNetRow("netexec-shuffle-gob", netexec.RunGob, hash, r1, empty, join.Equi{}); err != nil {
+		return nil, err
+	}
+	if err := runNetRow("netexec-csio-band-binary", netexec.Run, csio.Scheme, r1, r2, band); err != nil {
+		return nil, err
+	}
+	if err := runNetRow("netexec-csio-band-gob", netexec.RunGob, csio.Scheme, r1, r2, band); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
-// WriteExecBenchJSON runs ExecBench and writes the report to path, echoing a
-// one-line summary per row to w.
-func WriteExecBenchJSON(w io.Writer, cfg Config, path string) error {
+// WriteExecBenchJSON runs ExecBench, writes the report to path, echoes a
+// one-line summary per row to w, and returns the report so callers (the
+// ewhbench CLI's -baseline gate) can compare it without re-reading the file.
+func WriteExecBenchJSON(w io.Writer, cfg Config, path string) (*ExecBenchReport, error) {
 	rep, err := ExecBench(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, r := range rep.Rows {
-		fmt.Fprintf(w, "%-22s %-6s wall=%8.2fms out=%d net=%d\n",
+		fmt.Fprintf(w, "%-26s %-10s wall=%8.2fms out=%d net=%d\n",
 			r.Name, r.Scheme, float64(r.WallNS)/1e6, r.Output, r.NetworkTuples)
 	}
+	if err := writeReportJSON(path, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// writeReportJSON persists a report in the committed-baseline shape.
+func writeReportJSON(path string, rep *ExecBenchReport) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func row(name string, wall, out, net int64, maxWork float64) ExecBenchRow {
+	return ExecBenchRow{Name: name, WallNS: wall, Output: out,
+		NetworkTuples: net, MaxWork: maxWork}
+}
+
+func TestCompareExecBenchGate(t *testing.T) {
+	base := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+		row("a", 100_000_000, 50, 200, 10),
+		row("b", 200_000_000, 70, 300, 20),
+	}}
+
+	t.Run("identical passes", func(t *testing.T) {
+		regs, err := CompareExecBench(base, base, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 0 {
+			t.Fatalf("unexpected regressions: %v", regs)
+		}
+	})
+
+	t.Run("within tolerance passes, improvements pass", func(t *testing.T) {
+		cur := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+			row("a", 120_000_000, 50, 200, 9), // +20% wall, under the 25% gate
+			row("b", 50_000_000, 70, 300, 20), // 4x faster
+		}}
+		regs, err := CompareExecBench(base, cur, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 0 {
+			t.Fatalf("unexpected regressions: %v", regs)
+		}
+	})
+
+	t.Run("sub-slack jitter on tiny rows passes", func(t *testing.T) {
+		tiny := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+			row("a", 1_000_000, 50, 200, 10), // 1ms row
+		}}
+		cur := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+			row("a", 3_000_000, 50, 200, 10), // 3x, but only +2ms — under wallSlackNS
+		}}
+		regs, err := CompareExecBench(tiny, cur, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 0 {
+			t.Fatalf("scheduler jitter under the absolute slack flagged: %v", regs)
+		}
+	})
+
+	t.Run("wall regression caught", func(t *testing.T) {
+		cur := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+			row("a", 130_000_000, 50, 200, 10), // +30%
+			row("b", 200_000_000, 70, 300, 20),
+		}}
+		regs, err := CompareExecBench(base, cur, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || regs[0].Row != "a" || regs[0].Metric != "wall_ns" {
+			t.Fatalf("want one wall_ns regression on row a, got %v", regs)
+		}
+		if r := regs[0].Ratio(); r < 1.29 || r > 1.31 {
+			t.Fatalf("ratio %v, want ~1.3", r)
+		}
+	})
+
+	t.Run("output drift is a correctness failure either direction", func(t *testing.T) {
+		cur := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+			row("a", 100_000_000, 49, 200, 10), // fewer results than the baseline
+			row("b", 200_000_000, 70, 300, 20),
+		}}
+		regs, err := CompareExecBench(base, cur, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || regs[0].Metric != "output" {
+			t.Fatalf("want one output regression, got %v", regs)
+		}
+	})
+
+	t.Run("missing row caught, new rows ignored", func(t *testing.T) {
+		cur := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+			row("a", 100_000_000, 50, 200, 10),
+			row("c", 1, 1, 1, 1), // new coverage: fine
+		}}
+		regs, err := CompareExecBench(base, cur, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || regs[0].Row != "b" || regs[0].Metric != "missing" {
+			t.Fatalf("want row b reported missing, got %v", regs)
+		}
+	})
+
+	t.Run("network and max_work gated", func(t *testing.T) {
+		cur := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+			row("a", 100_000_000, 50, 300, 10), // +50% network
+			row("b", 200_000_000, 70, 300, 30), // +50% max_work
+		}}
+		regs, err := CompareExecBench(base, cur, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 2 || regs[0].Metric != "network_tuples" || regs[1].Metric != "max_work" {
+			t.Fatalf("want network_tuples and max_work regressions, got %v", regs)
+		}
+	})
+
+	t.Run("calibration row normalizes wall across machines", func(t *testing.T) {
+		calBase := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+			row(CalibrationRow, 50_000_000, 7, 0, 0),
+			row("a", 100_000_000, 50, 200, 10),
+		}}
+		// A machine 2x slower: calibration doubles, row "a" doubling with it
+		// is hardware, not regression.
+		slower := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+			row(CalibrationRow, 100_000_000, 7, 0, 0),
+			row("a", 200_000_000, 50, 200, 10),
+		}}
+		regs, err := CompareExecBench(calBase, slower, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 0 {
+			t.Fatalf("hardware slowdown flagged as regression: %v", regs)
+		}
+		// Same slower machine, but row "a" is 4x — 2x beyond hardware: real.
+		worse := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+			row(CalibrationRow, 100_000_000, 7, 0, 0),
+			row("a", 400_000_000, 50, 200, 10),
+		}}
+		regs, err = CompareExecBench(calBase, worse, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || regs[0].Metric != "wall_ns" {
+			t.Fatalf("want one wall_ns regression beyond calibration, got %v", regs)
+		}
+		// A drifted calibration checksum is a correctness failure.
+		badSum := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+			row(CalibrationRow, 50_000_000, 8, 0, 0),
+			row("a", 100_000_000, 50, 200, 10),
+		}}
+		regs, err = CompareExecBench(calBase, badSum, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(regs) != 1 || regs[0].Row != CalibrationRow || regs[0].Metric != "output" {
+			t.Fatalf("want calibration output mismatch, got %v", regs)
+		}
+	})
+
+	t.Run("config mismatch is an error", func(t *testing.T) {
+		cur := &ExecBenchReport{Scale: 2, Seed: 42}
+		if _, err := CompareExecBench(base, cur, 0.25); err == nil {
+			t.Fatal("mismatched scale accepted")
+		}
+	})
+}
+
+func TestCheckExecBenchAgainstRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	cfgRep := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+		row("a", 100_000_000, 50, 200, 10),
+	}}
+	// Write the baseline through the same JSON shape the CLI emits.
+	if err := writeReportJSON(path, cfgRep); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := CheckExecBenchAgainst(&sb, cfgRep, path, 0.25); err != nil {
+		t.Fatalf("gate failed on identical report: %v (output %q)", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "passed") {
+		t.Fatalf("output %q lacks pass notice", sb.String())
+	}
+	bad := &ExecBenchReport{Scale: 1, Seed: 42, Rows: []ExecBenchRow{
+		row("a", 500_000_000, 50, 200, 10),
+	}}
+	sb.Reset()
+	err := CheckExecBenchAgainst(&sb, bad, path, 0.25)
+	if err == nil {
+		t.Fatal("5x wall regression passed the gate")
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("output %q lacks regression line", sb.String())
+	}
+}

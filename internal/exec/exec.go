@@ -18,7 +18,6 @@ import (
 	"ewh/internal/join"
 	"ewh/internal/localjoin"
 	"ewh/internal/partition"
-	"ewh/internal/stats"
 )
 
 // Config tunes an engine run.
@@ -33,12 +32,17 @@ type Config struct {
 	BytesPerTuple int
 }
 
+// DefaultBytesPerTuple is the modeled tuple width when Config leaves
+// BytesPerTuple zero — shared with netexec so both engines report the same
+// memory metric for the same configuration.
+const DefaultBytesPerTuple = 16
+
 func (c *Config) defaults() {
 	if c.Mappers <= 0 {
 		c.Mappers = runtime.GOMAXPROCS(0)
 	}
 	if c.BytesPerTuple <= 0 {
-		c.BytesPerTuple = 16
+		c.BytesPerTuple = DefaultBytesPerTuple
 	}
 }
 
@@ -116,21 +120,7 @@ func Run(r1, r2 []join.Key, cond join.Condition, scheme partition.Scheme,
 	cfg.defaults()
 	start := time.Now()
 	j := scheme.Workers()
-	mappers := cfg.Mappers
-	master := stats.NewRNG(cfg.Seed)
-	rngs := make([]*stats.RNG, mappers)
-	for i := range rngs {
-		rngs[i] = master.Split()
-	}
-	route1 := func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
-		partition.RouteBatchR1(scheme, keys, rng, b)
-	}
-	route2 := func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
-		partition.RouteBatchR2(scheme, keys, rng, b)
-	}
-	batches := getBatches(mappers)
-	s1 := shuffleRelation(r1, r1, j, mappers, rngs, batches, route1, getKeySlice)
-	s2 := shuffleRelation(r2, r2, j, mappers, rngs, batches, route2, getKeySlice)
+	s1, s2 := shufflePair(r1, r1, r2, r2, scheme, cfg, GetKeyBuffer, GetKeyBuffer)
 
 	// Reduce phase: each worker joins its contiguous slices locally.
 	res := &Result{Scheme: scheme.Name(), Workers: make([]WorkerMetrics, j)}
@@ -152,9 +142,8 @@ func Run(r1, r2 []join.Key, cond join.Condition, scheme partition.Scheme,
 		}(w)
 	}
 	rwg.Wait()
-	putKeySlice(s1.flat)
-	putKeySlice(s2.flat)
-	putBatches(batches)
+	PutKeyBuffer(s1.flat)
+	PutKeyBuffer(s2.flat)
 
 	for _, m := range res.Workers {
 		res.Output += m.Output

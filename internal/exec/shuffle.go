@@ -85,6 +85,93 @@ func shuffleRelation[T any](items []T, keys []join.Key, j, mappers int,
 	return out
 }
 
+// shufflePair runs the shuffle phase for both relations of a join — the
+// exact phase Run performs before its reduce — with the two relations
+// shuffled CONCURRENTLY: their routing and scatter passes are independent
+// (separate batch storage, separate RNG streams split deterministically from
+// cfg.Seed), so on multi-core runners relation 2's routing overlaps relation
+// 1's scatter instead of waiting for it. keys1[i] is the routing key of
+// items1[i] (aliasing for bare-key relations); alloc provides the flat
+// buffers, typically from the pools.
+func shufflePair[T1, T2 any](items1 []T1, keys1 []join.Key, items2 []T2, keys2 []join.Key,
+	scheme partition.Scheme, cfg Config,
+	alloc1 func(int) []T1, alloc2 func(int) []T2) (shuffled[T1], shuffled[T2]) {
+
+	j := scheme.Workers()
+	mappers := cfg.Mappers
+	master := stats.NewRNG(cfg.Seed)
+	rngs1 := make([]*stats.RNG, mappers)
+	for i := range rngs1 {
+		rngs1[i] = master.Split()
+	}
+	rngs2 := make([]*stats.RNG, mappers)
+	for i := range rngs2 {
+		rngs2[i] = master.Split()
+	}
+	route1 := func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
+		partition.RouteBatchR1(scheme, keys, rng, b)
+	}
+	route2 := func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
+		partition.RouteBatchR2(scheme, keys, rng, b)
+	}
+	b1, b2 := getBatches(mappers), getBatches(mappers)
+	var s1 shuffled[T1]
+	var s2 shuffled[T2]
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s1 = shuffleRelation(items1, keys1, j, mappers, rngs1, b1, route1, alloc1)
+	}()
+	go func() {
+		defer wg.Done()
+		s2 = shuffleRelation(items2, keys2, j, mappers, rngs2, b2, route2, alloc2)
+	}()
+	wg.Wait()
+	putBatches(b1)
+	putBatches(b2)
+	return s1, s2
+}
+
+// KeyShuffle is the exported view of one shuffled bare-key relation: worker
+// w's tuples are the contiguous slice Worker(w) of a single exactly-sized
+// flat allocation, so a consumer (the reduce phase, or netexec's coordinator
+// streaming blocks onto sockets) reads per-worker data with zero
+// concatenation copies. Obtain pairs with ShufflePair; call Release when the
+// data has been consumed to recycle the flat buffer.
+type KeyShuffle struct {
+	s shuffled[join.Key]
+}
+
+// Workers returns the number of per-worker slices.
+func (k *KeyShuffle) Workers() int { return len(k.s.off) - 1 }
+
+// Worker returns worker w's contiguous tuple block. The slice aliases the
+// shuffle's flat buffer: it is valid until Release and may be sorted in
+// place by an owning consumer.
+func (k *KeyShuffle) Worker(w int) []join.Key { return k.s.worker(w) }
+
+// Total returns the total routed tuple count across workers (the relation's
+// network-tuple contribution; replication makes it exceed the input size).
+func (k *KeyShuffle) Total() int { return k.s.off[len(k.s.off)-1] }
+
+// Release recycles the flat buffer. No Worker slice may be used afterwards.
+func (k *KeyShuffle) Release() {
+	PutKeyBuffer(k.s.flat)
+	k.s = shuffled[join.Key]{}
+}
+
+// ShufflePair routes both relations of a join to scheme's workers with the
+// engine's two-pass zero-copy shuffle and returns the per-worker blocks.
+// This is Run's shuffle phase made reusable: netexec's coordinator uses it
+// to batch-route each relation once and then stream worker blocks over the
+// wire. Deterministic for a fixed cfg.Seed and cfg.Mappers.
+func ShufflePair(r1, r2 []join.Key, scheme partition.Scheme, cfg Config) (*KeyShuffle, *KeyShuffle) {
+	cfg.defaults()
+	s1, s2 := shufflePair(r1, r1, r2, r2, scheme, cfg, GetKeyBuffer, GetKeyBuffer)
+	return &KeyShuffle{s1}, &KeyShuffle{s2}
+}
+
 // scatter places one mapper's shard into the flat buffer following the
 // routes recorded in pass 1. p is the mapper's per-worker write cursor set;
 // items is the shard (indexed from 0).

@@ -10,7 +10,6 @@ import (
 	"ewh/internal/cost"
 	"ewh/internal/join"
 	"ewh/internal/partition"
-	"ewh/internal/stats"
 )
 
 // Tuple carries a routing join key and an opaque payload — the engine's
@@ -25,10 +24,16 @@ type Tuple[P any] struct {
 // Keys projects the routing keys of a tuple slice.
 func Keys[P any](ts []Tuple[P]) []join.Key {
 	out := make([]join.Key, len(ts))
-	for i, t := range ts {
-		out[i] = t.Key
-	}
+	keysInto(out, ts)
 	return out
+}
+
+// keysInto projects routing keys into a caller-owned (typically pooled)
+// buffer; dst must have length len(ts).
+func keysInto[P any](dst []join.Key, ts []Tuple[P]) {
+	for i, t := range ts {
+		dst[i] = t.Key
+	}
 }
 
 // WrapKeys lifts bare keys into payload-less tuples.
@@ -52,23 +57,17 @@ func RunTuples[P1, P2 any](r1 []Tuple[P1], r2 []Tuple[P2], cond join.Condition,
 	cfg.defaults()
 	start := time.Now()
 	j := scheme.Workers()
-	mappers := cfg.Mappers
-	master := stats.NewRNG(cfg.Seed)
-	rngs := make([]*stats.RNG, mappers)
-	for i := range rngs {
-		rngs[i] = master.Split()
-	}
-	route1 := func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
-		partition.RouteBatchR1(scheme, keys, rng, b)
-	}
-	route2 := func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
-		partition.RouteBatchR2(scheme, keys, rng, b)
-	}
-	batches := getBatches(mappers)
-	s1 := shuffleRelation(r1, Keys(r1), j, mappers, rngs, batches, route1,
-		func(n int) []Tuple[P1] { return make([]Tuple[P1], n) })
-	s2 := shuffleRelation(r2, Keys(r2), j, mappers, rngs, batches, route2,
-		func(n int) []Tuple[P2] { return make([]Tuple[P2], n) })
+	// Project routing keys into pooled buffers; the shuffle's flat tuple
+	// buffers come from the per-type tuple pool, so steady-state RunTuples
+	// allocates nothing proportional to the input.
+	k1 := GetKeyBuffer(len(r1))
+	keysInto(k1, r1)
+	k2 := GetKeyBuffer(len(r2))
+	keysInto(k2, r2)
+	s1, s2 := shufflePair(r1, k1, r2, k2, scheme, cfg,
+		getTupleSlice[P1], getTupleSlice[P2])
+	PutKeyBuffer(k1)
+	PutKeyBuffer(k2)
 
 	res := &Result{Scheme: scheme.Name(), Workers: make([]WorkerMetrics, j)}
 	var rwg sync.WaitGroup
@@ -89,7 +88,11 @@ func RunTuples[P1, P2 any](r1 []Tuple[P1], r2 []Tuple[P2], cond join.Condition,
 		}(w)
 	}
 	rwg.Wait()
-	putBatches(batches)
+	// emit receives tuples by value, so the flat buffers are dead here and
+	// can recycle; the put clears nothing — getTupleSlice clears the tail a
+	// shorter future job would otherwise leak.
+	putTupleSlice(s1.flat)
+	putTupleSlice(s2.flat)
 
 	for _, m := range res.Workers {
 		res.Output += m.Output

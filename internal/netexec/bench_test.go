@@ -1,0 +1,84 @@
+package netexec
+
+import (
+	"testing"
+
+	"ewh/internal/cost"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/partition"
+)
+
+// startBenchWorkers mirrors startWorkers for benchmarks.
+func startBenchWorkers(b *testing.B, n int) []string {
+	b.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		w, err := ListenWorker("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = w.Addr()
+		go func() { _ = w.Serve() }()
+		b.Cleanup(func() { _ = w.Close() })
+	}
+	return addrs
+}
+
+// The shuffle-isolating benchmark pair: R2 is empty, so the workers' local
+// join is a no-op and the wall time is the wire path — routing, encode,
+// ship, decode. The acceptance bar for the v2 protocol is ≥2× over the gob
+// baseline here.
+
+func benchShuffle(b *testing.B, run func(addrs []string, r1, r2 []join.Key,
+	cond join.Condition, scheme partition.Scheme, model cost.Model,
+	cfg exec.Config) (*exec.Result, error)) {
+
+	const n = 200000
+	r1 := randKeys(n, n, 1)
+	hash, err := partition.NewHash(4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := startBenchWorkers(b, 4)
+	cfg := exec.Config{Seed: 2, Mappers: 4}
+	b.SetBytes(8 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := run(addrs, r1, nil, join.Equi{}, hash, model, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NetworkTuples != n {
+			b.Fatalf("shipped %d tuples, want %d", res.NetworkTuples, n)
+		}
+	}
+}
+
+func BenchmarkLoopbackShuffleBinary(b *testing.B) { benchShuffle(b, Run) }
+func BenchmarkLoopbackShuffleGob(b *testing.B)    { benchShuffle(b, RunGob) }
+
+// The end-to-end pair: a full band join over the wire, dominated by
+// shuffle + local join together.
+
+func benchBandJoin(b *testing.B, run func(addrs []string, r1, r2 []join.Key,
+	cond join.Condition, scheme partition.Scheme, model cost.Model,
+	cfg exec.Config) (*exec.Result, error)) {
+
+	const n = 100000
+	r1 := randKeys(n, n, 3)
+	r2 := randKeys(n, n, 4)
+	cond := join.NewBand(2)
+	ci := partition.NewCI(4)
+	addrs := startBenchWorkers(b, 4)
+	cfg := exec.Config{Seed: 5, Mappers: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(addrs, r1, r2, cond, ci, model, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoopbackBandJoinBinary(b *testing.B) { benchBandJoin(b, Run) }
+func BenchmarkLoopbackBandJoinGob(b *testing.B)    { benchBandJoin(b, RunGob) }

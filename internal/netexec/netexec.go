@@ -1,23 +1,29 @@
 // Package netexec runs the shared-nothing join over real TCP workers: a
-// coordinator shuffles tuple batches to worker servers (gob-encoded
-// streams), each worker joins the tuples it received with the local join
-// algorithm and reports its metrics back. It is the process-distributed
-// counterpart of internal/exec's goroutine engine — same partitioning
-// schemes, same metrics — demonstrating that nothing in the EWH design
-// depends on shared memory.
+// coordinator batch-routes both relations once with the engine's two-pass
+// zero-copy shuffle (exec.ShufflePair) and streams each worker one
+// contiguous, length-prefixed binary key block per relation; each worker
+// decodes into an exactly-sized pooled flat buffer, joins it in place with
+// the merge-sweep local join and reports its metrics back. It is the
+// process-distributed counterpart of internal/exec's goroutine engine — same
+// partitioning schemes, same shuffle, same metrics — demonstrating that
+// nothing in the EWH design depends on shared memory.
 //
-// Protocol (one TCP connection per worker per job):
-//
-//	coordinator → worker: handshake{workerID, condition spec, cost model}
-//	coordinator → worker: batch{relation, keys}...   (streamed)
-//	coordinator → worker: end-of-stream
-//	worker → coordinator: metrics{inputR1, inputR2, output, nanos}
+// See wire.go for the v2 framing. The v1 protocol (gob tuple batches,
+// routed tuple-at-a-time) is retained as RunGob: workers sniff the first
+// bytes of each connection and serve both, and the benchmark suite keeps the
+// two paths honest against each other.
 package netexec
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
+	"os"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -29,14 +35,18 @@ import (
 	"ewh/internal/stats"
 )
 
-// handshake opens a job on a worker.
+// handshake opens a job on a worker. N1/N2 carry the exact per-relation
+// tuple counts the coordinator's shuffle computed, so the worker allocates
+// its receive buffers exactly once at exactly the right size (v2 only; the
+// v1 gob path ignores them and grows buffers batch by batch).
 type handshake struct {
 	WorkerID int
 	Cond     join.Spec
 	Wi, Wo   float64
+	N1, N2   int64
 }
 
-// batch carries a chunk of routed tuples; Rel is 1 or 2.
+// batch carries a chunk of routed tuples on the v1 gob path; Rel is 1 or 2.
 type batch struct {
 	Rel  int8
 	Keys []join.Key
@@ -52,12 +62,22 @@ type metrics struct {
 	Err              string
 }
 
-// BatchSize is the number of keys per shipped batch.
+// BatchSize is the number of keys per shipped batch on the v1 gob path.
 const BatchSize = 8192
 
+// MaxRelationTuples bounds the per-relation count a v2 handshake may
+// declare (1G keys = 8 GiB). The worker allocates receive buffers from the
+// declared counts before any data arrives, so without this cap one
+// malformed or hostile connection could OOM the whole worker process.
+const MaxRelationTuples = 1 << 30
+
+// connBufSize sizes the per-connection buffered reader/writer.
+const connBufSize = 64 << 10
+
 // Worker is a join worker server. Each accepted connection processes one
-// job: it buffers the streamed tuples, runs the local join at end-of-stream
-// and replies with its metrics.
+// job: it receives the streamed relations, runs the local join at
+// end-of-stream and replies with its metrics. Both wire protocols are
+// served; the connection's opening bytes select one.
 type Worker struct {
 	ln     net.Listener
 	closed chan struct{}
@@ -98,9 +118,116 @@ func (w *Worker) Serve() error {
 	}
 }
 
+// handle sniffs the protocol: v2 connections open with the magic, anything
+// else is treated as a v1 gob stream. A panic while serving one connection
+// must not take down the worker process (and every other in-flight job
+// with it), so it is contained here; the coordinator sees the closed
+// connection as a job failure.
 func (w *Worker) handle(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "netexec: worker: recovered serving %s: %v\n%s",
+				conn.RemoteAddr(), r, debug.Stack())
+		}
+	}()
+	br := bufio.NewReaderSize(conn, connBufSize)
+	head, err := br.Peek(len(protoMagic))
+	if err == nil && bytes.Equal(head, protoMagic[:]) {
+		w.handleBinary(br, conn)
+		return
+	}
+	w.handleGob(br, conn)
+}
+
+// handleBinary serves one v2 job: versioned handshake, exactly-sized pooled
+// receive buffers, block decode, in-place local join, metrics frame.
+func (w *Worker) handleBinary(br *bufio.Reader, conn net.Conn) {
+	bw := bufio.NewWriterSize(conn, connBufSize)
+	fail := func(err error) {
+		_ = writeGobFrame(bw, frameMetrics, metrics{Err: err.Error()})
+		_ = bw.Flush()
+		// Drain what the coordinator is still streaming before the deferred
+		// close: closing with unread data in the receive buffer sends RST,
+		// which would destroy the queued error frame before the coordinator
+		// reads it. Bounded by a deadline so a wedged peer can't pin the
+		// goroutine.
+		_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		_, _ = io.Copy(io.Discard, br)
+	}
+
+	var prelude [len(protoMagic) + 2]byte
+	if _, err := io.ReadFull(br, prelude[:]); err != nil {
+		fail(fmt.Errorf("prelude: %w", err))
+		return
+	}
+	if v := binary.LittleEndian.Uint16(prelude[len(protoMagic):]); v != protoVersion {
+		fail(fmt.Errorf("protocol version %d, worker speaks %d", v, protoVersion))
+		return
+	}
+	var hs handshake
+	if err := readGobFrame(br, frameHandshake, &hs); err != nil {
+		fail(fmt.Errorf("handshake: %w", err))
+		return
+	}
+	cond, err := hs.Cond.Condition()
+	if err != nil {
+		fail(err)
+		return
+	}
+	if hs.N1 < 0 || hs.N2 < 0 || hs.N1 > MaxRelationTuples || hs.N2 > MaxRelationTuples {
+		fail(fmt.Errorf("relation counts %d/%d outside [0, %d]", hs.N1, hs.N2, MaxRelationTuples))
+		return
+	}
+	r1 := exec.GetKeyBuffer(int(hs.N1))
+	r2 := exec.GetKeyBuffer(int(hs.N2))
+	defer func() {
+		exec.PutKeyBuffer(r1)
+		exec.PutKeyBuffer(r2)
+	}()
+	var pos1, pos2 int
+stream:
+	for {
+		typ, n, err := readFrameHeader(br)
+		if err != nil {
+			fail(fmt.Errorf("frame: %w", err))
+			return
+		}
+		switch typ {
+		case frameBlock:
+			if err := readKeyBlock(br, n, r1, r2, &pos1, &pos2); err != nil {
+				fail(fmt.Errorf("block: %w", err))
+				return
+			}
+		case frameEOS:
+			break stream
+		default:
+			fail(fmt.Errorf("unexpected frame type %d mid-stream", typ))
+			return
+		}
+	}
+	if pos1 != len(r1) || pos2 != len(r2) {
+		fail(fmt.Errorf("stream ended at %d/%d tuples, handshake declared %d/%d",
+			pos1, pos2, len(r1), len(r2)))
+		return
+	}
+	start := time.Now()
+	// The worker owns the pooled buffers outright, so the join sorts them in
+	// place — no defensive clones on the remote hot path either.
+	out := localjoin.AutoCountOwned(r1, r2, cond)
+	_ = writeGobFrame(bw, frameMetrics, metrics{
+		InputR1: hs.N1,
+		InputR2: hs.N2,
+		Output:  out,
+		Nanos:   time.Since(start).Nanoseconds(),
+	})
+	_ = bw.Flush()
+}
+
+// handleGob serves one v1 job (the seed protocol): gob handshake, gob tuple
+// batches appended into growing buffers, local join, gob metrics.
+func (w *Worker) handleGob(br *bufio.Reader, conn net.Conn) {
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 
 	fail := func(err error) {
@@ -147,11 +274,16 @@ func (w *Worker) handle(conn net.Conn) {
 	})
 }
 
-// Run shuffles the relations to the remote workers according to the scheme
-// and returns the aggregated result. The scheme must not need more workers
-// than addrs provides; extra addresses stay idle.
+// Run shuffles the relations to the remote workers with the v2 binary
+// protocol and returns the aggregated result. The routing happens once on
+// the coordinator via the engine's batch-routed two-pass shuffle
+// (exec.ShufflePair, honoring cfg.Seed and cfg.Mappers), so each worker's
+// blocks are read straight out of contiguous flat memory; with the same cfg
+// the per-worker tuple sets are identical to an in-process exec.Run. The
+// scheme must not need more workers than addrs provides; extra addresses
+// stay idle.
 func Run(addrs []string, r1, r2 []join.Key, cond join.Condition,
-	scheme partition.Scheme, model cost.Model, seed uint64) (*exec.Result, error) {
+	scheme partition.Scheme, model cost.Model, cfg exec.Config) (*exec.Result, error) {
 
 	j := scheme.Workers()
 	if j > len(addrs) {
@@ -163,10 +295,103 @@ func Run(addrs []string, r1, r2 []join.Key, cond join.Condition,
 	}
 	start := time.Now()
 
-	// Route locally into per-worker buffers (the mapper side).
+	s1, s2 := exec.ShufflePair(r1, r2, scheme, cfg)
+	res := &exec.Result{Scheme: scheme.Name() + "@net", Workers: make([]exec.WorkerMetrics, j)}
+	errs := make([]error, j)
+	var wg sync.WaitGroup
+	for wID := 0; wID < j; wID++ {
+		wg.Add(1)
+		go func(wID int) {
+			defer wg.Done()
+			m, err := runWorkerJob(addrs[wID], wID, spec, model, s1.Worker(wID), s2.Worker(wID))
+			if err != nil {
+				errs[wID] = err
+				return
+			}
+			recordWorker(&res.Workers[wID], m, model)
+		}(wID)
+	}
+	wg.Wait()
+	s1.Release()
+	s2.Release()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	aggregate(res, start, cfg.BytesPerTuple)
+	return res, nil
+}
+
+// runWorkerJob ships one worker's relations over a v2 connection.
+func runWorkerJob(addr string, workerID int, spec join.Spec, model cost.Model,
+	r1, r2 []join.Key) (*metrics, error) {
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netexec: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, connBufSize)
+
+	var prelude [len(protoMagic) + 2]byte
+	copy(prelude[:], protoMagic[:])
+	binary.LittleEndian.PutUint16(prelude[len(protoMagic):], protoVersion)
+	if _, err := bw.Write(prelude[:]); err != nil {
+		return nil, fmt.Errorf("netexec: prelude to %s: %w", addr, err)
+	}
+	hs := handshake{WorkerID: workerID, Cond: spec, Wi: model.Wi, Wo: model.Wo,
+		N1: int64(len(r1)), N2: int64(len(r2))}
+	if err := writeGobFrame(bw, frameHandshake, hs); err != nil {
+		return nil, fmt.Errorf("netexec: handshake to %s: %w", addr, err)
+	}
+	if err := writeKeyBlocks(bw, 1, r1); err != nil {
+		return nil, fmt.Errorf("netexec: send to %s: %w", addr, err)
+	}
+	if err := writeKeyBlocks(bw, 2, r2); err != nil {
+		return nil, fmt.Errorf("netexec: send to %s: %w", addr, err)
+	}
+	if err := writeFrameHeader(bw, frameEOS, 0); err != nil {
+		return nil, fmt.Errorf("netexec: eos to %s: %w", addr, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, fmt.Errorf("netexec: flush to %s: %w", addr, err)
+	}
+	var m metrics
+	if err := readGobFrame(bufio.NewReaderSize(conn, 512), frameMetrics, &m); err != nil {
+		return nil, fmt.Errorf("netexec: metrics from %s: %w", addr, err)
+	}
+	if m.Err != "" {
+		return nil, fmt.Errorf("netexec: worker %s: %s", addr, m.Err)
+	}
+	return &m, nil
+}
+
+// RunGob is the v1 baseline: tuples are routed one at a time on the
+// coordinator into per-worker append buffers and shipped as gob-encoded
+// batches. It is retained (and served by the same workers) as the
+// measured-against baseline for the binary protocol in the benchmark suite,
+// and as the compatibility path for per-tuple Scheme implementations outside
+// internal/partition. Only cfg.Seed and cfg.BytesPerTuple are honored — the
+// v1 path has no mapper parallelism.
+func RunGob(addrs []string, r1, r2 []join.Key, cond join.Condition,
+	scheme partition.Scheme, model cost.Model, cfg exec.Config) (*exec.Result, error) {
+
+	j := scheme.Workers()
+	if j > len(addrs) {
+		return nil, fmt.Errorf("netexec: scheme needs %d workers, only %d addresses", j, len(addrs))
+	}
+	spec, err := join.SpecOf(cond)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Route locally into per-worker buffers (the mapper side), one tuple at
+	// a time.
 	perWorker1 := make([][]join.Key, j)
 	perWorker2 := make([][]join.Key, j)
-	rng := stats.NewRNG(seed)
+	rng := stats.NewRNG(cfg.Seed)
 	var buf []int
 	for _, k := range r1 {
 		buf = scheme.RouteR1(k, rng, buf[:0])
@@ -181,24 +406,19 @@ func Run(addrs []string, r1, r2 []join.Key, cond join.Condition,
 		}
 	}
 
-	// Stream each worker's tuples and gather metrics concurrently.
-	res := &exec.Result{Scheme: scheme.Name() + "@net", Workers: make([]exec.WorkerMetrics, j)}
+	res := &exec.Result{Scheme: scheme.Name() + "@gob", Workers: make([]exec.WorkerMetrics, j)}
 	errs := make([]error, j)
 	var wg sync.WaitGroup
 	for wID := 0; wID < j; wID++ {
 		wg.Add(1)
 		go func(wID int) {
 			defer wg.Done()
-			m, err := runWorkerJob(addrs[wID], wID, spec, model, perWorker1[wID], perWorker2[wID])
+			m, err := runWorkerJobGob(addrs[wID], wID, spec, model, perWorker1[wID], perWorker2[wID])
 			if err != nil {
 				errs[wID] = err
 				return
 			}
-			wm := &res.Workers[wID]
-			wm.InputR1 = m.InputR1
-			wm.InputR2 = m.InputR2
-			wm.Output = m.Output
-			wm.Work = model.Weight(float64(m.InputR1+m.InputR2), float64(m.Output))
+			recordWorker(&res.Workers[wID], m, model)
 		}(wID)
 	}
 	wg.Wait()
@@ -207,21 +427,11 @@ func Run(addrs []string, r1, r2 []join.Key, cond join.Condition,
 			return nil, err
 		}
 	}
-
-	for _, m := range res.Workers {
-		res.Output += m.Output
-		res.NetworkTuples += m.Input()
-		res.MemoryBytes += m.Input() * 16
-		res.TotalWork += m.Work
-		if m.Work > res.MaxWork {
-			res.MaxWork = m.Work
-		}
-	}
-	res.WallTime = time.Since(start)
+	aggregate(res, start, cfg.BytesPerTuple)
 	return res, nil
 }
 
-func runWorkerJob(addr string, workerID int, spec join.Spec, model cost.Model,
+func runWorkerJobGob(addr string, workerID int, spec join.Spec, model cost.Model,
 	r1, r2 []join.Key) (*metrics, error) {
 
 	conn, err := net.Dial("tcp", addr)
@@ -264,4 +474,31 @@ func runWorkerJob(addr string, workerID int, spec join.Spec, model cost.Model,
 		return nil, fmt.Errorf("netexec: worker %s: %s", addr, m.Err)
 	}
 	return &m, nil
+}
+
+// recordWorker folds one worker's reply into the result slot.
+func recordWorker(wm *exec.WorkerMetrics, m *metrics, model cost.Model) {
+	wm.InputR1 = m.InputR1
+	wm.InputR2 = m.InputR2
+	wm.Output = m.Output
+	wm.Work = model.Weight(float64(m.InputR1+m.InputR2), float64(m.Output))
+}
+
+// aggregate computes the run-level metrics from the per-worker slots.
+// bytesPerTuple falls back to exec's shared default so the two engines
+// report the same memory metric for the same configuration.
+func aggregate(res *exec.Result, start time.Time, bytesPerTuple int) {
+	if bytesPerTuple <= 0 {
+		bytesPerTuple = exec.DefaultBytesPerTuple
+	}
+	for _, m := range res.Workers {
+		res.Output += m.Output
+		res.NetworkTuples += m.Input()
+		res.MemoryBytes += m.Input() * int64(bytesPerTuple)
+		res.TotalWork += m.Work
+		if m.Work > res.MaxWork {
+			res.MaxWork = m.Work
+		}
+	}
+	res.WallTime = time.Since(start)
 }

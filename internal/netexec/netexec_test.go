@@ -1,7 +1,10 @@
 package netexec
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"net"
 	"strings"
 	"testing"
 
@@ -49,7 +52,7 @@ func TestNetRunMatchesLocal(t *testing.T) {
 	}
 	addrs := startWorkers(t, plan.Scheme.Workers())
 
-	netRes, err := Run(addrs, r1, r2, cond, plan.Scheme, model, 4)
+	netRes, err := Run(addrs, r1, r2, cond, plan.Scheme, model, exec.Config{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +82,7 @@ func TestNetRunCIScheme(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs := startWorkers(t, 4)
-	res, err := Run(addrs, r1, r2, cond, plan.Scheme, model, 7)
+	res, err := Run(addrs, r1, r2, cond, plan.Scheme, model, exec.Config{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +97,7 @@ func TestNetRunTooFewWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs := startWorkers(t, 2)
-	if _, err := Run(addrs, nil, nil, join.Equi{}, plan.Scheme, model, 1); err == nil {
+	if _, err := Run(addrs, nil, nil, join.Equi{}, plan.Scheme, model, exec.Config{Seed: 1}); err == nil {
 		t.Fatal("scheme wider than worker pool accepted")
 	}
 }
@@ -105,7 +108,7 @@ func TestNetRunDialFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = Run([]string{"127.0.0.1:1"}, []join.Key{1}, []join.Key{1},
-		join.Equi{}, plan.Scheme, model, 1)
+		join.Equi{}, plan.Scheme, model, exec.Config{Seed: 1})
 	if err == nil {
 		t.Fatal("dead worker address accepted")
 	}
@@ -117,7 +120,7 @@ func TestNetRunUnsupportedCondition(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs := startWorkers(t, 1)
-	_, err = Run(addrs, []join.Key{1}, []join.Key{1}, badCond{}, plan.Scheme, model, 1)
+	_, err = Run(addrs, []join.Key{1}, []join.Key{1}, badCond{}, plan.Scheme, model, exec.Config{Seed: 1})
 	if err == nil {
 		t.Fatal("unspecable condition accepted")
 	}
@@ -178,7 +181,7 @@ func TestNetRunSkewedCSIO(t *testing.T) {
 		t.Fatal(err)
 	}
 	addrs := startWorkers(t, plan.Scheme.Workers())
-	res, err := Run(addrs, r1, r2, cond, plan.Scheme, model, 10)
+	res, err := Run(addrs, r1, r2, cond, plan.Scheme, model, exec.Config{Seed: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +205,7 @@ func TestNetRunConcurrentJobs(t *testing.T) {
 	done := make(chan error, 2)
 	for i := 0; i < 2; i++ {
 		go func(seed uint64) {
-			res, err := Run(addrs, r1, r2, cond, plan.Scheme, model, seed)
+			res, err := Run(addrs, r1, r2, cond, plan.Scheme, model, exec.Config{Seed: seed})
 			if err == nil && res.Output != want {
 				err = fmt.Errorf("output %d, want %d", res.Output, want)
 			}
@@ -213,6 +216,187 @@ func TestNetRunConcurrentJobs(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestRunGobMatchesBinary(t *testing.T) {
+	// The same worker pool serves both wire protocols (sniffed per
+	// connection), and the v1 gob baseline must agree with the v2 binary
+	// path on every aggregate for a deterministic scheme.
+	r1 := randKeys(4000, 2000, 40)
+	r2 := randKeys(4000, 2000, 41)
+	cond := join.NewBand(2)
+	plan, err := core.PlanCSIO(r1, r2, cond, core.Options{J: 4, Model: model, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startWorkers(t, plan.Scheme.Workers())
+	cfg := exec.Config{Seed: 43}
+	bin, err := Run(addrs, r1, r2, cond, plan.Scheme, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gobRes, err := RunGob(addrs, r1, r2, cond, plan.Scheme, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin.Output != gobRes.Output || bin.NetworkTuples != gobRes.NetworkTuples {
+		t.Fatalf("binary (out=%d net=%d) != gob (out=%d net=%d)",
+			bin.Output, bin.NetworkTuples, gobRes.Output, gobRes.NetworkTuples)
+	}
+	for w := range bin.Workers {
+		if bin.Workers[w] != gobRes.Workers[w] {
+			t.Fatalf("worker %d metrics differ: binary %+v, gob %+v",
+				w, bin.Workers[w], gobRes.Workers[w])
+		}
+	}
+	if !strings.HasSuffix(bin.Scheme, "@net") || !strings.HasSuffix(gobRes.Scheme, "@gob") {
+		t.Errorf("scheme labels %q / %q", bin.Scheme, gobRes.Scheme)
+	}
+	if want := localjoin.NestedLoopCount(r1, r2, cond); bin.Output != want {
+		t.Fatalf("output %d, want ground truth %d", bin.Output, want)
+	}
+}
+
+// dialV2 opens a raw v2 connection for protocol-level fault injection.
+func dialV2(t *testing.T, addr string, version uint16) (*bufio.Writer, net.Conn) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	bw := bufio.NewWriter(conn)
+	var prelude [6]byte
+	copy(prelude[:], protoMagic[:])
+	binary.LittleEndian.PutUint16(prelude[4:], version)
+	if _, err := bw.Write(prelude[:]); err != nil {
+		t.Fatal(err)
+	}
+	return bw, conn
+}
+
+func readErrMetrics(t *testing.T, conn net.Conn) string {
+	t.Helper()
+	var m metrics
+	if err := readGobFrame(bufio.NewReader(conn), frameMetrics, &m); err != nil {
+		t.Fatalf("reading metrics reply: %v", err)
+	}
+	return m.Err
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	addrs := startWorkers(t, 1)
+	bw, conn := dialV2(t, addrs[0], protoVersion+7)
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := readErrMetrics(t, conn); !strings.Contains(msg, "version") {
+		t.Fatalf("error %q does not mention the version", msg)
+	}
+}
+
+func TestDeclaredCountEnforced(t *testing.T) {
+	spec, err := join.SpecOf(join.Equi{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startWorkers(t, 1)
+
+	// EOS before the declared tuples arrived.
+	bw, conn := dialV2(t, addrs[0], protoVersion)
+	hs := handshake{Cond: spec, N1: 5, N2: 0}
+	if err := writeGobFrame(bw, frameHandshake, hs); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrameHeader(bw, frameEOS, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := readErrMetrics(t, conn); !strings.Contains(msg, "declared") {
+		t.Fatalf("truncated stream accepted: %q", msg)
+	}
+
+	// More tuples than declared.
+	bw, conn = dialV2(t, addrs[0], protoVersion)
+	hs = handshake{Cond: spec, N1: 1, N2: 0}
+	if err := writeGobFrame(bw, frameHandshake, hs); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeKeyBlocks(bw, 1, []join.Key{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := readErrMetrics(t, conn); !strings.Contains(msg, "overflow") {
+		t.Fatalf("overflowing block accepted: %q", msg)
+	}
+}
+
+func TestUnknownRelationRejected(t *testing.T) {
+	spec, err := join.SpecOf(join.Equi{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startWorkers(t, 1)
+	bw, conn := dialV2(t, addrs[0], protoVersion)
+	if err := writeGobFrame(bw, frameHandshake, handshake{Cond: spec, N1: 1, N2: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeKeyBlocks(bw, 3, []join.Key{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := readErrMetrics(t, conn); !strings.Contains(msg, "relation") {
+		t.Fatalf("block for relation 3 accepted: %q", msg)
+	}
+}
+
+func TestMultiBlockRelation(t *testing.T) {
+	// A relation larger than one block frame still reassembles exactly:
+	// exercise the split path by writing two explicit blocks for R1.
+	spec, err := join.SpecOf(join.NewBand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startWorkers(t, 1)
+	bw, conn := dialV2(t, addrs[0], protoVersion)
+	r1 := randKeys(1000, 400, 60)
+	r2 := randKeys(1000, 400, 61)
+	if err := writeGobFrame(bw, frameHandshake,
+		handshake{Cond: spec, N1: int64(len(r1)), N2: int64(len(r2))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeKeyBlocks(bw, 1, r1[:300]); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeKeyBlocks(bw, 1, r1[300:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeKeyBlocks(bw, 2, r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrameHeader(bw, frameEOS, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var m metrics
+	if err := readGobFrame(bufio.NewReader(conn), frameMetrics, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Err != "" {
+		t.Fatal(m.Err)
+	}
+	cond := join.NewBand(1)
+	if want := localjoin.NestedLoopCount(r1, r2, cond); m.Output != want {
+		t.Fatalf("output %d, want %d", m.Output, want)
 	}
 }
 

@@ -1,0 +1,205 @@
+package netexec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"ewh/internal/join"
+)
+
+// Wire protocol v2 ("EWHB"): length-prefixed binary framing with a versioned
+// handshake. All integers are little-endian. One TCP connection carries one
+// job:
+//
+//	coordinator → worker: magic "EWHB" | uint16 version
+//	coordinator → worker: frame(handshake)   gob payload, carries exact counts
+//	coordinator → worker: frame(block)...    one contiguous key block per
+//	                                         (relation); [rel u8][count u32][count×8 key bytes]
+//	coordinator → worker: frame(eos)
+//	worker → coordinator: frame(metrics)     gob payload
+//
+// Every frame is [type u8][payloadLen u32][payload]. The control plane
+// (handshake, metrics — once per job) rides gob inside its frame for
+// flexibility; the data plane (key blocks) is raw fixed-width binary so the
+// coordinator encodes straight out of the shuffle's contiguous per-worker
+// slices and the worker decodes straight into an exactly-sized flat buffer
+// whose size the handshake announced. The v1 protocol (a bare gob stream,
+// tuple-batch-at-a-time) is still accepted by workers — the first bytes of a
+// connection distinguish the two — and remains exercised as the benchmark
+// baseline (RunGob).
+const (
+	protoVersion = 2
+
+	frameHandshake = 1
+	frameBlock     = 2
+	frameEOS       = 3
+	frameMetrics   = 4
+
+	// blockHeaderLen is [rel u8][count u32].
+	blockHeaderLen = 5
+	// maxBlockKeys caps one block frame (128 MiB of keys); a larger
+	// per-worker relation is split into consecutive blocks.
+	maxBlockKeys = 1 << 24
+	// maxFramePayload bounds what a worker will buffer for one control
+	// frame; data frames are bounded by maxBlockKeys instead.
+	maxFramePayload = blockHeaderLen + 8*maxBlockKeys
+)
+
+// protoMagic opens every v2 connection. The v1 gob stream can never start
+// with these bytes: gob messages open with a small varint length whose first
+// byte is far below 'E'.
+var protoMagic = [4]byte{'E', 'W', 'H', 'B'}
+
+// scratchPool recycles the chunk buffers the key codec stages through.
+var scratchPool = sync.Pool{
+	New: func() any { b := make([]byte, 64<<10); return &b },
+}
+
+func getScratch() *[]byte  { return scratchPool.Get().(*[]byte) }
+func putScratch(b *[]byte) { scratchPool.Put(b) }
+
+func writeFrameHeader(w io.Writer, typ byte, payloadLen int) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(payloadLen))
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+func readFrameHeader(r io.Reader) (typ byte, payloadLen int, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFramePayload {
+		return 0, 0, fmt.Errorf("frame payload %d exceeds limit %d", n, maxFramePayload)
+	}
+	return hdr[0], int(n), nil
+}
+
+// writeGobFrame sends a control frame whose payload is the gob encoding of v.
+func writeGobFrame(w io.Writer, typ byte, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	if err := writeFrameHeader(w, typ, buf.Len()); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readGobFrame reads one frame, requires it to have the given type, and gob
+// decodes its payload into v.
+func readGobFrame(r io.Reader, wantTyp byte, v any) error {
+	typ, n, err := readFrameHeader(r)
+	if err != nil {
+		return err
+	}
+	if typ != wantTyp {
+		return fmt.Errorf("frame type %d, want %d", typ, wantTyp)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
+// writeKeyBlocks streams one relation's contiguous per-worker key slice as
+// block frames (one block unless the slice exceeds maxBlockKeys). Keys are
+// staged through a pooled scratch buffer in fixed-width little-endian, so
+// the cost per key is one PutUint64 — no per-batch slice headers, no
+// reflection.
+func writeKeyBlocks(w *bufio.Writer, rel int8, keys []join.Key) error {
+	scratch := getScratch()
+	defer putScratch(scratch)
+	buf := *scratch
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > maxBlockKeys {
+			n = maxBlockKeys
+		}
+		if err := writeFrameHeader(w, frameBlock, blockHeaderLen+8*n); err != nil {
+			return err
+		}
+		var bh [blockHeaderLen]byte
+		bh[0] = byte(rel)
+		binary.LittleEndian.PutUint32(bh[1:], uint32(n))
+		if _, err := w.Write(bh[:]); err != nil {
+			return err
+		}
+		block := keys[:n]
+		for len(block) > 0 {
+			c := len(buf) / 8
+			if c > len(block) {
+				c = len(block)
+			}
+			chunk := buf[:8*c]
+			for i, k := range block[:c] {
+				binary.LittleEndian.PutUint64(chunk[8*i:], uint64(k))
+			}
+			if _, err := w.Write(chunk); err != nil {
+				return err
+			}
+			block = block[c:]
+		}
+		keys = keys[n:]
+	}
+	return nil
+}
+
+// readKeyBlock decodes one block frame's payload (already past the frame
+// header; payloadLen bytes follow) and appends its keys into dst starting at
+// *pos, which it advances. dst is the exactly-sized flat buffer the
+// handshake's counts allocated; overflowing it is a protocol error.
+func readKeyBlock(r io.Reader, payloadLen int, rel1, rel2 []join.Key, pos1, pos2 *int) error {
+	var bh [blockHeaderLen]byte
+	if _, err := io.ReadFull(r, bh[:]); err != nil {
+		return err
+	}
+	count := int(binary.LittleEndian.Uint32(bh[1:]))
+	if payloadLen != blockHeaderLen+8*count {
+		return fmt.Errorf("block frame length %d inconsistent with count %d", payloadLen, count)
+	}
+	var dst []join.Key
+	var pos *int
+	switch bh[0] {
+	case 1:
+		dst, pos = rel1, pos1
+	case 2:
+		dst, pos = rel2, pos2
+	default:
+		return fmt.Errorf("block for unknown relation %d", bh[0])
+	}
+	if *pos+count > len(dst) {
+		return fmt.Errorf("relation %d overflows declared count %d", bh[0], len(dst))
+	}
+	scratch := getScratch()
+	defer putScratch(scratch)
+	buf := *scratch
+	out := dst[*pos : *pos+count]
+	for len(out) > 0 {
+		c := len(buf) / 8
+		if c > len(out) {
+			c = len(out)
+		}
+		chunk := buf[:8*c]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return err
+		}
+		for i := range out[:c] {
+			out[i] = join.Key(binary.LittleEndian.Uint64(chunk[8*i:]))
+		}
+		out = out[c:]
+	}
+	*pos += count
+	return nil
+}
