@@ -23,7 +23,7 @@ func main() {
 		j     = flag.Int("j", 8, "number of joiner machines J")
 		seed  = flag.Uint64("seed", 42, "random seed")
 		bout  = flag.String("benchout", "", "write the engine hot-path benchmark to this JSON file (e.g. BENCH_exec.json) and exit")
-		base  = flag.String("baseline", "", "with -benchout: compare against this committed baseline JSON and exit nonzero on regression")
+		base  = flag.String("baseline", "", "with -benchout: compare against these committed baseline JSONs (comma-separated) and exit nonzero on regression")
 		maxRg = flag.Float64("maxregress", 0.25, "with -baseline: tolerated fractional cost-metric growth before failing")
 	)
 	flag.Parse()
@@ -36,8 +36,14 @@ func main() {
 			os.Exit(1)
 		}
 		if *base != "" {
-			if err := bench.CheckExecBenchAgainst(os.Stdout, rep, *base, *maxRg); err != nil {
-				fmt.Fprintf(os.Stderr, "ewhbench: %v\n", err)
+			failed := false
+			for _, path := range strings.Split(*base, ",") {
+				if err := bench.CheckExecBenchAgainst(os.Stdout, rep, strings.TrimSpace(path), *maxRg); err != nil {
+					fmt.Fprintf(os.Stderr, "ewhbench: %v\n", err)
+					failed = true
+				}
+			}
+			if failed {
 				os.Exit(1)
 			}
 		}

@@ -1,13 +1,18 @@
 // Command ewhcoord coordinates a distributed join over ewhworker servers: it
-// generates (or could load) a workload, builds the EWH plan, shuffles the
-// tuples to the workers over TCP and prints the aggregated metrics.
+// generates (or could load) a workload, builds the EWH plan, dials a
+// persistent session to the workers, shuffles the tuples to them over TCP
+// and prints the aggregated metrics.
 //
 //	ewhworker -addr 127.0.0.1:7071 &
 //	ewhworker -addr 127.0.0.1:7072 &
 //	ewhcoord -workers 127.0.0.1:7071,127.0.0.1:7072 -n 100000 -beta 3
 //
 // With no -workers flag it spawns in-process workers, which makes a
-// single-binary demo of the full network path.
+// single-binary demo of the full network path. -jobs N runs the join N
+// times over the one dialed session (the dial-amortization the session
+// protocol exists for); -dial-per-job falls back to the one-shot v2
+// transport for comparison, and -multiway runs the 3-way chain join
+// pipeline distributed end to end.
 package main
 
 import (
@@ -15,23 +20,28 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ewh/internal/core"
 	"ewh/internal/cost"
 	"ewh/internal/exec"
 	"ewh/internal/join"
+	"ewh/internal/multiway"
 	"ewh/internal/netexec"
 	"ewh/internal/workload"
 )
 
 func main() {
 	var (
-		workers = flag.String("workers", "", "comma-separated worker addresses (empty: spawn in-process)")
-		n       = flag.Int("n", 100000, "rows per relation")
-		beta    = flag.Int64("beta", 3, "band half-width")
-		z       = flag.Float64("z", 0.5, "zipf skew")
-		j       = flag.Int("j", 4, "number of regions J")
-		seed    = flag.Uint64("seed", 42, "random seed")
+		workers    = flag.String("workers", "", "comma-separated worker addresses (empty: spawn in-process)")
+		n          = flag.Int("n", 100000, "rows per relation")
+		beta       = flag.Int64("beta", 3, "band half-width")
+		z          = flag.Float64("z", 0.5, "zipf skew")
+		j          = flag.Int("j", 4, "number of regions J")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		jobs       = flag.Int("jobs", 1, "jobs to run over the one dialed session")
+		dialPerJob = flag.Bool("dial-per-job", false, "use the one-shot v2 transport (dials every worker per job)")
+		mway       = flag.Bool("multiway", false, "run the 3-way chain join pipeline instead of a 2-way join")
 	)
 	flag.Parse()
 
@@ -47,9 +57,17 @@ func main() {
 	fmt.Printf("plan: %s with %d regions, m=%d, stats %v\n",
 		plan.Scheme.Name(), plan.Scheme.Workers(), plan.M, plan.StatsDuration.Round(1e6))
 
+	// The 2-way plan may regionalize to fewer than J workers, but the
+	// multiway pipeline re-plans each stage internally with J — size the
+	// spawned pool for the largest scheme any mode can produce (stage
+	// schemes never exceed their Options' J).
+	spawn := plan.Scheme.Workers()
+	if *mway && *j > spawn {
+		spawn = *j
+	}
 	var addrs []string
 	if *workers == "" {
-		for i := 0; i < plan.Scheme.Workers(); i++ {
+		for i := 0; i < spawn; i++ {
 			w, err := netexec.ListenWorker("127.0.0.1:0")
 			if err != nil {
 				fatal(err)
@@ -63,10 +81,79 @@ func main() {
 		addrs = strings.Split(*workers, ",")
 	}
 
-	res, err := netexec.Run(addrs, r1, r2, cond, plan.Scheme, model, exec.Config{Seed: *seed + 2})
+	if *mway {
+		runMultiway(addrs, r1, r2, *n, *j, *seed, model)
+		return
+	}
+
+	if *dialPerJob {
+		start := time.Now()
+		var res *exec.Result
+		for i := 0; i < *jobs; i++ {
+			res, err = netexec.Run(addrs, r1, r2, cond, plan.Scheme, model,
+				exec.Config{Seed: *seed + 2})
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("%d job(s), dial-per-job, total %v\n", *jobs, time.Since(start).Round(time.Millisecond))
+		printResult(res, addrs)
+		return
+	}
+
+	sess, err := netexec.Dial(addrs)
 	if err != nil {
 		fatal(err)
 	}
+	defer sess.Close()
+	start := time.Now()
+	var res *exec.Result
+	for i := 0; i < *jobs; i++ {
+		res, err = exec.RunOver(sess, r1, r2, cond, plan.Scheme, model,
+			exec.Config{Seed: *seed + 2})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%d job(s) over one session (1 dial per worker), total %v\n",
+		*jobs, time.Since(start).Round(time.Millisecond))
+	printResult(res, addrs)
+}
+
+// runMultiway executes the 3-way chain join R1 ⋈ Mid ⋈ R3 distributed over
+// the session: the Mid relation's B keys ship as a payload segment and both
+// EWH-planned stages run on the remote workers.
+func runMultiway(addrs []string, r1, r2 []join.Key, n, j int, seed uint64, model cost.Model) {
+	mid := multiway.MidRelation{
+		A: r2,
+		B: workload.Zipfian(n, int64(n), 0.3, seed+7),
+	}
+	r3 := workload.Zipfian(n, int64(n), 0.3, seed+8)
+	q := multiway.Query{R1: r1, Mid: mid, R3: r3,
+		CondA: join.NewBand(1), CondB: join.Equi{}}
+
+	sess, err := netexec.Dial(addrs)
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+	res, err := multiway.ExecuteOver(sess, q, core.Options{J: j, Model: model, Seed: seed},
+		exec.Config{Seed: seed + 2})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("multiway: |R1 ⋈ Mid ⋈ R3| = %d (intermediate %d)\n", res.Output, res.Intermediate)
+	for i, st := range res.Stages {
+		if st.Exec == nil {
+			fmt.Printf("  stage %d: %s\n", i+1, st.Scheme)
+			continue
+		}
+		fmt.Printf("  stage %d: %s plan=%v %v\n", i+1, st.Scheme,
+			st.PlanDuration.Round(time.Millisecond), st.Exec)
+	}
+}
+
+func printResult(res *exec.Result, addrs []string) {
 	fmt.Println(res)
 	for i, w := range res.Workers {
 		fmt.Printf("  worker %2d @ %s: in=%d out=%d work=%.0f\n",

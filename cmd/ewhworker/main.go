@@ -1,20 +1,29 @@
 // Command ewhworker runs a join worker server for the networked execution
-// mode: it accepts jobs from an ewhcoord coordinator, joins the tuple
-// batches it receives and reports its metrics.
+// mode: it accepts jobs from an ewhcoord coordinator — one-shot v1/v2
+// connections or persistent v3 sessions — joins the tuples it receives and
+// reports its metrics.
+//
+// On SIGINT/SIGTERM the worker shuts down gracefully: it stops accepting,
+// drains every in-flight job (bounded by -drain), then exits 0.
 //
 //	ewhworker -addr 127.0.0.1:7071
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ewh/internal/netexec"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "address to listen on")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for in-flight jobs")
 	flag.Parse()
 
 	w, err := netexec.ListenWorker(*addr)
@@ -23,8 +32,33 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("ewhworker listening on", w.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	signaled := make(chan struct{})
+	shutdownErr := make(chan error, 1)
+	go func() {
+		sig := <-sigc
+		close(signaled)
+		fmt.Fprintf(os.Stderr, "ewhworker: %v: draining in-flight jobs (up to %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		shutdownErr <- w.Shutdown(ctx)
+	}()
+
 	if err := w.Serve(); err != nil {
 		fmt.Fprintln(os.Stderr, "ewhworker:", err)
 		os.Exit(1)
+	}
+	// Serve returns the moment the listener closes; when a signal caused
+	// that, wait out the drain before exiting.
+	select {
+	case <-signaled:
+		if err := <-shutdownErr; err != nil {
+			fmt.Fprintf(os.Stderr, "ewhworker: drain timed out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("ewhworker: drained, exiting")
+	default:
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"ewh/internal/core"
 	"ewh/internal/exec"
 	"ewh/internal/multiway"
+	"ewh/internal/netexec"
 	"ewh/internal/partition"
 )
 
@@ -29,6 +30,57 @@ type MultiwayResult = multiway.Result
 // output distribution.
 func ExecuteMultiway(q MultiwayQuery, opts Options, cfg ExecConfig) (*MultiwayResult, error) {
 	return multiway.Execute(q, opts, cfg)
+}
+
+// Runtime abstracts WHERE a planned join executes: the in-process engine
+// (LocalRuntime) and a dialed worker cluster (Dial) are two transports
+// behind the same execution API, producing bit-identical results for the
+// same ExecConfig.
+type Runtime = exec.Runtime
+
+// LocalRuntime returns the in-process runtime: workers are goroutines.
+func LocalRuntime() Runtime { return exec.Local{} }
+
+// Cluster is a persistent session to remote join workers (ewhworker
+// processes): one connection per worker, dialed and handshaken once, with
+// numbered jobs multiplexed over it. It implements Runtime; Close hangs up.
+type Cluster = netexec.Session
+
+// Dial connects to remote workers and opens a session on each. Schemes
+// executed over the returned Cluster may use up to len(addrs) workers.
+func Dial(addrs []string) (*Cluster, error) { return netexec.Dial(addrs) }
+
+// ExecuteOver runs a planned join through rt — Execute generalized over the
+// transport. With a Cluster runtime the relations are shuffled once on the
+// coordinator and streamed to the remote workers as they scatter.
+func ExecuteOver(rt Runtime, r1, r2 []Key, cond Condition, plan *PlanResult,
+	model CostModel, cfg ExecConfig) (*Result, error) {
+	if !model.Valid() {
+		model = DefaultBandModel
+	}
+	return exec.RunOver(rt, r1, r2, cond, plan.Scheme, model, cfg)
+}
+
+// ExecuteTuplesOver runs a payload-carrying join through rt. enc1/enc2
+// encode each relation's payloads for the wire (nil ships that relation as
+// bare keys); in-process runtimes never invoke them. Matched pairs are
+// emitted on the coordinator in a deterministic per-worker order, identical
+// across transports.
+func ExecuteTuplesOver[P1, P2 any](rt Runtime, r1 []Tuple[P1], r2 []Tuple[P2],
+	cond Condition, plan *PlanResult, model CostModel, cfg ExecConfig,
+	enc1 func(dst []byte, p P1) []byte, enc2 func(dst []byte, p P2) []byte,
+	emit func(workerID int, a Tuple[P1], b Tuple[P2])) (*Result, error) {
+	if !model.Valid() {
+		model = DefaultBandModel
+	}
+	return exec.RunTuplesOver(rt, r1, r2, cond, plan.Scheme, model, cfg, enc1, enc2, emit)
+}
+
+// ExecuteMultiwayOver runs the 3-way chain join through rt: with a Cluster
+// runtime both EWH-planned stages execute on the remote workers, the Mid
+// relation shipping its B keys as a wire payload segment.
+func ExecuteMultiwayOver(rt Runtime, q MultiwayQuery, opts Options, cfg ExecConfig) (*MultiwayResult, error) {
+	return multiway.ExecuteOver(rt, q, opts, cfg)
 }
 
 // Assignment maps histogram regions onto machines of heterogeneous capacity

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -33,9 +34,13 @@ type ExecBenchRow struct {
 }
 
 // ExecBenchReport is the machine-readable engine benchmark ewhbench emits as
-// BENCH_exec.json so successive PRs can track the hot-path trajectory.
+// BENCH_exec.json so successive PRs can track the hot-path trajectory. CPUs
+// records the recording machine's core count — provenance for telling a
+// single-core-recorded baseline from a genuine multi-core one (the
+// regression gate compares GOMAXPROCS, not CPUs).
 type ExecBenchReport struct {
 	GOMAXPROCS int            `json:"gomaxprocs"`
+	CPUs       int            `json:"cpus,omitempty"`
 	Scale      int            `json:"scale"`
 	Seed       uint64         `json:"seed"`
 	Rows       []ExecBenchRow `json:"rows"`
@@ -81,7 +86,8 @@ func spinCalibration() (int64, time.Duration) {
 func ExecBench(cfg Config) (*ExecBenchReport, error) {
 	cfg.Defaults()
 	n := 200000 * cfg.Scale
-	rep := &ExecBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Scale: cfg.Scale, Seed: cfg.Seed}
+	rep := &ExecBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), CPUs: runtime.NumCPU(),
+		Scale: cfg.Scale, Seed: cfg.Seed}
 
 	spinSum, spinWall := spinCalibration()
 	rep.Rows = append(rep.Rows, ExecBenchRow{
@@ -196,6 +202,53 @@ func ExecBench(cfg Config) (*ExecBenchReport, error) {
 	if err := runNetRow("netexec-csio-band-gob", netexec.RunGob, csio.Scheme, r1, r2, band); err != nil {
 		return nil, err
 	}
+
+	// Persistent-session rows: the same workers, dialed ONCE — every rep is
+	// a numbered job over the open connections, so the session-vs-binary
+	// delta on the shuffle row is the tracked dial-amortization win. The
+	// payload row ships each tuple with an 8-byte payload segment against
+	// an empty R2, isolating the v3 payload wire path (encode, ship, decode
+	// into pooled flat buffers).
+	sess, err := netexec.Dial(addrs)
+	if err != nil {
+		return nil, fmt.Errorf("execbench: dial session: %w", err)
+	}
+	defer sess.Close()
+	sessRun := func(_ []string, ra, rb []join.Key, cond join.Condition,
+		s partition.Scheme, model cost.Model, cfg exec.Config) (*exec.Result, error) {
+		return exec.RunOver(sess, ra, rb, cond, s, model, cfg)
+	}
+	if err := runNetRow("netexec-session-shuffle", sessRun, hash, r1, empty, join.Equi{}); err != nil {
+		return nil, err
+	}
+	if err := runNetRow("netexec-session-csio-band", sessRun, csio.Scheme, r1, r2, band); err != nil {
+		return nil, err
+	}
+
+	payTuples := make([]exec.Tuple[join.Key], n)
+	for i, k := range r1 {
+		payTuples[i] = exec.Tuple[join.Key]{Key: k, Payload: k * 3}
+	}
+	encKey := func(dst []byte, p join.Key) []byte {
+		return binary.LittleEndian.AppendUint64(dst, uint64(p))
+	}
+	var bestPay *exec.Result
+	for i := 0; i < execBenchReps; i++ {
+		res, err := exec.RunTuplesOver(sess, payTuples, nil, join.Equi{}, hash,
+			cost.DefaultBand, exec.Config{Seed: cfg.Seed, Mappers: 4}, encKey, encKey,
+			func(int, exec.Tuple[join.Key], exec.Tuple[join.Key]) {})
+		if err != nil {
+			return nil, fmt.Errorf("execbench: netexec-session-payload: %w", err)
+		}
+		if bestPay == nil || res.WallTime < bestPay.WallTime {
+			bestPay = res
+		}
+	}
+	rep.Rows = append(rep.Rows, ExecBenchRow{
+		Name: "netexec-session-payload", Scheme: bestPay.Scheme, N1: n, N2: 0, Mappers: 4,
+		WallNS: bestPay.WallTime.Nanoseconds(), Output: bestPay.Output,
+		NetworkTuples: bestPay.NetworkTuples, MaxWork: bestPay.MaxWork,
+	})
 	return rep, nil
 }
 

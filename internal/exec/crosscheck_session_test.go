@@ -1,0 +1,226 @@
+package exec_test
+
+// Cross-check harness for the persistent-session transport: the distributed
+// RunTuplesOver and the multiway pipeline must be BIT-IDENTICAL to the
+// in-process engine — same per-worker metrics, same aggregates, and the
+// same emitted pair sequence per worker — across schemes, payload shapes
+// and mapper counts, since every transport consumes the same shuffled
+// blocks and runs the same deterministic pair join.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ewh/internal/core"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/localjoin"
+	"ewh/internal/multiway"
+	"ewh/internal/netexec"
+	"ewh/internal/partition"
+	"ewh/internal/stats"
+)
+
+func dialLoopbackSession(t *testing.T, n int) *netexec.Session {
+	t.Helper()
+	sess, err := netexec.Dial(startLoopbackWorkers(t, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sess.Close() })
+	return sess
+}
+
+func encodeKeyLE(dst []byte, k join.Key) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(k))
+}
+
+type emittedPair struct {
+	a, b exec.Tuple[join.Key]
+}
+
+func TestCrossCheckSessionTuples(t *testing.T) {
+	const maxWorkers = 8
+	sess := dialLoopbackSession(t, maxWorkers)
+	mapperCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	for seed := uint64(400); seed < 402; seed++ {
+		rng := stats.NewRNG(seed)
+		n1 := 300 + int(rng.Int64n(700))
+		n2 := 300 + int(rng.Int64n(700))
+		domain := 100 + rng.Int64n(500)
+		k1 := netRandKeys(n1, domain, seed+1)
+		k2 := netRandKeys(n2, domain, seed+2)
+		r1 := make([]exec.Tuple[join.Key], n1)
+		for i, k := range k1 {
+			r1[i] = exec.Tuple[join.Key]{Key: k, Payload: k * 5}
+		}
+		r2 := make([]exec.Tuple[join.Key], n2)
+		for i, k := range k2 {
+			r2[i] = exec.Tuple[join.Key]{Key: k, Payload: k * 9}
+		}
+		cond := join.NewBand(2)
+		want := localjoin.NestedLoopCount(k1, k2, cond)
+
+		opts := core.Options{J: 6, Model: netModel, Seed: seed + 3}
+		schemes := []partition.Scheme{partition.NewCI(4)}
+		if csio, err := core.PlanCSIO(k1, k2, cond, opts); err == nil {
+			schemes = append(schemes, csio.Scheme)
+		} else {
+			t.Fatal(err)
+		}
+		if bcast, err := partition.NewBroadcast(5); err == nil {
+			schemes = append(schemes, bcast)
+		}
+
+		for _, s := range schemes {
+			for _, mappers := range mapperCounts {
+				id := fmt.Sprintf("seed %d %s mappers=%d", seed, s.Name(), mappers)
+				cfg := exec.Config{Seed: seed + 4, Mappers: mappers}
+				run := func(rt exec.Runtime, e1, e2 exec.PayloadEncoder[join.Key]) ([][]emittedPair, *exec.Result) {
+					perWorker := make([][]emittedPair, s.Workers())
+					res, err := exec.RunTuplesOver(rt, r1, r2, cond, s, netModel, cfg, e1, e2,
+						func(w int, a, b exec.Tuple[join.Key]) {
+							perWorker[w] = append(perWorker[w], emittedPair{a, b})
+						})
+					if err != nil {
+						t.Fatalf("%s: %v", id, err)
+					}
+					return perWorker, res
+				}
+				localPairs, localRes := run(exec.Local{}, nil, nil)
+				sessPairs, sessRes := run(sess, encodeKeyLE, encodeKeyLE)
+
+				if localRes.Output != want {
+					t.Fatalf("%s: local output %d, ground truth %d", id, localRes.Output, want)
+				}
+				if sessRes.Output != localRes.Output || sessRes.NetworkTuples != localRes.NetworkTuples ||
+					sessRes.MaxWork != localRes.MaxWork || sessRes.TotalWork != localRes.TotalWork {
+					t.Errorf("%s: aggregates differ: sess %v local %v", id, sessRes, localRes)
+				}
+				for w := range localRes.Workers {
+					if sessRes.Workers[w] != localRes.Workers[w] {
+						t.Errorf("%s: worker %d metrics differ: sess %+v local %+v",
+							id, w, sessRes.Workers[w], localRes.Workers[w])
+					}
+					if len(sessPairs[w]) != len(localPairs[w]) {
+						t.Fatalf("%s: worker %d pair counts differ: sess %d local %d",
+							id, w, len(sessPairs[w]), len(localPairs[w]))
+					}
+					for i := range localPairs[w] {
+						if sessPairs[w][i] != localPairs[w][i] {
+							t.Fatalf("%s: worker %d pair %d differs: sess %+v local %+v",
+								id, w, i, sessPairs[w][i], localPairs[w][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCrossCheckSessionRunOverSchemes(t *testing.T) {
+	// The bare-key session path against exec.Run and against the one-shot
+	// netexec.Run: all three transports must agree on every metric.
+	const maxWorkers = 8
+	addrs := startLoopbackWorkers(t, maxWorkers)
+	sess, err := netexec.Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sess.Close() })
+
+	for seed := uint64(500); seed < 502; seed++ {
+		rng := stats.NewRNG(seed)
+		domain := 100 + rng.Int64n(500)
+		r1 := netRandKeys(400+int(rng.Int64n(600)), domain, seed+1)
+		r2 := netRandKeys(400+int(rng.Int64n(600)), domain, seed+2)
+		for _, cond := range []join.Condition{join.Equi{}, join.NewBand(3), join.Inequality{Op: join.LessEq}} {
+			opts := core.Options{J: 6, Model: netModel, Seed: seed + 3}
+			ci, err := core.PlanCI(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mappers := range []int{1, 4} {
+				cfg := exec.Config{Seed: seed + 4, Mappers: mappers}
+				id := fmt.Sprintf("seed %d %v mappers=%d", seed, cond, mappers)
+				local := exec.Run(r1, r2, cond, ci.Scheme, netModel, cfg)
+				oneShot, err := netexec.Run(addrs, r1, r2, cond, ci.Scheme, netModel, cfg)
+				if err != nil {
+					t.Fatalf("%s: one-shot: %v", id, err)
+				}
+				sessRes, err := exec.RunOver(sess, r1, r2, cond, ci.Scheme, netModel, cfg)
+				if err != nil {
+					t.Fatalf("%s: session: %v", id, err)
+				}
+				for w := range local.Workers {
+					if sessRes.Workers[w] != local.Workers[w] || oneShot.Workers[w] != local.Workers[w] {
+						t.Errorf("%s: worker %d metrics differ: sess %+v oneshot %+v local %+v",
+							id, w, sessRes.Workers[w], oneShot.Workers[w], local.Workers[w])
+					}
+				}
+				if sessRes.Output != local.Output || sessRes.NetworkTuples != local.NetworkTuples {
+					t.Errorf("%s: aggregates differ: sess %v local %v", id, sessRes, local)
+				}
+			}
+		}
+	}
+}
+
+func TestCrossCheckSessionMultiway(t *testing.T) {
+	const maxWorkers = 8
+	sess := dialLoopbackSession(t, maxWorkers)
+
+	for seed := uint64(600); seed < 603; seed++ {
+		rng := stats.NewRNG(seed)
+		n := 400 + int(rng.Int64n(600))
+		domain := 80 + rng.Int64n(300)
+		q := multiway.Query{
+			R1: netRandKeys(n, domain, seed+1),
+			Mid: multiway.MidRelation{
+				A: netRandKeys(n, domain, seed+2),
+				B: netRandKeys(n, domain, seed+3),
+			},
+			R3:    netRandKeys(n, domain, seed+4),
+			CondA: join.NewBand(1),
+			CondB: join.Equi{},
+		}
+		opts := core.Options{J: 5, Model: netModel, Seed: seed + 5}
+		for _, mappers := range []int{1, 4} {
+			cfg := exec.Config{Seed: seed + 6, Mappers: mappers}
+			id := fmt.Sprintf("seed %d mappers=%d", seed, mappers)
+			local, err := multiway.ExecuteOver(exec.Local{}, q, opts, cfg)
+			if err != nil {
+				t.Fatalf("%s: local: %v", id, err)
+			}
+			dist, err := multiway.ExecuteOver(sess, q, opts, cfg)
+			if err != nil {
+				t.Fatalf("%s: session: %v", id, err)
+			}
+			if dist.Output != local.Output || dist.Intermediate != local.Intermediate {
+				t.Fatalf("%s: results differ: sess (out=%d mid=%d) local (out=%d mid=%d)",
+					id, dist.Output, dist.Intermediate, local.Output, local.Intermediate)
+			}
+			if len(dist.Stages) != len(local.Stages) {
+				t.Fatalf("%s: stage counts differ", id)
+			}
+			for si := range local.Stages {
+				le, de := local.Stages[si].Exec, dist.Stages[si].Exec
+				if (le == nil) != (de == nil) {
+					t.Fatalf("%s: stage %d presence differs", id, si)
+				}
+				if le == nil {
+					continue
+				}
+				for w := range le.Workers {
+					if de.Workers[w] != le.Workers[w] {
+						t.Errorf("%s: stage %d worker %d metrics differ: sess %+v local %+v",
+							id, si, w, de.Workers[w], le.Workers[w])
+					}
+				}
+			}
+		}
+	}
+}

@@ -11,12 +11,10 @@ package exec
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"ewh/internal/cost"
 	"ewh/internal/join"
-	"ewh/internal/localjoin"
 	"ewh/internal/partition"
 )
 
@@ -106,56 +104,64 @@ func (r *Result) String() string {
 		r.MemoryBytes>>20, r.MaxWork, r.WallTime.Round(time.Millisecond))
 }
 
-// Run shuffles r1 and r2 to the scheme's workers and executes the join.
-//
-// The shuffle is two-pass: each mapper batch-routes its shard once, recording
-// receiver lists and per-worker counts, then scatters tuples into one
-// exactly-sized flat buffer per relation (see shuffleRelation). The reduce
-// phase therefore receives contiguous per-worker slices it owns outright —
-// no concatenation copies — and sorts them in place (in parallel, one worker
-// per goroutine) for the merge-sweep local join.
+// Run shuffles r1 and r2 to the scheme's workers and executes the join
+// in-process. It is RunOver with the Local runtime: the shuffle is the
+// two-pass batch-routed scatter into exactly-sized flat buffers (see
+// shuffleRelation) and each worker is a goroutine sorting its contiguous
+// slices in place for the merge-sweep local join.
 func Run(r1, r2 []join.Key, cond join.Condition, scheme partition.Scheme,
 	model cost.Model, cfg Config) *Result {
+
+	res, _ := RunOver(Local{}, r1, r2, cond, scheme, model, cfg) // Local never errors
+	return res
+}
+
+// RunOver shuffles r1 and r2 once and executes the join through rt — the
+// transport-agnostic entry point behind Run (rt = Local) and the
+// distributed engines (rt = netexec.Session). Each relation is handed to
+// the runtime the moment its scatter completes, so a wire transport
+// overlaps its socket writes with the other relation's still-running
+// shuffle. With the same cfg the per-worker blocks, and therefore every
+// per-worker metric, are identical across transports.
+func RunOver(rt Runtime, r1, r2 []join.Key, cond join.Condition,
+	scheme partition.Scheme, model cost.Model, cfg Config) (*Result, error) {
 
 	cfg.defaults()
 	start := time.Now()
 	j := scheme.Workers()
-	s1, s2 := shufflePair(r1, r1, r2, r2, scheme, cfg, GetKeyBuffer, GetKeyBuffer)
+	f1, f2 := newRelFuture(), newRelFuture()
+	shufflePairAsync(r1, r1, r2, r2, scheme, cfg, GetKeyBuffer, GetKeyBuffer,
+		func(s shuffled[join.Key]) { f1.resolve(RelData{Keys: &KeyShuffle{s}}) },
+		func(s shuffled[join.Key]) { f2.resolve(RelData{Keys: &KeyShuffle{s}}) })
 
-	// Reduce phase: each worker joins its contiguous slices locally.
-	res := &Result{Scheme: scheme.Name(), Workers: make([]WorkerMetrics, j)}
-	var rwg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for w := 0; w < j; w++ {
-		rwg.Add(1)
-		go func(w int) {
-			defer rwg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			in1, in2 := s1.worker(w), s2.worker(w)
-			out := localjoin.AutoCountOwned(in1, in2, cond)
-			m := &res.Workers[w]
-			m.InputR1 = int64(len(in1))
-			m.InputR2 = int64(len(in2))
-			m.Output = out
-			m.Work = model.Weight(float64(m.Input()), float64(out))
-		}(w)
+	job := &Job{Cond: cond, Workers: j, R1: f1, R2: f2}
+	res := &Result{Scheme: scheme.Name() + rt.Label(), Workers: make([]WorkerMetrics, j)}
+	err := rt.RunJob(job, res.Workers)
+	f1.Wait().Keys.Release()
+	f2.Wait().Keys.Release()
+	if err != nil {
+		return nil, err
 	}
-	rwg.Wait()
-	PutKeyBuffer(s1.flat)
-	PutKeyBuffer(s2.flat)
+	finishResult(res, model, start, cfg.BytesPerTuple)
+	return res, nil
+}
 
-	for _, m := range res.Workers {
+// finishResult derives the modeled per-worker Work and the run-level
+// aggregates from the filled input/output counts — shared by every driver
+// so all transports report identical metrics for identical blocks.
+func finishResult(res *Result, model cost.Model, start time.Time, bytesPerTuple int) {
+	for i := range res.Workers {
+		m := &res.Workers[i]
+		m.Work = model.Weight(float64(m.Input()), float64(m.Output))
 		res.Output += m.Output
 		res.NetworkTuples += m.Input()
-		res.MemoryBytes += m.Input() * int64(cfg.BytesPerTuple)
+		res.MemoryBytes += m.Input() * int64(bytesPerTuple)
 		res.TotalWork += m.Work
 		if m.Work > res.MaxWork {
 			res.MaxWork = m.Work
 		}
 	}
 	res.WallTime = time.Since(start)
-	return res
 }
 
 func shard(n, parts, i int) (lo, hi int) {

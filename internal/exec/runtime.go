@@ -1,0 +1,234 @@
+package exec
+
+import (
+	"cmp"
+	"runtime"
+	"slices"
+	"sync"
+
+	"ewh/internal/join"
+	"ewh/internal/localjoin"
+)
+
+// This file is the transport-agnostic runtime layer: the in-process engine
+// and the networked engine are two transports behind one execution API. A
+// driver (RunOver, RunTuplesOver) plans and shuffles exactly once, wraps the
+// shuffled relations in a Job and hands it to a Runtime; the Runtime only
+// decides WHERE each worker's join happens — goroutines in this process
+// (Local) or remote worker processes behind persistent connections
+// (netexec.Session). Because every transport consumes the same shuffled
+// blocks and runs the same pair join, results are bit-identical across
+// transports for a fixed Config.
+
+// Runtime executes planned join jobs over some transport.
+type Runtime interface {
+	// Label is appended to the scheme name in Results ("" for in-process,
+	// "@sess" for the persistent-session network transport).
+	Label() string
+	// RunJob dispatches one job and fills wm[w].InputR1/InputR2/Output for
+	// each of the job's workers (wm has length job.Workers). The driver
+	// derives the modeled Work afterwards, so transports never see the cost
+	// model. RunJob must call job.Pairs — when set — sequentially per
+	// worker, though different workers may proceed concurrently.
+	RunJob(job *Job, wm []WorkerMetrics) error
+}
+
+// PairIdx is one matched pair of a join, as indices into the worker's
+// arrival-order R1 and R2 blocks. Indices (not payloads) cross transport
+// boundaries: with a deterministic shuffle both sides of the wire hold
+// identical blocks, so an index pair reconstructs the exact tuple pair.
+type PairIdx struct{ I1, I2 uint32 }
+
+// PayloadBlock is one worker's encoded payload segment: tuple i's bytes are
+// Flat[Off[i]:Off[i+1]]. Off has length tuples+1 with Off[0] == 0.
+type PayloadBlock struct {
+	Flat []byte
+	Off  []uint32
+}
+
+// PayloadEncoder appends the wire encoding of one payload to dst. A nil
+// encoder means the relation ships as bare keys (no payload segment).
+type PayloadEncoder[P any] func(dst []byte, p P) []byte
+
+// RelData is one shuffled relation as a Runtime consumes it.
+type RelData struct {
+	// Keys holds the per-worker contiguous key blocks.
+	Keys *KeyShuffle
+	// Payloads, when non-nil, returns worker w's encoded payload block.
+	// Only wire transports call it — in-process emission reads the original
+	// tuple buffers — so the encoding cost is paid exactly when bytes
+	// actually cross a socket.
+	Payloads func(w int) PayloadBlock
+}
+
+// RelFuture hands a Runtime one relation as soon as its shuffle completes.
+// Wait blocks until the relation's scatter has finished; a wire transport
+// that starts streaming R1 the moment it resolves overlaps its socket
+// writes with R2's still-running shuffle.
+type RelFuture struct {
+	done chan struct{}
+	data RelData
+}
+
+func newRelFuture() *RelFuture { return &RelFuture{done: make(chan struct{})} }
+
+func (f *RelFuture) resolve(d RelData) {
+	f.data = d
+	close(f.done)
+}
+
+// Wait blocks until the relation's shuffle completed and returns it. Safe
+// for concurrent callers.
+func (f *RelFuture) Wait() RelData {
+	<-f.done
+	return f.data
+}
+
+// ResolvedRelFuture wraps an already-materialized relation for direct Job
+// construction — custom transports and protocol tests that bypass the
+// drivers' shuffle.
+func ResolvedRelFuture(d RelData) *RelFuture {
+	f := newRelFuture()
+	f.resolve(d)
+	return f
+}
+
+// Job is one planned join handed to a Runtime: the predicate, the (still
+// shuffling) relations, and an optional pair sink.
+type Job struct {
+	// Cond is the join predicate. Wire transports re-encode it with
+	// join.SpecOf and fail for condition types without a wire spec;
+	// in-process transports evaluate it directly, so exec.Run keeps working
+	// for user-defined conditions.
+	Cond join.Condition
+	// Workers is the number of reducer workers (scheme.Workers()).
+	Workers int
+	// R1, R2 resolve to the shuffled relations.
+	R1, R2 *RelFuture
+	// Pairs, when non-nil, receives worker w's matched pairs in chunks, in
+	// deterministic order (R1 arrival order, ties in R2 by key then arrival
+	// index). Calls for the same worker are sequential; the chunk is only
+	// valid for the duration of the call. When nil the job is count-only
+	// and workers may sort their blocks in place.
+	Pairs func(worker int, chunk []PairIdx)
+}
+
+// pairChunk is the flush granularity of JoinPairs: bounded buffering on
+// every transport (32k pairs, 256 KiB) instead of materializing a
+// potentially output-skewed worker's whole pair set.
+const pairChunk = 1 << 15
+
+var pairBufPool sync.Pool // stores *[]PairIdx
+
+func getPairBuf() []PairIdx {
+	if v := pairBufPool.Get(); v != nil {
+		return (*v.(*[]PairIdx))[:0]
+	}
+	return make([]PairIdx, 0, pairChunk)
+}
+
+func putPairBuf(b []PairIdx) {
+	b = b[:0]
+	pairBufPool.Put(&b)
+}
+
+// JoinPairs streams the matched index pairs of a monotonic join with both
+// relations in arrival order, calling flush with successive chunks (each at
+// most pairChunk long, reused between calls). Pairs come in R1 arrival
+// order; a tuple's R2 partners ascend by key with ties broken by arrival
+// index, so every transport — the in-process Local runtime and a remote
+// netexec worker joining the identical shuffled blocks — produces the
+// byte-identical pair stream. Neither input slice is mutated. Returns the
+// total match count.
+func JoinPairs(r1, r2 []join.Key, cond join.Condition, flush func([]PairIdx)) int64 {
+	if len(r1) == 0 || len(r2) == 0 {
+		return 0
+	}
+	// Argsort R2 by (key, index) instead of sorting it in place: the blocks
+	// may be shared with the driver's emission path, and the stable order is
+	// what makes the pair stream deterministic.
+	ord := getTupleSlice[uint32](len(r2))
+	for i, k := range r2 {
+		ord[i] = Tuple[uint32]{Key: k, Payload: uint32(i)}
+	}
+	sortKeyIdx(ord)
+	buf := getPairBuf()
+	var out int64
+	for i1, k := range r1 {
+		lo, hi := cond.JoinableRange(k)
+		i := searchKey(ord, lo)
+		for ; i < len(ord) && ord[i].Key <= hi; i++ {
+			buf = append(buf, PairIdx{I1: uint32(i1), I2: ord[i].Payload})
+			out++
+			if len(buf) == pairChunk {
+				flush(buf)
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		flush(buf)
+	}
+	putPairBuf(buf)
+	putTupleSlice(ord)
+	return out
+}
+
+// sortKeyIdx orders an argsort buffer by (key, arrival index) — the stable
+// order JoinPairs' determinism rests on (slices.SortFunc alone is unstable).
+func sortKeyIdx(ts []Tuple[uint32]) {
+	slices.SortFunc(ts, func(a, b Tuple[uint32]) int {
+		if c := cmp.Compare(a.Key, b.Key); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Payload, b.Payload)
+	})
+}
+
+// searchKey returns the first position in the (key, index)-sorted buffer
+// whose key is >= k.
+func searchKey(ts []Tuple[uint32], k join.Key) int {
+	i, _ := slices.BinarySearchFunc(ts, k,
+		func(t Tuple[uint32], k join.Key) int { return cmp.Compare(t.Key, k) })
+	return i
+}
+
+// Local is the in-process runtime: each worker is a goroutine joining its
+// shuffled blocks, bounded by GOMAXPROCS.
+type Local struct{}
+
+// Label implements Runtime; in-process results carry the bare scheme name.
+func (Local) Label() string { return "" }
+
+// RunJob implements Runtime. Count-only jobs sort the (owned) key blocks in
+// place with the merge-sweep join; pair jobs run the deterministic
+// index-pair join. Local never returns an error.
+func (Local) RunJob(job *Job, wm []WorkerMetrics) error {
+	r1 := job.R1.Wait()
+	r2 := job.R2.Wait()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for w := 0; w < job.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			in1, in2 := r1.Keys.Worker(w), r2.Keys.Worker(w)
+			var out int64
+			if job.Pairs == nil {
+				out = localjoin.AutoCountOwned(in1, in2, job.Cond)
+			} else {
+				out = JoinPairs(in1, in2, job.Cond, func(chunk []PairIdx) {
+					job.Pairs(w, chunk)
+				})
+			}
+			m := &wm[w]
+			m.InputR1 = int64(len(in1))
+			m.InputR2 = int64(len(in2))
+			m.Output = out
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}

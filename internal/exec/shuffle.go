@@ -97,6 +97,28 @@ func shufflePair[T1, T2 any](items1 []T1, keys1 []join.Key, items2 []T2, keys2 [
 	scheme partition.Scheme, cfg Config,
 	alloc1 func(int) []T1, alloc2 func(int) []T2) (shuffled[T1], shuffled[T2]) {
 
+	var s1 shuffled[T1]
+	var s2 shuffled[T2]
+	var wg sync.WaitGroup
+	wg.Add(2)
+	shufflePairAsync(items1, keys1, items2, keys2, scheme, cfg, alloc1, alloc2,
+		func(s shuffled[T1]) { s1 = s; wg.Done() },
+		func(s shuffled[T2]) { s2 = s; wg.Done() })
+	wg.Wait()
+	return s1, s2
+}
+
+// shufflePairAsync is shufflePair's streaming form: it returns immediately
+// and calls done1/done2 (from the shuffling goroutines) the moment each
+// relation's scatter completes, so a consumer can start draining relation
+// 1 — e.g. writing its worker blocks onto sockets — while relation 2 is
+// still routing. The callbacks must be cheap or hand off to another
+// goroutine; per-mapper batch storage is recycled after both complete.
+func shufflePairAsync[T1, T2 any](items1 []T1, keys1 []join.Key, items2 []T2, keys2 []join.Key,
+	scheme partition.Scheme, cfg Config,
+	alloc1 func(int) []T1, alloc2 func(int) []T2,
+	done1 func(shuffled[T1]), done2 func(shuffled[T2])) {
+
 	j := scheme.Workers()
 	mappers := cfg.Mappers
 	master := stats.NewRNG(cfg.Seed)
@@ -115,22 +137,21 @@ func shufflePair[T1, T2 any](items1 []T1, keys1 []join.Key, items2 []T2, keys2 [
 		partition.RouteBatchR2(scheme, keys, rng, b)
 	}
 	b1, b2 := getBatches(mappers), getBatches(mappers)
-	var s1 shuffled[T1]
-	var s2 shuffled[T2]
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		s1 = shuffleRelation(items1, keys1, j, mappers, rngs1, b1, route1, alloc1)
+		done1(shuffleRelation(items1, keys1, j, mappers, rngs1, b1, route1, alloc1))
 	}()
 	go func() {
 		defer wg.Done()
-		s2 = shuffleRelation(items2, keys2, j, mappers, rngs2, b2, route2, alloc2)
+		done2(shuffleRelation(items2, keys2, j, mappers, rngs2, b2, route2, alloc2))
 	}()
-	wg.Wait()
-	putBatches(b1)
-	putBatches(b2)
-	return s1, s2
+	go func() {
+		wg.Wait()
+		putBatches(b1)
+		putBatches(b2)
+	}()
 }
 
 // KeyShuffle is the exported view of one shuffled bare-key relation: worker

@@ -1,10 +1,6 @@
 package exec
 
 import (
-	"cmp"
-	"runtime"
-	"slices"
-	"sync"
 	"time"
 
 	"ewh/internal/cost"
@@ -49,86 +45,112 @@ func WrapKeys(keys []join.Key) []Tuple[struct{}] {
 // joins them locally, invoking emit once per matching pair. emit is called
 // concurrently from different workers but never concurrently for the same
 // workerID, so per-worker accumulation needs no locking. The returned Result
-// carries the same metrics as Run.
+// carries the same metrics as Run. It is RunTuplesOver with the Local
+// runtime (payload encoders are only consulted by wire transports).
 func RunTuples[P1, P2 any](r1 []Tuple[P1], r2 []Tuple[P2], cond join.Condition,
 	scheme partition.Scheme, model cost.Model, cfg Config,
 	emit func(workerID int, a Tuple[P1], b Tuple[P2])) *Result {
+
+	res, _ := RunTuplesOver(Local{}, r1, r2, cond, scheme, model, cfg, nil, nil, emit)
+	return res
+}
+
+// RunTuplesOver executes a payload-carrying join through rt. The tuples are
+// shuffled exactly once (flat pooled buffers, as Run's key path); the
+// runtime joins the projected key blocks and streams back matched index
+// pairs, which this driver maps onto the shuffled tuple blocks to invoke
+// emit — so emission is identical no matter where the join ran. For wire
+// transports, enc1/enc2 encode each relation's payloads into the job's
+// per-worker payload blocks (a nil encoder ships that relation as bare
+// keys); the Local runtime never calls them.
+//
+// emit is called concurrently from different workers but never concurrently
+// for the same workerID. Pair order per worker is deterministic: R1 arrival
+// order, partners ascending by (key, arrival index).
+func RunTuplesOver[P1, P2 any](rt Runtime, r1 []Tuple[P1], r2 []Tuple[P2],
+	cond join.Condition, scheme partition.Scheme, model cost.Model, cfg Config,
+	enc1 PayloadEncoder[P1], enc2 PayloadEncoder[P2],
+	emit func(workerID int, a Tuple[P1], b Tuple[P2])) (*Result, error) {
 
 	cfg.defaults()
 	start := time.Now()
 	j := scheme.Workers()
 	// Project routing keys into pooled buffers; the shuffle's flat tuple
-	// buffers come from the per-type tuple pool, so steady-state RunTuples
-	// allocates nothing proportional to the input.
+	// buffers come from the per-type tuple pool, so steady-state runs
+	// allocate nothing proportional to the input.
 	k1 := GetKeyBuffer(len(r1))
 	keysInto(k1, r1)
 	k2 := GetKeyBuffer(len(r2))
 	keysInto(k2, r2)
-	s1, s2 := shufflePair(r1, k1, r2, k2, scheme, cfg,
-		getTupleSlice[P1], getTupleSlice[P2])
+
+	var s1 shuffled[Tuple[P1]]
+	var s2 shuffled[Tuple[P2]]
+	f1, f2 := newRelFuture(), newRelFuture()
+	// The resolve callbacks publish s1/s2 before closing the future, so any
+	// goroutine that Waited the future (every runtime does before
+	// dispatching, and Pairs callers run after dispatch) sees the blocks.
+	shufflePairAsync(r1, k1, r2, k2, scheme, cfg, getTupleSlice[P1], getTupleSlice[P2],
+		func(s shuffled[Tuple[P1]]) { s1 = s; f1.resolve(tupleRelData(s, enc1)) },
+		func(s shuffled[Tuple[P2]]) { s2 = s; f2.resolve(tupleRelData(s, enc2)) })
+
+	job := &Job{Cond: cond, Workers: j, R1: f1, R2: f2}
+	if emit != nil {
+		// A nil emit leaves Pairs nil too: the job runs count-only on every
+		// transport (in-place merge-sweep locally, no pairs traffic on a
+		// wire) instead of enumerating matches nobody will see.
+		job.Pairs = func(w int, chunk []PairIdx) {
+			// The future waits are free after resolution and give this
+			// goroutine an explicit acquire edge on the s1/s2 writes —
+			// pair delivery paths (e.g. a session's socket read loop) must
+			// not rely on transitive ordering through the transport.
+			f1.Wait()
+			f2.Wait()
+			b1, b2 := s1.worker(w), s2.worker(w)
+			for _, p := range chunk {
+				emit(w, b1[p.I1], b2[p.I2])
+			}
+		}
+	}
+	res := &Result{Scheme: scheme.Name() + rt.Label(), Workers: make([]WorkerMetrics, j)}
+	err := rt.RunJob(job, res.Workers)
+
+	// Wait for both shuffles before recycling anything: a transport that
+	// errored early may return while a scatter is still reading k1/k2.
+	f1.Wait().Keys.Release()
+	f2.Wait().Keys.Release()
 	PutKeyBuffer(k1)
 	PutKeyBuffer(k2)
-
-	res := &Result{Scheme: scheme.Name(), Workers: make([]WorkerMetrics, j)}
-	var rwg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for w := 0; w < j; w++ {
-		rwg.Add(1)
-		go func(w int) {
-			defer rwg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			in1, in2 := s1.worker(w), s2.worker(w)
-			out := joinTuplesLocal(in1, in2, cond, w, emit)
-			m := &res.Workers[w]
-			m.InputR1 = int64(len(in1))
-			m.InputR2 = int64(len(in2))
-			m.Output = out
-			m.Work = model.Weight(float64(m.Input()), float64(out))
-		}(w)
-	}
-	rwg.Wait()
 	// emit receives tuples by value, so the flat buffers are dead here and
 	// can recycle; the put clears nothing — getTupleSlice clears the tail a
 	// shorter future job would otherwise leak.
 	putTupleSlice(s1.flat)
 	putTupleSlice(s2.flat)
-
-	for _, m := range res.Workers {
-		res.Output += m.Output
-		res.NetworkTuples += m.Input()
-		res.MemoryBytes += m.Input() * int64(cfg.BytesPerTuple)
-		res.TotalWork += m.Work
-		if m.Work > res.MaxWork {
-			res.MaxWork = m.Work
-		}
+	if err != nil {
+		return nil, err
 	}
-	res.WallTime = time.Since(start)
-	return res
+	finishResult(res, model, start, cfg.BytesPerTuple)
+	return res, nil
 }
 
-// joinTuplesLocal is the sort-based monotonic local join over tuples. The
-// worker owns its shuffled slices, so the R2 side is sorted in place (by key;
-// slices.SortFunc, no reflection) rather than copied; R1 stays in arrival
-// order so emit sees pairs in R1 order with R2 partners ascending.
-func joinTuplesLocal[P1, P2 any](r1 []Tuple[P1], r2 []Tuple[P2],
-	cond join.Condition, workerID int, emit func(int, Tuple[P1], Tuple[P2])) int64 {
-
-	if len(r1) == 0 || len(r2) == 0 {
-		return 0
-	}
-	slices.SortFunc(r2, func(a, b Tuple[P2]) int { return cmp.Compare(a.Key, b.Key) })
-	var out int64
-	for _, a := range r1 {
-		lo, hi := cond.JoinableRange(a.Key)
-		i, _ := slices.BinarySearchFunc(r2, lo,
-			func(t Tuple[P2], k join.Key) int { return cmp.Compare(t.Key, k) })
-		for ; i < len(r2) && r2[i].Key <= hi; i++ {
-			out++
-			if emit != nil {
-				emit(workerID, a, r2[i])
+// tupleRelData adapts one shuffled tuple relation for the runtime layer: the
+// key blocks are a pooled flat projection sharing the shuffle's offsets, and
+// the payload closure — only invoked by wire transports — encodes one
+// worker's payloads into a length-indexed flat block.
+func tupleRelData[P any](s shuffled[Tuple[P]], enc PayloadEncoder[P]) RelData {
+	kflat := GetKeyBuffer(len(s.flat))
+	keysInto(kflat, s.flat)
+	rd := RelData{Keys: &KeyShuffle{shuffled[join.Key]{flat: kflat, off: s.off}}}
+	if enc != nil {
+		rd.Payloads = func(w int) PayloadBlock {
+			ts := s.worker(w)
+			off := make([]uint32, len(ts)+1)
+			var flat []byte
+			for i := range ts {
+				flat = enc(flat, ts[i].Payload)
+				off[i+1] = uint32(len(flat))
 			}
+			return PayloadBlock{Flat: flat, Off: off}
 		}
 	}
-	return out
+	return rd
 }

@@ -7,6 +7,7 @@
 package multiway
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"time"
@@ -69,9 +70,34 @@ type Result struct {
 // from accidentally Cartesian first stages; Execute fails beyond it.
 const MaxIntermediate = 200_000_000
 
-// Execute runs the chain join with per-stage EWH planning. opts.J machines
-// are used by both stages.
+// Execute runs the chain join in-process with per-stage EWH planning.
+// opts.J machines are used by both stages.
 func Execute(q Query, opts core.Options, cfg exec.Config) (*Result, error) {
+	return ExecuteOver(exec.Local{}, q, opts, cfg)
+}
+
+// encodeKeyPayload is the wire encoding of the intermediate tuples' payload
+// (the Mid rows' B keys): 8 fixed-width little-endian bytes. Shipping the
+// payload segment is deliberate even though pair emission reconstructs
+// payloads coordinator-side from index pairs: in the paper's shared-nothing
+// pipeline the workers own the materialized join output (a later stage
+// re-shuffles worker→worker without the coordinator touching the data), so
+// the distributed path keeps the data where the architecture needs it —
+// and keeps the payload wire path exercised end to end. Pass nil instead
+// of an encoder to trade that fidelity for ~60% fewer Mid-relation bytes.
+func encodeKeyPayload(dst []byte, k join.Key) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(k))
+}
+
+// ExecuteOver runs the chain join through rt — the whole pipeline becomes
+// distributed by passing a netexec session: stage 1 ships the Mid relation
+// as key blocks plus a payload segment carrying each row's B key, the
+// workers join and stream matched pairs back, and the re-keyed intermediate
+// is re-planned and joined on the same runtime. Planning (statistics,
+// histograms) stays on the coordinator, exactly as the paper's coordinator
+// builds the equi-weight histogram before each shuffle. Results are
+// bit-identical across runtimes for a fixed cfg.
+func ExecuteOver(rt exec.Runtime, q Query, opts core.Options, cfg exec.Config) (*Result, error) {
 	if err := q.Mid.Validate(); err != nil {
 		return nil, err
 	}
@@ -100,7 +126,8 @@ func Execute(q Query, opts core.Options, cfg exec.Config) (*Result, error) {
 	perWorker := make([][]join.Key, plan1.Scheme.Workers())
 	var mu sync.Mutex
 	overflow := false
-	res1 := exec.RunTuples(r1Tuples, midTuples, q.CondA, plan1.Scheme, opts.Model, cfg,
+	res1, err := exec.RunTuplesOver(rt, r1Tuples, midTuples, q.CondA, plan1.Scheme, opts.Model, cfg,
+		nil, encodeKeyPayload,
 		func(w int, _ exec.Tuple[struct{}], b exec.Tuple[join.Key]) {
 			perWorker[w] = append(perWorker[w], b.Payload)
 			if len(perWorker[w]) == MaxIntermediate {
@@ -109,6 +136,9 @@ func Execute(q Query, opts core.Options, cfg exec.Config) (*Result, error) {
 				mu.Unlock()
 			}
 		})
+	if err != nil {
+		return nil, fmt.Errorf("multiway: stage 1: %w", err)
+	}
 	if overflow || res1.Output > MaxIntermediate {
 		return nil, fmt.Errorf("multiway: stage 1 produced %d tuples (cap %d); restructure the chain",
 			res1.Output, MaxIntermediate)
@@ -143,7 +173,10 @@ func Execute(q Query, opts core.Options, cfg exec.Config) (*Result, error) {
 		return nil, fmt.Errorf("multiway: stage 2 plan: %w", err)
 	}
 	plan2Dur := time.Since(plan2Start)
-	res2 := exec.Run(intermediate, q.R3, q.CondB, plan2.Scheme, opts.Model, cfg)
+	res2, err := exec.RunOver(rt, intermediate, q.R3, q.CondB, plan2.Scheme, opts.Model, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("multiway: stage 2: %w", err)
+	}
 
 	out.Stages = append(out.Stages, StageResult{
 		Scheme:       plan2.Scheme.Name(),

@@ -1,6 +1,7 @@
 package netexec
 
 import (
+	"encoding/binary"
 	"testing"
 
 	"ewh/internal/cost"
@@ -30,10 +31,28 @@ func startBenchWorkers(b *testing.B, n int) []string {
 // ship, decode. The acceptance bar for the v2 protocol is ≥2× over the gob
 // baseline here.
 
-func benchShuffle(b *testing.B, run func(addrs []string, r1, r2 []join.Key,
-	cond join.Condition, scheme partition.Scheme, model cost.Model,
-	cfg exec.Config) (*exec.Result, error)) {
+// runFn abstracts the transport under test; makeRun-style setup (e.g.
+// dialing a session) happens before the timer starts.
+type runFn func(addrs []string, r1, r2 []join.Key, cond join.Condition,
+	scheme partition.Scheme, model cost.Model, cfg exec.Config) (*exec.Result, error)
 
+// sessionRun dials a persistent session to addrs (untimed setup) and
+// returns a runFn dispatching numbered jobs over it — each timed iteration
+// is one job on the already-open connections.
+func sessionRun(b *testing.B, addrs []string) runFn {
+	b.Helper()
+	sess, err := Dial(addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = sess.Close() })
+	return func(addrs []string, r1, r2 []join.Key, cond join.Condition,
+		scheme partition.Scheme, model cost.Model, cfg exec.Config) (*exec.Result, error) {
+		return exec.RunOver(sess, r1, r2, cond, scheme, model, cfg)
+	}
+}
+
+func benchShuffle(b *testing.B, makeRun func(b *testing.B, addrs []string) runFn) {
 	const n = 200000
 	r1 := randKeys(n, n, 1)
 	hash, err := partition.NewHash(4, nil)
@@ -41,6 +60,7 @@ func benchShuffle(b *testing.B, run func(addrs []string, r1, r2 []join.Key,
 		b.Fatal(err)
 	}
 	addrs := startBenchWorkers(b, 4)
+	run := makeRun(b, addrs)
 	cfg := exec.Config{Seed: 2, Mappers: 4}
 	b.SetBytes(8 * n)
 	b.ResetTimer()
@@ -55,22 +75,72 @@ func benchShuffle(b *testing.B, run func(addrs []string, r1, r2 []join.Key,
 	}
 }
 
-func BenchmarkLoopbackShuffleBinary(b *testing.B) { benchShuffle(b, Run) }
-func BenchmarkLoopbackShuffleGob(b *testing.B)    { benchShuffle(b, RunGob) }
+// perJobRun adapts the one-shot transports (Run, RunGob) to the setup
+// signature.
+func perJobRun(fn runFn) func(*testing.B, []string) runFn {
+	return func(*testing.B, []string) runFn { return fn }
+}
+
+func BenchmarkLoopbackShuffleBinary(b *testing.B) { benchShuffle(b, perJobRun(Run)) }
+func BenchmarkLoopbackShuffleGob(b *testing.B)    { benchShuffle(b, perJobRun(RunGob)) }
+
+// BenchmarkLoopbackShuffleSession is the persistent-session counterpart of
+// the per-job-dial binary shuffle: the session is dialed once outside the
+// timed loop, so each iteration is one numbered job over the already-open
+// connections — the dial/teardown per job that Run pays is amortized away.
+func BenchmarkLoopbackShuffleSession(b *testing.B) { benchShuffle(b, sessionRun) }
+
+// BenchmarkLoopbackPayloadSession times the payload wire path in isolation:
+// R1 ships 200k tuples each carrying an 8-byte payload segment against an
+// empty R2, so the wall time is route, encode (keys + payloads), ship,
+// decode into pooled flat buffers.
+func BenchmarkLoopbackPayloadSession(b *testing.B) {
+	const n = 200000
+	keys := randKeys(n, n, 7)
+	r1 := make([]exec.Tuple[join.Key], n)
+	for i, k := range keys {
+		r1[i] = exec.Tuple[join.Key]{Key: k, Payload: k * 3}
+	}
+	var r2 []exec.Tuple[join.Key]
+	hash, err := partition.NewHash(4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs := startBenchWorkers(b, 4)
+	sess, err := Dial(addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = sess.Close() })
+	enc := func(dst []byte, p join.Key) []byte {
+		return binary.LittleEndian.AppendUint64(dst, uint64(p))
+	}
+	cfg := exec.Config{Seed: 8, Mappers: 4}
+	b.SetBytes(16 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exec.RunTuplesOver(sess, r1, r2, join.Equi{}, hash, model, cfg,
+			enc, enc, func(int, exec.Tuple[join.Key], exec.Tuple[join.Key]) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NetworkTuples != n {
+			b.Fatalf("shipped %d tuples, want %d", res.NetworkTuples, n)
+		}
+	}
+}
 
 // The end-to-end pair: a full band join over the wire, dominated by
 // shuffle + local join together.
 
-func benchBandJoin(b *testing.B, run func(addrs []string, r1, r2 []join.Key,
-	cond join.Condition, scheme partition.Scheme, model cost.Model,
-	cfg exec.Config) (*exec.Result, error)) {
-
+func benchBandJoin(b *testing.B, makeRun func(b *testing.B, addrs []string) runFn) {
 	const n = 100000
 	r1 := randKeys(n, n, 3)
 	r2 := randKeys(n, n, 4)
 	cond := join.NewBand(2)
 	ci := partition.NewCI(4)
 	addrs := startBenchWorkers(b, 4)
+	run := makeRun(b, addrs)
 	cfg := exec.Config{Seed: 5, Mappers: 4}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -80,5 +150,6 @@ func benchBandJoin(b *testing.B, run func(addrs []string, r1, r2 []join.Key,
 	}
 }
 
-func BenchmarkLoopbackBandJoinBinary(b *testing.B) { benchBandJoin(b, Run) }
-func BenchmarkLoopbackBandJoinGob(b *testing.B)    { benchBandJoin(b, RunGob) }
+func BenchmarkLoopbackBandJoinBinary(b *testing.B)  { benchBandJoin(b, perJobRun(Run)) }
+func BenchmarkLoopbackBandJoinGob(b *testing.B)     { benchBandJoin(b, perJobRun(RunGob)) }
+func BenchmarkLoopbackBandJoinSession(b *testing.B) { benchBandJoin(b, sessionRun) }

@@ -1,22 +1,28 @@
 // Package netexec runs the shared-nothing join over real TCP workers: a
 // coordinator batch-routes both relations once with the engine's two-pass
-// zero-copy shuffle (exec.ShufflePair) and streams each worker one
-// contiguous, length-prefixed binary key block per relation; each worker
-// decodes into an exactly-sized pooled flat buffer, joins it in place with
-// the merge-sweep local join and reports its metrics back. It is the
+// zero-copy shuffle and streams each worker one contiguous, length-prefixed
+// binary key block per relation (plus an optional payload segment); each
+// worker decodes into exactly-sized pooled flat buffers, joins in place (or
+// streams matched index pairs back) and reports its metrics. It is the
 // process-distributed counterpart of internal/exec's goroutine engine — same
 // partitioning schemes, same shuffle, same metrics — demonstrating that
 // nothing in the EWH design depends on shared memory.
 //
-// See wire.go for the v2 framing. The v1 protocol (gob tuple batches,
-// routed tuple-at-a-time) is retained as RunGob: workers sniff the first
-// bytes of each connection and serve both, and the benchmark suite keeps the
-// two paths honest against each other.
+// The production transport is the v3 session protocol (Dial/Session,
+// implementing exec.Runtime): one persistent connection per worker with
+// numbered jobs multiplexed over it, so N jobs cost one dial per worker.
+// The v2 one-shot path (Run, one dial per worker per job) is retained as
+// the tracked per-job-dial baseline, and the v1 gob protocol (RunGob) as
+// the wire-format baseline; workers sniff each connection's opening bytes
+// and serve all three, and the benchmark suite keeps the paths honest
+// against each other. See wire.go for the framing and DESIGN.md for the
+// session protocol and its versioning rules.
 package netexec
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -54,12 +60,24 @@ type batch struct {
 	EOS bool
 }
 
-// metrics is the worker's report.
+// metrics is the worker's report. PayBytes1/PayBytes2 report the payload
+// segment bytes received per relation (v3 session jobs only), so the
+// coordinator can assert the payload path end to end.
 type metrics struct {
-	InputR1, InputR2 int64
-	Output           int64
-	Nanos            int64
-	Err              string
+	InputR1, InputR2     int64
+	Output               int64
+	Nanos                int64
+	PayBytes1, PayBytes2 int64
+	Err                  string
+}
+
+// jobOpen opens one numbered job on a v3 session connection. Counts travel
+// separately in per-relation head frames, so a job can start streaming its
+// first relation before the second one's shuffle has finished.
+type jobOpen struct {
+	WorkerID  int
+	Cond      join.Spec
+	WantPairs bool
 }
 
 // BatchSize is the number of keys per shipped batch on the v1 gob path.
@@ -74,13 +92,28 @@ const MaxRelationTuples = 1 << 30
 // connBufSize sizes the per-connection buffered reader/writer.
 const connBufSize = 64 << 10
 
-// Worker is a join worker server. Each accepted connection processes one
-// job: it receives the streamed relations, runs the local join at
-// end-of-stream and replies with its metrics. Both wire protocols are
-// served; the connection's opening bytes select one.
+// Worker is a join worker server. One-shot connections (v1 gob, v2 binary)
+// process a single job each; v3 session connections stay open and serve
+// numbered jobs until the coordinator hangs up. The connection's opening
+// bytes select the protocol. Close kills the worker abruptly (listener and
+// every live connection); Shutdown drains in-flight jobs first.
 type Worker struct {
 	ln     net.Listener
 	closed chan struct{}
+
+	mu       sync.Mutex
+	conns    map[*connState]struct{}
+	draining bool           // no new jobs; set by Shutdown AND Close
+	killed   bool           // connections must not be served at all; set by Close
+	jobs     sync.WaitGroup // in-flight jobs across all connections
+}
+
+// connState tracks one accepted connection for shutdown: active counts the
+// connection's in-flight jobs (one for the whole lifetime of a v1/v2
+// connection, per open job for v3 sessions).
+type connState struct {
+	conn   net.Conn
+	active int // guarded by Worker.mu
 }
 
 // ListenWorker starts a worker on addr ("127.0.0.1:0" picks a free port).
@@ -90,19 +123,112 @@ func ListenWorker(addr string) (*Worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netexec: listen %s: %w", addr, err)
 	}
-	return &Worker{ln: ln, closed: make(chan struct{})}, nil
+	return &Worker{ln: ln, closed: make(chan struct{}), conns: make(map[*connState]struct{})}, nil
 }
 
 // Addr returns the worker's bound address.
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
 
-// Close stops accepting jobs.
+// Close stops the worker abruptly: the listener and every live connection
+// are closed, killing in-flight jobs (their coordinators see the broken
+// connection). A connection accepted concurrently with Close is closed by
+// its own handler via the killed flag, so none survives. Use Shutdown for
+// a graceful drain.
 func (w *Worker) Close() error {
+	err := w.stopAccepting()
+	w.mu.Lock()
+	w.draining = true
+	w.killed = true
+	for cs := range w.conns {
+		_ = cs.conn.Close()
+	}
+	w.mu.Unlock()
+	return err
+}
+
+// stopAccepting closes the listener exactly once.
+func (w *Worker) stopAccepting() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	select {
+	case <-w.closed:
+		return nil
+	default:
+	}
 	close(w.closed)
 	return w.ln.Close()
 }
 
-// Serve accepts and processes jobs until Close. It returns nil after Close.
+// Shutdown stops the worker gracefully: it closes the listener, lets every
+// in-flight job finish and reply, then closes the remaining connections
+// (idle session connections close immediately — there is no job to drain
+// on them). New jobs arriving on live sessions during the drain are
+// refused with an error reply. If ctx expires first, the remaining
+// connections are closed abruptly and ctx's error is returned.
+func (w *Worker) Shutdown(ctx context.Context) error {
+	_ = w.stopAccepting()
+	w.mu.Lock()
+	w.draining = true
+	for cs := range w.conns {
+		if cs.active == 0 {
+			_ = cs.conn.Close()
+		}
+	}
+	w.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		w.jobs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		w.mu.Lock()
+		for cs := range w.conns {
+			_ = cs.conn.Close()
+		}
+		w.mu.Unlock()
+		return ctx.Err()
+	}
+	// Every job replied; busy connections closed themselves as their last
+	// job ended (see endJob), so only post-drain stragglers remain.
+	w.mu.Lock()
+	for cs := range w.conns {
+		_ = cs.conn.Close()
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// beginJob registers an in-flight job on cs. It refuses (returns false)
+// when the worker is draining.
+func (w *Worker) beginJob(cs *connState) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.draining {
+		return false
+	}
+	cs.active++
+	w.jobs.Add(1)
+	return true
+}
+
+// endJob retires an in-flight job; the connection closes itself when the
+// worker is draining and this was its last job.
+func (w *Worker) endJob(cs *connState) {
+	w.mu.Lock()
+	cs.active--
+	closeNow := w.draining && cs.active == 0
+	w.mu.Unlock()
+	w.jobs.Done()
+	if closeNow {
+		_ = cs.conn.Close()
+	}
+}
+
+// Serve accepts and processes jobs until Close or Shutdown. It returns nil
+// after either.
 func (w *Worker) Serve() error {
 	for {
 		conn, err := w.ln.Accept()
@@ -118,12 +244,32 @@ func (w *Worker) Serve() error {
 	}
 }
 
-// handle sniffs the protocol: v2 connections open with the magic, anything
-// else is treated as a v1 gob stream. A panic while serving one connection
-// must not take down the worker process (and every other in-flight job
-// with it), so it is contained here; the coordinator sees the closed
-// connection as a job failure.
+// handle sniffs the protocol: magic-opening connections carry a version
+// that selects the v2 one-shot or v3 session handler, anything else is
+// treated as a v1 gob stream. A panic while serving one connection must not
+// take down the worker process (and every other in-flight job with it), so
+// it is contained here; the coordinator sees the closed connection as a
+// job failure.
 func (w *Worker) handle(conn net.Conn) {
+	cs := &connState{conn: conn}
+	w.mu.Lock()
+	// draining covers the Shutdown path, killed the Close path: either way
+	// a connection that registers after the flag flipped (it was accepted
+	// concurrently, so Close/Shutdown's iteration missed it) must not be
+	// served.
+	if w.draining || w.killed {
+		w.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	w.conns[cs] = struct{}{}
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.conns, cs)
+		w.mu.Unlock()
+	}()
+
 	defer conn.Close()
 	defer func() {
 		if r := recover(); r != nil {
@@ -134,15 +280,38 @@ func (w *Worker) handle(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, connBufSize)
 	head, err := br.Peek(len(protoMagic))
 	if err == nil && bytes.Equal(head, protoMagic[:]) {
-		w.handleBinary(br, conn)
+		var prelude [len(protoMagic) + 2]byte
+		if _, err := io.ReadFull(br, prelude[:]); err != nil {
+			return
+		}
+		switch v := binary.LittleEndian.Uint16(prelude[len(protoMagic):]); v {
+		case protoVersion:
+			w.handleBinary(br, conn, cs)
+		case protoVersionSession:
+			w.handleSession(br, conn, cs)
+		default:
+			bw := bufio.NewWriterSize(conn, 512)
+			_ = writeGobFrame(bw, frameMetrics, metrics{
+				Err: fmt.Sprintf("protocol version %d, worker speaks %d and %d",
+					v, protoVersion, protoVersionSession)})
+			_ = bw.Flush()
+		}
 		return
 	}
-	w.handleGob(br, conn)
+	w.handleGob(br, conn, cs)
 }
 
-// handleBinary serves one v2 job: versioned handshake, exactly-sized pooled
-// receive buffers, block decode, in-place local join, metrics frame.
-func (w *Worker) handleBinary(br *bufio.Reader, conn net.Conn) {
+// handleBinary serves one v2 job (the prelude was already consumed by the
+// protocol sniff): handshake, exactly-sized pooled receive buffers, block
+// decode, in-place local join, metrics frame.
+func (w *Worker) handleBinary(br *bufio.Reader, conn net.Conn, cs *connState) {
+	if !w.beginJob(cs) {
+		bw := bufio.NewWriterSize(conn, 512)
+		_ = writeGobFrame(bw, frameMetrics, metrics{Err: "worker shutting down"})
+		_ = bw.Flush()
+		return
+	}
+	defer w.endJob(cs)
 	bw := bufio.NewWriterSize(conn, connBufSize)
 	fail := func(err error) {
 		_ = writeGobFrame(bw, frameMetrics, metrics{Err: err.Error()})
@@ -156,15 +325,6 @@ func (w *Worker) handleBinary(br *bufio.Reader, conn net.Conn) {
 		_, _ = io.Copy(io.Discard, br)
 	}
 
-	var prelude [len(protoMagic) + 2]byte
-	if _, err := io.ReadFull(br, prelude[:]); err != nil {
-		fail(fmt.Errorf("prelude: %w", err))
-		return
-	}
-	if v := binary.LittleEndian.Uint16(prelude[len(protoMagic):]); v != protoVersion {
-		fail(fmt.Errorf("protocol version %d, worker speaks %d", v, protoVersion))
-		return
-	}
 	var hs handshake
 	if err := readGobFrame(br, frameHandshake, &hs); err != nil {
 		fail(fmt.Errorf("handshake: %w", err))
@@ -226,13 +386,18 @@ stream:
 
 // handleGob serves one v1 job (the seed protocol): gob handshake, gob tuple
 // batches appended into growing buffers, local join, gob metrics.
-func (w *Worker) handleGob(br *bufio.Reader, conn net.Conn) {
+func (w *Worker) handleGob(br *bufio.Reader, conn net.Conn, cs *connState) {
 	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 
 	fail := func(err error) {
 		_ = enc.Encode(metrics{Err: err.Error()})
 	}
+	if !w.beginJob(cs) {
+		fail(fmt.Errorf("worker shutting down"))
+		return
+	}
+	defer w.endJob(cs)
 
 	var hs handshake
 	if err := dec.Decode(&hs); err != nil {

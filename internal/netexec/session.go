@@ -1,0 +1,363 @@
+package netexec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"ewh/internal/exec"
+	"ewh/internal/join"
+)
+
+// Session is the persistent-connection transport implementing exec.Runtime:
+// Dial opens one connection per worker and handshakes once, then any number
+// of numbered jobs multiplex over those connections — the dial cost is
+// amortized across the whole session instead of paid per job as in Run.
+// Jobs stream each relation as soon as its shuffle completes, so socket
+// writes overlap the other relation's still-running scatter.
+//
+// A Session is safe for concurrent RunJob calls: frames of concurrent jobs
+// interleave at job granularity on the send side (one job's frames are
+// contiguous per connection) and at frame granularity on the reply side.
+type Session struct {
+	conns  []*sessConn
+	nextID atomic.Uint32
+}
+
+// Dial connects to the workers and opens a session on each. The returned
+// Session serves jobs needing up to len(addrs) workers; Close hangs up.
+func Dial(addrs []string) (*Session, error) {
+	s := &Session{}
+	for _, addr := range addrs {
+		c, err := dialSessConn(addr)
+		if err != nil {
+			_ = s.Close()
+			return nil, err
+		}
+		s.conns = append(s.conns, c)
+	}
+	return s, nil
+}
+
+// Workers returns the session's worker count.
+func (s *Session) Workers() int { return len(s.conns) }
+
+// Addrs returns the dialed worker addresses.
+func (s *Session) Addrs() []string {
+	out := make([]string, len(s.conns))
+	for i, c := range s.conns {
+		out[i] = c.addr
+	}
+	return out
+}
+
+// Label implements exec.Runtime.
+func (s *Session) Label() string { return "@sess" }
+
+// Close hangs up every worker connection and releases the session's reader
+// goroutines. In-flight jobs fail.
+func (s *Session) Close() error {
+	var first error
+	for _, c := range s.conns {
+		if err := c.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// RunJob implements exec.Runtime: the job fans out to one numbered sub-job
+// per worker over the persistent connections. Worker failures are
+// aggregated into one error naming each failed worker's address and the
+// job number; every per-worker goroutine has returned by then, so a failed
+// job leaks nothing.
+func (s *Session) RunJob(job *exec.Job, wm []exec.WorkerMetrics) error {
+	if job.Workers > len(s.conns) {
+		return fmt.Errorf("netexec: job needs %d workers, session has %d", job.Workers, len(s.conns))
+	}
+	spec, err := join.SpecOf(job.Cond)
+	if err != nil {
+		return err
+	}
+	id := s.nextID.Add(1)
+	errs := make([]error, job.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < job.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = s.conns[w].runJob(id, w, spec, job, &wm[w])
+		}(w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// sessReply is the terminal state of one sub-job: the worker's metrics or
+// the connection failure that ended it.
+type sessReply struct {
+	m   *metrics
+	err error
+}
+
+// jobHandler routes one sub-job's reply frames. onPairs runs inline in the
+// connection's read loop (one sub-job per worker per job, so pair delivery
+// is sequential per worker); done is buffered so the reader never blocks
+// on a departed waiter.
+type jobHandler struct {
+	onPairs func([]exec.PairIdx)
+	done    chan sessReply
+}
+
+// sessConn is one persistent worker connection: a writer serialized by wmu
+// and a reader goroutine demultiplexing reply frames to registered jobs.
+type sessConn struct {
+	addr string
+	conn net.Conn
+
+	wmu sync.Mutex // serializes whole-job sends
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint32]*jobHandler
+	err     error // sticky: set once the connection is unusable
+}
+
+func dialSessConn(addr string) (*sessConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netexec: dial %s: %w", addr, err)
+	}
+	c := &sessConn{
+		addr:    addr,
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, connBufSize),
+		pending: make(map[uint32]*jobHandler),
+	}
+	var prelude [len(protoMagic) + 2]byte
+	copy(prelude[:], protoMagic[:])
+	binary.LittleEndian.PutUint16(prelude[len(protoMagic):], protoVersionSession)
+	if _, err := conn.Write(prelude[:]); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("netexec: session handshake to %s: %w", addr, err)
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *sessConn) close() error {
+	c.fail(errors.New("session closed"))
+	return c.conn.Close()
+}
+
+// fail marks the connection unusable and delivers the failure to every
+// pending sub-job exactly once.
+func (c *sessConn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint32]*jobHandler)
+	c.mu.Unlock()
+	for _, h := range pending {
+		h.done <- sessReply{err: err}
+	}
+}
+
+// register installs a sub-job's handler; it fails fast on a dead
+// connection.
+func (c *sessConn) register(id uint32, h *jobHandler) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	c.pending[id] = h
+	return nil
+}
+
+func (c *sessConn) deregister(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// handler returns the registered handler for a job id, or nil.
+func (c *sessConn) handler(id uint32) *jobHandler {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending[id]
+}
+
+// readLoop demultiplexes reply frames by job number until the connection
+// dies. Pairs are delivered inline — the loop is the per-worker delivery
+// order the runtime contract requires — and a metrics frame terminates its
+// sub-job. The loop exits exactly when the connection fails or closes, so
+// a Session never leaks its readers.
+func (c *sessConn) readLoop() {
+	br := bufio.NewReaderSize(c.conn, connBufSize)
+	for {
+		typ, id, n, err := readV3FrameHeader(br)
+		if err != nil {
+			c.fail(fmt.Errorf("connection lost: %w", err))
+			return
+		}
+		switch typ {
+		case frameV3Pairs:
+			pairs, err := readPairsPayload(br, n)
+			if err != nil {
+				c.fail(fmt.Errorf("pairs frame: %w", err))
+				return
+			}
+			if h := c.handler(id); h != nil && h.onPairs != nil {
+				h.onPairs(pairs)
+			}
+			putPairsBuf(pairs)
+		case frameV3Metrics:
+			var m metrics
+			if err := readGobPayload(br, n, &m); err != nil {
+				c.fail(fmt.Errorf("metrics frame: %w", err))
+				return
+			}
+			c.mu.Lock()
+			h := c.pending[id]
+			delete(c.pending, id)
+			c.mu.Unlock()
+			if h != nil {
+				h.done <- sessReply{m: &m}
+			}
+		default:
+			c.fail(fmt.Errorf("unexpected frame type %d from worker", typ))
+			return
+		}
+	}
+}
+
+// runJob executes one sub-job on this connection: send the job's frames,
+// then consume replies until the worker's metrics (pairs arrive via the
+// read loop). Every error names the worker address and job number.
+func (c *sessConn) runJob(id uint32, workerID int, spec join.Spec, job *exec.Job,
+	m *exec.WorkerMetrics) error {
+
+	wrap := func(err error) error {
+		return fmt.Errorf("netexec: job %d on worker %d (%s): %w", id, workerID, c.addr, err)
+	}
+	h := &jobHandler{done: make(chan sessReply, 1)}
+	if job.Pairs != nil {
+		h.onPairs = func(pairs []exec.PairIdx) { job.Pairs(workerID, pairs) }
+	}
+	if err := c.register(id, h); err != nil {
+		return wrap(err)
+	}
+	defer c.deregister(id)
+	sentPay, err := c.sendJob(id, workerID, spec, job)
+	if err != nil {
+		// The reader may deliver the underlying failure too; the buffered
+		// done channel absorbs it.
+		return wrap(err)
+	}
+	r := <-h.done
+	if r.err != nil {
+		return wrap(r.err)
+	}
+	if r.m.Err != "" {
+		return wrap(errors.New(r.m.Err))
+	}
+	// End-to-end payload assertion: the worker reports the payload bytes it
+	// decoded; any disagreement with what this side streamed means wire
+	// corruption that slipped past the worker's declaration checks.
+	if r.m.PayBytes1 != sentPay[0] || r.m.PayBytes2 != sentPay[1] {
+		return wrap(fmt.Errorf("worker decoded %d/%d payload bytes, coordinator sent %d/%d",
+			r.m.PayBytes1, r.m.PayBytes2, sentPay[0], sentPay[1]))
+	}
+	m.InputR1 = r.m.InputR1
+	m.InputR2 = r.m.InputR2
+	m.Output = r.m.Output
+	return nil
+}
+
+// sendJob streams one sub-job's frames. The write lock spans the whole job
+// so its frames are contiguous on the wire; each relation is fetched from
+// its future right before sending, which is where the shuffle/socket
+// overlap happens — relation 1's blocks go out (and flush) while relation
+// 2 may still be scattering. A job that cannot be completed (a coordinator-
+// side validation failure) is abandoned with an abort frame so the worker
+// discards its partial state instead of waiting forever for an EOS —
+// validation errors surface at frame boundaries, so the connection's
+// framing stays intact for subsequent jobs. (If the failure was the socket
+// itself, the abort write fails too and the read loop retires everything.)
+func (c *sessConn) sendJob(id uint32, workerID int, spec join.Spec, job *exec.Job) (sentPay [2]int64, err error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	abort := func(err error) ([2]int64, error) {
+		_ = writeV3FrameHeader(c.bw, frameV3Abort, id, 0)
+		_ = c.bw.Flush()
+		return [2]int64{}, err
+	}
+	jo := jobOpen{WorkerID: workerID, Cond: spec, WantPairs: job.Pairs != nil}
+	if err := writeV3GobFrame(c.bw, frameV3OpenJob, id, jo); err != nil {
+		return abort(err)
+	}
+	pay1, err := c.sendRelation(id, 1, job.R1.Wait(), workerID)
+	if err != nil {
+		return abort(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return abort(err)
+	}
+	pay2, err := c.sendRelation(id, 2, job.R2.Wait(), workerID)
+	if err != nil {
+		return abort(err)
+	}
+	if err := writeV3FrameHeader(c.bw, frameV3EOS, id, 0); err != nil {
+		return [2]int64{}, err
+	}
+	return [2]int64{pay1, pay2}, c.bw.Flush()
+}
+
+// sendRelation streams one relation's head, key blocks and (optional)
+// payload blocks, returning the payload bytes shipped so runJob can assert
+// the worker's decode count against them.
+func (c *sessConn) sendRelation(id uint32, rel int8, rd exec.RelData, workerID int) (int64, error) {
+	keys := rd.Keys.Worker(workerID)
+	if len(keys) > MaxRelationTuples {
+		return 0, fmt.Errorf("relation %d holds %d tuples, wire limit %d", rel, len(keys), MaxRelationTuples)
+	}
+	var pb exec.PayloadBlock
+	hasPay := rd.Payloads != nil
+	if hasPay {
+		pb = rd.Payloads(workerID)
+		if len(pb.Flat) > MaxRelationPayloadBytes {
+			return 0, fmt.Errorf("relation %d payloads hold %d bytes, wire limit %d",
+				rel, len(pb.Flat), MaxRelationPayloadBytes)
+		}
+		// A single tuple's payload must fit one payload frame: lengths and
+		// bytes travel together, so an oversized tuple has no valid wire
+		// encoding — catch it here (at a frame boundary, so the job aborts
+		// cleanly) rather than emitting a frame the worker must treat as
+		// connection-fatal.
+		for i := 0; i+1 < len(pb.Off); i++ {
+			if sz := pb.Off[i+1] - pb.Off[i]; int(sz) > maxPayFrameBytes {
+				return 0, fmt.Errorf("relation %d tuple %d payload is %d bytes, per-tuple wire limit %d",
+					rel, i, sz, maxPayFrameBytes)
+			}
+		}
+	}
+	if err := writeRelHead(c.bw, id, rel, len(keys), hasPay, len(pb.Flat)); err != nil {
+		return 0, err
+	}
+	if err := writeKeyBlocksV3(c.bw, id, rel, keys); err != nil {
+		return 0, err
+	}
+	if hasPay {
+		if err := writePayloadBlocks(c.bw, id, rel, pb); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(pb.Flat)), nil
+}

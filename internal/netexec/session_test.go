@@ -1,0 +1,609 @@
+package netexec
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ewh/internal/core"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/localjoin"
+	"ewh/internal/partition"
+)
+
+// startWorkerSet starts n workers and returns them with their addresses.
+func startWorkerSet(t *testing.T, n int) ([]*Worker, []string) {
+	t.Helper()
+	ws := make([]*Worker, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		w, err := ListenWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = w
+		addrs[i] = w.Addr()
+		go func() { _ = w.Serve() }()
+		t.Cleanup(func() { _ = w.Close() })
+	}
+	return ws, addrs
+}
+
+func dialSession(t *testing.T, addrs []string) *Session {
+	t.Helper()
+	sess, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sess.Close() })
+	return sess
+}
+
+func TestSessionMatchesLocalAcrossJobs(t *testing.T) {
+	r1 := randKeys(3000, 1500, 70)
+	r2 := randKeys(3000, 1500, 71)
+	cond := join.NewBand(2)
+	plan, err := core.PlanCSIO(r1, r2, cond, core.Options{J: 4, Model: model, Seed: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addrs := startWorkerSet(t, plan.Scheme.Workers())
+	sess := dialSession(t, addrs)
+
+	// N numbered jobs over the same dialed connections — the amortization
+	// the session protocol exists for.
+	for jobN := 0; jobN < 3; jobN++ {
+		cfg := exec.Config{Seed: 73 + uint64(jobN)}
+		local := exec.Run(r1, r2, cond, plan.Scheme, model, cfg)
+		net, err := exec.RunOver(sess, r1, r2, cond, plan.Scheme, model, cfg)
+		if err != nil {
+			t.Fatalf("job %d: %v", jobN, err)
+		}
+		if net.Output != local.Output || net.NetworkTuples != local.NetworkTuples ||
+			net.MaxWork != local.MaxWork || net.TotalWork != local.TotalWork {
+			t.Fatalf("job %d: aggregates differ: sess %v local %v", jobN, net, local)
+		}
+		for w := range local.Workers {
+			if net.Workers[w] != local.Workers[w] {
+				t.Fatalf("job %d worker %d: sess %+v local %+v", jobN, w, net.Workers[w], local.Workers[w])
+			}
+		}
+		if !strings.HasSuffix(net.Scheme, "@sess") {
+			t.Fatalf("scheme label %q", net.Scheme)
+		}
+	}
+}
+
+func TestSessionTuplesPayloadRoundTrip(t *testing.T) {
+	// Payload-carrying relations over the wire: matched pairs (and therefore
+	// emitted payloads) must be identical to the in-process engine, pair for
+	// pair, since both transports join the same shuffled blocks.
+	const n = 2000
+	r1 := make([]exec.Tuple[join.Key], n)
+	r2 := make([]exec.Tuple[join.Key], n)
+	keys1 := randKeys(n, 800, 80)
+	keys2 := randKeys(n, 800, 81)
+	for i := range r1 {
+		r1[i] = exec.Tuple[join.Key]{Key: keys1[i], Payload: keys1[i] * 3}
+		r2[i] = exec.Tuple[join.Key]{Key: keys2[i], Payload: keys2[i] * 7}
+	}
+	cond := join.NewBand(1)
+	plan, err := core.PlanCSIO(keys1, keys2, cond, core.Options{J: 4, Model: model, Seed: 82})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addrs := startWorkerSet(t, plan.Scheme.Workers())
+	sess := dialSession(t, addrs)
+	enc := func(dst []byte, p join.Key) []byte {
+		return binary.LittleEndian.AppendUint64(dst, uint64(p))
+	}
+
+	type pair struct {
+		w    int
+		a, b exec.Tuple[join.Key]
+	}
+	collect := func(rt exec.Runtime, e1, e2 exec.PayloadEncoder[join.Key]) ([]pair, *exec.Result) {
+		perWorker := make([][]pair, plan.Scheme.Workers())
+		res, err := exec.RunTuplesOver(rt, r1, r2, cond, plan.Scheme, model,
+			exec.Config{Seed: 83}, e1, e2,
+			func(w int, a, b exec.Tuple[join.Key]) {
+				perWorker[w] = append(perWorker[w], pair{w, a, b})
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []pair
+		for _, pw := range perWorker {
+			all = append(all, pw...)
+		}
+		return all, res
+	}
+	localPairs, localRes := collect(exec.Local{}, nil, nil)
+	sessPairs, sessRes := collect(sess, enc, enc)
+
+	if want := localjoin.NestedLoopCount(keys1, keys2, cond); localRes.Output != want {
+		t.Fatalf("local output %d, ground truth %d", localRes.Output, want)
+	}
+	if sessRes.Output != localRes.Output || sessRes.NetworkTuples != localRes.NetworkTuples {
+		t.Fatalf("aggregates differ: sess %v local %v", sessRes, localRes)
+	}
+	if len(sessPairs) != len(localPairs) {
+		t.Fatalf("pair counts differ: sess %d local %d", len(sessPairs), len(localPairs))
+	}
+	for i := range localPairs {
+		if sessPairs[i] != localPairs[i] {
+			t.Fatalf("pair %d differs: sess %+v local %+v", i, sessPairs[i], localPairs[i])
+		}
+	}
+	for w := range localRes.Workers {
+		if sessRes.Workers[w] != localRes.Workers[w] {
+			t.Fatalf("worker %d metrics differ: sess %+v local %+v",
+				w, sessRes.Workers[w], localRes.Workers[w])
+		}
+	}
+}
+
+func TestSessionWorkerDiesBetweenJobsAndRedial(t *testing.T) {
+	r1 := randKeys(500, 300, 90)
+	r2 := randKeys(500, 300, 91)
+	cond := join.Equi{}
+	scheme := partition.NewCI(2)
+	ws, addrs := startWorkerSet(t, 2)
+	sess := dialSession(t, addrs)
+	cfg := exec.Config{Seed: 92}
+
+	if _, err := exec.RunOver(sess, r1, r2, cond, scheme, model, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Kill worker 1 between jobs: the next job must fail with one error
+	// naming the worker's address and the job number, not hang.
+	_ = ws[1].Close()
+	_, err := exec.RunOver(sess, r1, r2, cond, scheme, model, cfg)
+	if err == nil {
+		t.Fatal("job against a dead worker succeeded")
+	}
+	if !strings.Contains(err.Error(), addrs[1]) {
+		t.Fatalf("error %q does not name the dead worker %s", err, addrs[1])
+	}
+	if !strings.Contains(err.Error(), "job 2") {
+		t.Fatalf("error %q does not name the job", err)
+	}
+
+	// Restart a worker and redial: a fresh session works.
+	w2, err := ListenWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = w2.Serve() }()
+	t.Cleanup(func() { _ = w2.Close() })
+	sess2 := dialSession(t, []string{addrs[0], w2.Addr()})
+	want := localjoin.NestedLoopCount(r1, r2, cond)
+	res, err := exec.RunOver(sess2, r1, r2, cond, scheme, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != want {
+		t.Fatalf("redialed output %d, want %d", res.Output, want)
+	}
+}
+
+func TestSessionConcurrentJobs(t *testing.T) {
+	r1 := randKeys(800, 500, 95)
+	r2 := randKeys(800, 500, 96)
+	cond := join.NewBand(1)
+	scheme := partition.NewCI(2)
+	_, addrs := startWorkerSet(t, 2)
+	sess := dialSession(t, addrs)
+	want := localjoin.NestedLoopCount(r1, r2, cond)
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(seed uint64) {
+			res, err := exec.RunOver(sess, r1, r2, cond, scheme, model, exec.Config{Seed: seed})
+			if err == nil && res.Output != want {
+				err = fmt.Errorf("output %d, want %d", res.Output, want)
+			}
+			done <- err
+		}(uint64(100 + i))
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// dialV3 opens a raw session connection for protocol-level fault injection.
+func dialV3(t *testing.T, addr string) (*bufio.Writer, net.Conn) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	bw := bufio.NewWriter(conn)
+	var prelude [6]byte
+	copy(prelude[:], protoMagic[:])
+	binary.LittleEndian.PutUint16(prelude[4:], protoVersionSession)
+	if _, err := bw.Write(prelude[:]); err != nil {
+		t.Fatal(err)
+	}
+	return bw, conn
+}
+
+// readV3ErrMetrics reads reply frames until the job's metrics and returns
+// its error string.
+func readV3ErrMetrics(t *testing.T, conn net.Conn, wantJob uint32) string {
+	t.Helper()
+	br := bufio.NewReader(conn)
+	for {
+		typ, job, n, err := readV3FrameHeader(br)
+		if err != nil {
+			t.Fatalf("reading reply: %v", err)
+		}
+		if typ != frameV3Metrics {
+			t.Fatalf("unexpected reply frame %d", typ)
+		}
+		if job != wantJob {
+			t.Fatalf("reply for job %d, want %d", job, wantJob)
+		}
+		var m metrics
+		if err := readGobPayload(br, n, &m); err != nil {
+			t.Fatal(err)
+		}
+		return m.Err
+	}
+}
+
+func sendOpenJob(t *testing.T, bw *bufio.Writer, id uint32, wantPairs bool) {
+	t.Helper()
+	spec, err := join.SpecOf(join.Equi{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeV3GobFrame(bw, frameV3OpenJob, id, jobOpen{Cond: spec, WantPairs: wantPairs}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionTruncatedPayloadFrame(t *testing.T) {
+	_, addrs := startWorkerSet(t, 1)
+	bw, conn := dialV3(t, addrs[0])
+	sendOpenJob(t, bw, 1, true)
+	// R1: one tuple, declares 8 payload bytes; the payload frame's lengths
+	// sum to 8 but only 4 bytes follow.
+	if err := writeRelHead(bw, 1, 1, 1, true, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeKeyBlocksV3(bw, 1, 1, []join.Key{42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeV3FrameHeader(bw, frameV3Pay, 1, blockHeaderLen+4+4); err != nil {
+		t.Fatal(err)
+	}
+	var bh [blockHeaderLen]byte
+	bh[0] = 1
+	binary.LittleEndian.PutUint32(bh[1:], 1)
+	if _, err := bw.Write(bh[:]); err != nil {
+		t.Fatal(err)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], 8) // claims 8 bytes…
+	if _, err := bw.Write(lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bw.Write([]byte{1, 2, 3, 4}); err != nil { // …ships 4
+		t.Fatal(err)
+	}
+	if err := writeRelHead(bw, 1, 2, 0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeV3FrameHeader(bw, frameV3EOS, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	msg := readV3ErrMetrics(t, conn, 1)
+	if !strings.Contains(msg, "truncated") {
+		t.Fatalf("truncated payload frame accepted: %q", msg)
+	}
+}
+
+func TestSessionPayloadDeclarationEnforced(t *testing.T) {
+	_, addrs := startWorkerSet(t, 1)
+
+	// Payload stream shorter than the head declared.
+	bw, conn := dialV3(t, addrs[0])
+	sendOpenJob(t, bw, 1, true)
+	if err := writeRelHead(bw, 1, 1, 1, true, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeKeyBlocksV3(bw, 1, 1, []join.Key{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRelHead(bw, 1, 2, 0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeV3FrameHeader(bw, frameV3EOS, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := readV3ErrMetrics(t, conn, 1); !strings.Contains(msg, "declared") {
+		t.Fatalf("missing payload stream accepted: %q", msg)
+	}
+
+	// Payload block for a relation that declared none.
+	bw, conn = dialV3(t, addrs[0])
+	sendOpenJob(t, bw, 1, true)
+	if err := writeRelHead(bw, 1, 1, 1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeKeyBlocksV3(bw, 1, 1, []join.Key{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writePayloadBlocks(bw, 1, 1, exec.PayloadBlock{Flat: []byte{9}, Off: []uint32{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRelHead(bw, 1, 2, 0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeV3FrameHeader(bw, frameV3EOS, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := readV3ErrMetrics(t, conn, 1); !strings.Contains(msg, "payload") {
+		t.Fatalf("undeclared payload block accepted: %q", msg)
+	}
+}
+
+func TestSessionBlockLengthMismatchKeepsStreamInSync(t *testing.T) {
+	// A block frame whose header length disagrees with its embedded count
+	// fails the job, but the worker must consume exactly the frame-declared
+	// bytes — the next job on the same connection still works.
+	_, addrs := startWorkerSet(t, 1)
+	bw, conn := dialV3(t, addrs[0])
+	sendOpenJob(t, bw, 1, false)
+	if err := writeRelHead(bw, 1, 1, 2, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Frame declares 5 + 16 payload bytes but the embedded count says 1 key
+	// (5 + 8): the extra 8 bytes must be drained as frame payload.
+	if err := writeV3FrameHeader(bw, frameV3Block, 1, blockHeaderLen+16); err != nil {
+		t.Fatal(err)
+	}
+	var bh [blockHeaderLen]byte
+	bh[0] = 1
+	binary.LittleEndian.PutUint32(bh[1:], 1)
+	if _, err := bw.Write(bh[:]); err != nil {
+		t.Fatal(err)
+	}
+	var keys [16]byte
+	if _, err := bw.Write(keys[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRelHead(bw, 1, 2, 0, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeV3FrameHeader(bw, frameV3EOS, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := readV3ErrMetrics(t, conn, 1); !strings.Contains(msg, "inconsistent") {
+		t.Fatalf("mismatched block frame accepted: %q", msg)
+	}
+
+	// Same connection, next job: framing survived the bad frame.
+	sendOpenJob(t, bw, 2, false)
+	if err := writeRelHead(bw, 2, 1, 1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeKeyBlocksV3(bw, 2, 1, []join.Key{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRelHead(bw, 2, 2, 1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeKeyBlocksV3(bw, 2, 2, []join.Key{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeV3FrameHeader(bw, frameV3EOS, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := readV3ErrMetrics(t, conn, 2); msg != "" {
+		t.Fatalf("follow-up job failed after drained bad frame: %q", msg)
+	}
+}
+
+func TestWorkerShutdownDrainsInFlightJob(t *testing.T) {
+	ws, addrs := startWorkerSet(t, 1)
+	w := ws[0]
+
+	// Open a session job and stall before EOS, then shut down: Shutdown
+	// must wait for the job, the worker must still reply, and the listener
+	// must refuse new connections.
+	bw, conn := dialV3(t, addrs[0])
+	sendOpenJob(t, bw, 1, false)
+	if err := writeRelHead(bw, 1, 1, 2, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeKeyBlocksV3(bw, 1, 1, []join.Key{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the worker a moment to register the in-flight job.
+	time.Sleep(50 * time.Millisecond)
+
+	var shutdownDone atomic.Bool
+	shutErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := w.Shutdown(ctx)
+		shutdownDone.Store(true)
+		shutErr <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if shutdownDone.Load() {
+		t.Fatal("Shutdown returned while a job was still in flight")
+	}
+	// Finish the job; the drain completes and the reply still arrives.
+	if err := writeRelHead(bw, 1, 2, 1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeKeyBlocksV3(bw, 1, 2, []join.Key{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeV3FrameHeader(bw, frameV3EOS, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if msg := readV3ErrMetrics(t, conn, 1); msg != "" {
+		t.Fatalf("drained job failed: %q", msg)
+	}
+	if err := <-shutErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := Dial([]string{addrs[0]}); err == nil {
+		t.Fatal("worker accepted a connection after Shutdown")
+	}
+}
+
+func TestWorkerShutdownRefusesNewJobs(t *testing.T) {
+	ws, addrs := startWorkerSet(t, 1)
+	sess := dialSession(t, addrs)
+	r1 := randKeys(100, 50, 110)
+	scheme := partition.NewCI(1)
+	if _, err := exec.RunOver(sess, r1, r1, join.Equi{}, scheme, model, exec.Config{Seed: 111}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ws[0].Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The session's connection was closed by the drain; a new job fails
+	// cleanly rather than hanging.
+	if _, err := exec.RunOver(sess, r1, r1, join.Equi{}, scheme, model, exec.Config{Seed: 112}); err == nil {
+		t.Fatal("job accepted after worker shutdown")
+	}
+}
+
+func TestSessionAbortsOversizedPayloadJobCleanly(t *testing.T) {
+	// A per-tuple payload beyond the frame limit is a coordinator-side
+	// validation failure: the job must fail with a descriptive error AND be
+	// aborted on the worker — the session stays usable and the worker's
+	// drain accounting is not stuck on the orphan (Shutdown completes).
+	ws, addrs := startWorkerSet(t, 1)
+	sess := dialSession(t, addrs)
+
+	keyShuffleOf := func(keys []join.Key) *exec.KeyShuffle {
+		s1, _ := exec.ShufflePair(keys, nil, partition.NewCI(1), exec.Config{Seed: 1})
+		return s1
+	}
+	oversized := exec.RelData{
+		Keys: keyShuffleOf([]join.Key{7}),
+		Payloads: func(int) exec.PayloadBlock {
+			return exec.PayloadBlock{
+				Flat: make([]byte, maxPayFrameBytes+1),
+				Off:  []uint32{0, maxPayFrameBytes + 1},
+			}
+		},
+	}
+	job := &exec.Job{
+		Cond:    join.Equi{},
+		Workers: 1,
+		R1:      exec.ResolvedRelFuture(oversized),
+		R2:      exec.ResolvedRelFuture(exec.RelData{Keys: keyShuffleOf(nil)}),
+	}
+	err := sess.RunJob(job, make([]exec.WorkerMetrics, 1))
+	if err == nil {
+		t.Fatal("oversized per-tuple payload accepted")
+	}
+	if !strings.Contains(err.Error(), "per-tuple wire limit") {
+		t.Fatalf("error %q does not name the per-tuple limit", err)
+	}
+
+	// The session (and the worker's job accounting) survived the abort.
+	r1 := randKeys(200, 100, 130)
+	res, err := exec.RunOver(sess, r1, r1, join.Equi{}, partition.NewCI(1), model,
+		exec.Config{Seed: 131})
+	if err != nil {
+		t.Fatalf("session unusable after aborted job: %v", err)
+	}
+	if want := localjoin.NestedLoopCount(r1, r1, join.Equi{}); res.Output != want {
+		t.Fatalf("output %d, want %d", res.Output, want)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ws[0].Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown stuck on aborted job's accounting: %v", err)
+	}
+}
+
+func TestSessionErrorAggregationNamesAllFailures(t *testing.T) {
+	r1 := randKeys(2000, 1000, 120)
+	r2 := randKeys(2000, 1000, 121)
+	scheme := partition.NewCI(4)
+	baseline := runtime.NumGoroutine()
+	ws, addrs := startWorkerSet(t, 4)
+	sess := dialSession(t, addrs)
+	if _, err := exec.RunOver(sess, r1, r2, join.Equi{}, scheme, model, exec.Config{Seed: 122}); err != nil {
+		t.Fatal(err)
+	}
+	_ = ws[1].Close()
+	_ = ws[3].Close()
+	_, err := exec.RunOver(sess, r1, r2, join.Equi{}, scheme, model, exec.Config{Seed: 123})
+	if err == nil {
+		t.Fatal("job with two dead workers succeeded")
+	}
+	for _, addr := range []string{addrs[1], addrs[3]} {
+		if !strings.Contains(err.Error(), addr) {
+			t.Fatalf("aggregated error %q does not name failed worker %s", err, addr)
+		}
+	}
+	for _, addr := range []string{addrs[0], addrs[2]} {
+		if strings.Contains(err.Error(), addr) {
+			t.Fatalf("aggregated error %q names healthy worker %s", err, addr)
+		}
+	}
+
+	// A failed job must not leak the session's goroutines: after tearing
+	// everything down, the count settles back to (roughly) the baseline.
+	_ = sess.Close()
+	for _, w := range ws {
+		_ = w.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked after session failure: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,438 @@
+package netexec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/localjoin"
+)
+
+// This file is the worker side of the v3 session protocol: one read loop
+// per connection demultiplexes numbered jobs, each job decodes into
+// exactly-sized pooled buffers exactly like a v2 one-shot, and the join
+// runs in its own goroutine at the job's EOS so the read loop keeps
+// draining the next job's frames while a previous join executes. Job-level
+// protocol violations fail only that job (its remaining frames are read
+// and discarded, then an error metrics frame replies); frame-level
+// corruption is connection-fatal — framing is the only thing that lets the
+// two sides stay in sync.
+
+// sessRel is one relation of an in-flight session job.
+type sessRel struct {
+	declared bool
+	n        int // declared tuple count
+	keys     []join.Key
+	pos      int
+	hasPay   bool
+	payBytes int // declared payload segment size
+	pay      []byte
+	off      []uint32 // payload offsets; off[i]..off[i+1] is tuple i
+	payPos   int      // payload bytes received
+	payTup   int      // tuples whose payload lengths arrived
+}
+
+// sessJob is one numbered job in flight on a session connection.
+type sessJob struct {
+	id        uint32
+	cond      join.Condition
+	wantPairs bool
+	counted   bool // beginJob admitted it (draining workers refuse)
+	err       error
+	rels      [2]sessRel
+}
+
+// fail records the job's first error; subsequent data frames for the job
+// are drained and discarded.
+func (j *sessJob) fail(err error) {
+	if j.err == nil {
+		j.err = err
+	}
+}
+
+func (j *sessJob) release() {
+	for i := range j.rels {
+		r := &j.rels[i]
+		if r.keys != nil {
+			exec.PutKeyBuffer(r.keys)
+			r.keys = nil
+		}
+		if r.pay != nil {
+			putByteBuf(r.pay)
+			r.pay = nil
+		}
+	}
+}
+
+// rel resolves a relation tag from a frame; 1 and 2 are valid.
+func (j *sessJob) rel(tag byte) (*sessRel, error) {
+	if tag != 1 && tag != 2 {
+		return nil, fmt.Errorf("unknown relation %d", tag)
+	}
+	return &j.rels[tag-1], nil
+}
+
+// handleSession serves one v3 connection until the coordinator hangs up or
+// the worker shuts down.
+func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
+	bw := bufio.NewWriterSize(conn, connBufSize)
+	var wmu sync.Mutex // serializes reply frames across concurrent job joins
+	jobs := make(map[uint32]*sessJob)
+	defer func() {
+		// Connection gone with jobs still streaming in: nothing to reply to,
+		// just recycle their buffers and retire their drain accounting.
+		for _, j := range jobs {
+			j.release()
+			if j.counted {
+				w.endJob(cs)
+			}
+		}
+	}()
+
+	for {
+		typ, id, n, err := readV3FrameHeader(br)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameV3OpenJob:
+			if jobs[id] != nil {
+				return // job number reuse is connection-fatal
+			}
+			j := &sessJob{id: id}
+			jobs[id] = j
+			j.counted = w.beginJob(cs)
+			var jo jobOpen
+			if err := readGobPayload(br, n, &jo); err != nil {
+				return
+			}
+			if !j.counted {
+				j.fail(fmt.Errorf("worker shutting down"))
+				continue
+			}
+			cond, err := jo.Cond.Condition()
+			if err != nil {
+				j.fail(err)
+				continue
+			}
+			j.cond = cond
+			j.wantPairs = jo.WantPairs
+
+		case frameV3RelHead:
+			j := jobs[id]
+			if j == nil || n != relHeadLen {
+				return
+			}
+			var h [relHeadLen]byte
+			if _, err := io.ReadFull(br, h[:]); err != nil {
+				return
+			}
+			if j.err != nil {
+				continue
+			}
+			r, err := j.rel(h[0])
+			if err != nil {
+				j.fail(err)
+				continue
+			}
+			if r.declared {
+				j.fail(fmt.Errorf("relation %d declared twice", h[0]))
+				continue
+			}
+			count := int64(binary.LittleEndian.Uint32(h[2:]))
+			payBytes := int64(binary.LittleEndian.Uint32(h[6:]))
+			if count > MaxRelationTuples {
+				j.fail(fmt.Errorf("relation count %d outside [0, %d]", count, MaxRelationTuples))
+				continue
+			}
+			if payBytes > MaxRelationPayloadBytes {
+				j.fail(fmt.Errorf("payload bytes %d outside [0, %d]", payBytes, MaxRelationPayloadBytes))
+				continue
+			}
+			r.declared = true
+			r.n = int(count)
+			r.keys = exec.GetKeyBuffer(r.n)
+			if h[1]&relFlagPayload != 0 {
+				r.hasPay = true
+				r.payBytes = int(payBytes)
+				r.pay = getByteBuf(r.payBytes)
+				r.off = make([]uint32, r.n+1)
+			}
+
+		case frameV3Block:
+			j := jobs[id]
+			if j == nil {
+				return
+			}
+			if j.err != nil {
+				if _, err := io.CopyN(io.Discard, br, int64(n)); err != nil {
+					return
+				}
+				continue
+			}
+			if err := j.readBlock(br, n); err != nil {
+				if _, ok := err.(*protoErr); ok {
+					j.fail(err)
+					continue
+				}
+				return // I/O failure: connection-fatal
+			}
+
+		case frameV3Pay:
+			j := jobs[id]
+			if j == nil {
+				return
+			}
+			if j.err != nil {
+				if _, err := io.CopyN(io.Discard, br, int64(n)); err != nil {
+					return
+				}
+				continue
+			}
+			if err := j.readPayBlock(br, n); err != nil {
+				if _, ok := err.(*protoErr); ok {
+					j.fail(err)
+					continue
+				}
+				return
+			}
+
+		case frameV3EOS:
+			j := jobs[id]
+			if j == nil || n != 0 {
+				return
+			}
+			delete(jobs, id)
+			go w.finishSessionJob(j, bw, &wmu, cs, conn)
+
+		case frameV3Abort:
+			// The coordinator abandoned the job mid-send (a validation
+			// failure on its side): discard the partial state, reply with
+			// nothing. An abort for an unknown job is ignored.
+			if n != 0 {
+				return
+			}
+			if j := jobs[id]; j != nil {
+				delete(jobs, id)
+				j.release()
+				if j.counted {
+					w.endJob(cs)
+				}
+			}
+
+		default:
+			return // unknown frame type: connection-fatal
+		}
+	}
+}
+
+// protoErr marks a job-level protocol violation: the job fails with an
+// error reply but the connection (and its framing) stays intact.
+type protoErr struct{ msg string }
+
+func (e *protoErr) Error() string { return e.msg }
+
+func protoErrf(format string, args ...any) *protoErr {
+	return &protoErr{msg: fmt.Sprintf(format, args...)}
+}
+
+// readBlock decodes one v3 key block frame into the job's receive buffer.
+// The frame's payload bytes are fully consumed even on a job-level error; a
+// frame too short to even hold the sub-header is connection-fatal (the
+// plain error propagates as one) — consuming past a frame's declared length
+// would desynchronize every other job on the stream.
+func (j *sessJob) readBlock(br *bufio.Reader, n int) error {
+	if n < blockHeaderLen {
+		return fmt.Errorf("block frame length %d below sub-header size", n)
+	}
+	var bh [blockHeaderLen]byte
+	if _, err := io.ReadFull(br, bh[:]); err != nil {
+		return err
+	}
+	count := int(binary.LittleEndian.Uint32(bh[1:]))
+	// Drain what the FRAME header declared (not what the embedded count
+	// implies): the frame length is the framing contract, so consuming
+	// exactly n keeps the stream in sync for the connection's other jobs
+	// even when the two disagree.
+	drain := func(e *protoErr) error {
+		if _, err := io.CopyN(io.Discard, br, int64(n-blockHeaderLen)); err != nil {
+			return err
+		}
+		return e
+	}
+	if n != blockHeaderLen+8*count {
+		return drain(protoErrf("block frame length %d inconsistent with count %d", n, count))
+	}
+	r, err := j.rel(bh[0])
+	if err != nil {
+		return drain(protoErrf("%s", err))
+	}
+	if !r.declared {
+		return drain(protoErrf("block for undeclared relation %d", bh[0]))
+	}
+	if r.pos+count > r.n {
+		return drain(protoErrf("relation %d overflows declared count %d", bh[0], r.n))
+	}
+	scratch := getScratch()
+	defer putScratch(scratch)
+	buf := *scratch
+	out := r.keys[r.pos : r.pos+count]
+	for len(out) > 0 {
+		c := len(buf) / 8
+		if c > len(out) {
+			c = len(out)
+		}
+		chunk := buf[:8*c]
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			return err
+		}
+		for i := range out[:c] {
+			out[i] = join.Key(binary.LittleEndian.Uint64(chunk[8*i:]))
+		}
+		out = out[c:]
+	}
+	r.pos += count
+	return nil
+}
+
+// readPayBlock decodes one v3 payload frame: per-tuple lengths accumulate
+// into the relation's offset table and the raw bytes land in the pooled
+// flat buffer. Truncation, overflow and length/frame mismatches are
+// job-level errors.
+func (j *sessJob) readPayBlock(br *bufio.Reader, n int) error {
+	if n < blockHeaderLen {
+		return fmt.Errorf("payload frame length %d below sub-header size", n)
+	}
+	var bh [blockHeaderLen]byte
+	if _, err := io.ReadFull(br, bh[:]); err != nil {
+		return err
+	}
+	count := int(binary.LittleEndian.Uint32(bh[1:]))
+	rest := n - blockHeaderLen
+	drain := func(e *protoErr) error {
+		if _, err := io.CopyN(io.Discard, br, int64(rest)); err != nil {
+			return err
+		}
+		return e
+	}
+	if rest < 4*count {
+		return drain(protoErrf("payload frame length %d too short for %d lengths", n, count))
+	}
+	r, err := j.rel(bh[0])
+	if err != nil {
+		return drain(protoErrf("%s", err))
+	}
+	if !r.declared || !r.hasPay {
+		return drain(protoErrf("payload block for relation %d without a declared payload segment", bh[0]))
+	}
+	if r.payTup+count > r.n {
+		return drain(protoErrf("relation %d payload tuples overflow declared count %d", bh[0], r.n))
+	}
+	var lenBuf [4]byte
+	total := 0
+	for i := 0; i < count; i++ {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return err
+		}
+		rest -= 4
+		sz := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if r.payPos+total+sz > r.payBytes {
+			return drain(protoErrf("relation %d payload overflows declared %d bytes", bh[0], r.payBytes))
+		}
+		total += sz
+		r.off[r.payTup+1+i] = uint32(r.payPos + total)
+	}
+	if rest != total {
+		// The byte segment disagrees with the lengths: a truncated (or
+		// padded) payload frame.
+		e := protoErrf("relation %d payload frame carries %d bytes, lengths sum to %d (truncated frame)",
+			bh[0], rest, total)
+		return drain(e)
+	}
+	if _, err := io.ReadFull(br, r.pay[r.payPos:r.payPos+total]); err != nil {
+		return err
+	}
+	r.payPos += total
+	r.payTup += count
+	return nil
+}
+
+// validateComplete checks a job's stream against its declarations at EOS.
+func (j *sessJob) validateComplete() error {
+	for i := range j.rels {
+		r := &j.rels[i]
+		if !r.declared {
+			return fmt.Errorf("relation %d never declared", i+1)
+		}
+		if r.pos != r.n {
+			return fmt.Errorf("relation %d ended at %d tuples, head declared %d", i+1, r.pos, r.n)
+		}
+		if r.hasPay && (r.payPos != r.payBytes || r.payTup != r.n) {
+			return fmt.Errorf("relation %d payload ended at %d bytes/%d tuples, head declared %d/%d",
+				i+1, r.payPos, r.payTup, r.payBytes, r.n)
+		}
+	}
+	return nil
+}
+
+// finishSessionJob runs one drained job's join and replies. It runs in its
+// own goroutine so the connection's read loop keeps consuming subsequent
+// jobs; replies serialize on wmu.
+func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex, cs *connState, conn net.Conn) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "netexec: worker: recovered in session job %d from %s: %v\n%s",
+				j.id, conn.RemoteAddr(), r, debug.Stack())
+		}
+	}()
+	defer j.release()
+	if j.counted {
+		defer w.endJob(cs)
+	}
+	reply := func(m metrics) {
+		wmu.Lock()
+		_ = writeV3GobFrame(bw, frameV3Metrics, j.id, m)
+		_ = bw.Flush()
+		wmu.Unlock()
+	}
+	if j.err == nil {
+		j.err = j.validateComplete()
+	}
+	if j.err != nil {
+		reply(metrics{Err: j.err.Error()})
+		return
+	}
+	r1, r2 := &j.rels[0], &j.rels[1]
+	start := time.Now()
+	var out int64
+	if j.wantPairs {
+		// The pair join must not sort the blocks in place: indices refer to
+		// arrival order on both sides of the wire. Chunks stream back as
+		// they fill, interleaving with other jobs' replies at frame
+		// granularity.
+		out = exec.JoinPairs(r1.keys, r2.keys, j.cond, func(chunk []exec.PairIdx) {
+			wmu.Lock()
+			_ = writePairsFrame(bw, j.id, chunk)
+			wmu.Unlock()
+		})
+	} else {
+		// Count-only jobs own their buffers outright: in-place sort, as v2.
+		out = localjoin.AutoCountOwned(r1.keys, r2.keys, j.cond)
+	}
+	reply(metrics{
+		InputR1:   int64(r1.n),
+		InputR2:   int64(r2.n),
+		Output:    out,
+		Nanos:     time.Since(start).Nanoseconds(),
+		PayBytes1: int64(r1.payBytes),
+		PayBytes2: int64(r2.payBytes),
+	})
+}

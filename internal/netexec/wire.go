@@ -9,6 +9,7 @@ import (
 	"io"
 	"sync"
 
+	"ewh/internal/exec"
 	"ewh/internal/join"
 )
 
@@ -34,21 +35,55 @@ import (
 // baseline (RunGob).
 const (
 	protoVersion = 2
+	// protoVersionSession is the v3 persistent-session protocol: the same
+	// magic opens the connection, after which numbered jobs multiplex over
+	// it until either side closes. See session.go and the "Session
+	// protocol" section of DESIGN.md.
+	protoVersionSession = 3
 
 	frameHandshake = 1
 	frameBlock     = 2
 	frameEOS       = 3
 	frameMetrics   = 4
 
+	// v3 session frames. Every v3 frame header carries a job number, so
+	// one connection interleaves many jobs' frames; 10+ keeps the two
+	// protocols' type spaces visibly disjoint.
+	frameV3OpenJob = 10 // coord→worker gob jobOpen
+	frameV3RelHead = 11 // coord→worker [rel u8][flags u8][count u32][payBytes u32]
+	frameV3Block   = 12 // coord→worker [rel u8][count u32][count×8 LE keys]
+	frameV3Pay     = 13 // coord→worker [rel u8][count u32][count×4 LE lens][bytes]
+	frameV3EOS     = 14 // coord→worker job data complete; worker joins
+	frameV3Pairs   = 15 // worker→coord [count u32][count×(i1 u32, i2 u32)]
+	frameV3Metrics = 16 // worker→coord gob metrics (terminates the job)
+	frameV3Abort   = 17 // coord→worker job abandoned; discard its state, no reply
+
+	// relFlagPayload marks a relation head that declares a payload segment.
+	relFlagPayload = 1
+
 	// blockHeaderLen is [rel u8][count u32].
 	blockHeaderLen = 5
+	// relHeadLen is [rel u8][flags u8][count u32][payBytes u32].
+	relHeadLen = 10
 	// maxBlockKeys caps one block frame (128 MiB of keys); a larger
 	// per-worker relation is split into consecutive blocks.
 	maxBlockKeys = 1 << 24
+	// maxPayFrameBytes caps one payload frame's byte segment (64 MiB); a
+	// larger per-worker payload block is split into consecutive frames.
+	// A SINGLE tuple's payload must fit one frame (lengths and bytes
+	// travel together), so this is also the per-tuple payload ceiling —
+	// enforced on the coordinator before any frame is written.
+	maxPayFrameBytes = 1 << 26
 	// maxFramePayload bounds what a worker will buffer for one control
 	// frame; data frames are bounded by maxBlockKeys instead.
 	maxFramePayload = blockHeaderLen + 8*maxBlockKeys
 )
+
+// MaxRelationPayloadBytes bounds the payload bytes one relation head may
+// declare (1 GiB). Like MaxRelationTuples, the worker allocates the receive
+// buffer from the declared size before any data arrives, so the cap is what
+// keeps a malformed coordinator from OOMing the worker process.
+const MaxRelationPayloadBytes = 1 << 30
 
 // protoMagic opens every v2 connection. The v1 gob stream can never start
 // with these bytes: gob messages open with a small varint length whose first
@@ -136,24 +171,280 @@ func writeKeyBlocks(w *bufio.Writer, rel int8, keys []join.Key) error {
 		if _, err := w.Write(bh[:]); err != nil {
 			return err
 		}
-		block := keys[:n]
-		for len(block) > 0 {
-			c := len(buf) / 8
-			if c > len(block) {
-				c = len(block)
-			}
-			chunk := buf[:8*c]
-			for i, k := range block[:c] {
-				binary.LittleEndian.PutUint64(chunk[8*i:], uint64(k))
-			}
-			if _, err := w.Write(chunk); err != nil {
-				return err
-			}
-			block = block[c:]
+		if err := writeKeysLE(w, keys[:n], buf); err != nil {
+			return err
 		}
 		keys = keys[n:]
 	}
 	return nil
+}
+
+// v3FrameHeaderLen is [type u8][job u32][payloadLen u32].
+const v3FrameHeaderLen = 9
+
+func writeV3FrameHeader(w io.Writer, typ byte, job uint32, payloadLen int) error {
+	var hdr [v3FrameHeaderLen]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], job)
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(payloadLen))
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+func readV3FrameHeader(r io.Reader) (typ byte, job uint32, payloadLen int, err error) {
+	var hdr [v3FrameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[5:])
+	if n > maxFramePayload {
+		return 0, 0, 0, fmt.Errorf("frame payload %d exceeds limit %d", n, maxFramePayload)
+	}
+	return hdr[0], binary.LittleEndian.Uint32(hdr[1:]), int(n), nil
+}
+
+// writeV3GobFrame sends a session frame whose payload is the gob encoding
+// of v.
+func writeV3GobFrame(w io.Writer, typ byte, job uint32, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	if err := writeV3FrameHeader(w, typ, job, buf.Len()); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readGobPayload decodes n payload bytes (already past a frame header) into v.
+func readGobPayload(r io.Reader, n int, v any) error {
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
+// writeRelHead announces one relation of a session job: its exact tuple
+// count and, when the relation carries payloads, the exact total payload
+// byte size — the worker allocates both receive buffers from these before
+// any data frame arrives.
+func writeRelHead(w io.Writer, job uint32, rel int8, count int, hasPay bool, payBytes int) error {
+	if err := writeV3FrameHeader(w, frameV3RelHead, job, relHeadLen); err != nil {
+		return err
+	}
+	var h [relHeadLen]byte
+	h[0] = byte(rel)
+	if hasPay {
+		h[1] = relFlagPayload
+	}
+	binary.LittleEndian.PutUint32(h[2:], uint32(count))
+	binary.LittleEndian.PutUint32(h[6:], uint32(payBytes))
+	_, err := w.Write(h[:])
+	return err
+}
+
+// writeKeyBlocksV3 is writeKeyBlocks with the session frame header: one
+// relation's contiguous per-worker key slice as v3 block frames.
+func writeKeyBlocksV3(w *bufio.Writer, job uint32, rel int8, keys []join.Key) error {
+	scratch := getScratch()
+	defer putScratch(scratch)
+	buf := *scratch
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > maxBlockKeys {
+			n = maxBlockKeys
+		}
+		if err := writeV3FrameHeader(w, frameV3Block, job, blockHeaderLen+8*n); err != nil {
+			return err
+		}
+		var bh [blockHeaderLen]byte
+		bh[0] = byte(rel)
+		binary.LittleEndian.PutUint32(bh[1:], uint32(n))
+		if _, err := w.Write(bh[:]); err != nil {
+			return err
+		}
+		if err := writeKeysLE(w, keys[:n], buf); err != nil {
+			return err
+		}
+		keys = keys[n:]
+	}
+	return nil
+}
+
+// writeKeysLE streams keys fixed-width little-endian, staged through buf.
+func writeKeysLE(w io.Writer, block []join.Key, buf []byte) error {
+	for len(block) > 0 {
+		c := len(buf) / 8
+		if c > len(block) {
+			c = len(block)
+		}
+		chunk := buf[:8*c]
+		for i, k := range block[:c] {
+			binary.LittleEndian.PutUint64(chunk[8*i:], uint64(k))
+		}
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+		block = block[c:]
+	}
+	return nil
+}
+
+// writePayloadBlocks streams one worker's encoded payload block as v3
+// payload frames: per-tuple u32 lengths followed by the raw bytes, split so
+// no frame exceeds maxPayFrameBytes of payload data. An empty block (zero
+// tuples) writes nothing — the relation head already declared zero.
+func writePayloadBlocks(w *bufio.Writer, job uint32, rel int8, pb exec.PayloadBlock) error {
+	tuples := len(pb.Off) - 1
+	for lo := 0; lo < tuples; {
+		hi := lo
+		frameBytes := 0
+		for hi < tuples && hi-lo < maxBlockKeys {
+			sz := int(pb.Off[hi+1] - pb.Off[hi])
+			if frameBytes > 0 && frameBytes+sz > maxPayFrameBytes {
+				break
+			}
+			frameBytes += sz
+			hi++
+		}
+		count := hi - lo
+		if err := writeV3FrameHeader(w, frameV3Pay, job, blockHeaderLen+4*count+frameBytes); err != nil {
+			return err
+		}
+		var bh [blockHeaderLen]byte
+		bh[0] = byte(rel)
+		binary.LittleEndian.PutUint32(bh[1:], uint32(count))
+		if _, err := w.Write(bh[:]); err != nil {
+			return err
+		}
+		var lenBuf [4]byte
+		for i := lo; i < hi; i++ {
+			binary.LittleEndian.PutUint32(lenBuf[:], pb.Off[i+1]-pb.Off[i])
+			if _, err := w.Write(lenBuf[:]); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(pb.Flat[pb.Off[lo]:pb.Off[hi]]); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// writePairsFrame ships one chunk of matched index pairs back to the
+// coordinator, staged through a pooled scratch buffer.
+func writePairsFrame(w *bufio.Writer, job uint32, pairs []exec.PairIdx) error {
+	if err := writeV3FrameHeader(w, frameV3Pairs, job, 4+8*len(pairs)); err != nil {
+		return err
+	}
+	var ch [4]byte
+	binary.LittleEndian.PutUint32(ch[:], uint32(len(pairs)))
+	if _, err := w.Write(ch[:]); err != nil {
+		return err
+	}
+	scratch := getScratch()
+	defer putScratch(scratch)
+	buf := *scratch
+	for len(pairs) > 0 {
+		c := len(buf) / 8
+		if c > len(pairs) {
+			c = len(pairs)
+		}
+		chunk := buf[:8*c]
+		for i, p := range pairs[:c] {
+			binary.LittleEndian.PutUint32(chunk[8*i:], p.I1)
+			binary.LittleEndian.PutUint32(chunk[8*i+4:], p.I2)
+		}
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+		pairs = pairs[c:]
+	}
+	return nil
+}
+
+// pairsBufPool recycles the coordinator's pairs receive chunks: the
+// Job.Pairs contract says a chunk is only valid for the duration of the
+// call, so the read loop returns each buffer right after delivery.
+var pairsBufPool = sync.Pool{} // stores *[]exec.PairIdx
+
+func getPairsBuf(n int) []exec.PairIdx {
+	if v := pairsBufPool.Get(); v != nil {
+		b := *v.(*[]exec.PairIdx)
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]exec.PairIdx, n)
+}
+
+func putPairsBuf(b []exec.PairIdx) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	pairsBufPool.Put(&b)
+}
+
+// readPairsPayload decodes one pairs frame's payload (already past the
+// frame header; n bytes follow) into a pooled chunk; the caller returns it
+// with putPairsBuf once delivered.
+func readPairsPayload(r io.Reader, n int) ([]exec.PairIdx, error) {
+	var ch [4]byte
+	if _, err := io.ReadFull(r, ch[:]); err != nil {
+		return nil, err
+	}
+	count := int(binary.LittleEndian.Uint32(ch[:]))
+	if n != 4+8*count {
+		return nil, fmt.Errorf("pairs frame length %d inconsistent with count %d", n, count)
+	}
+	out := getPairsBuf(count)
+	scratch := getScratch()
+	defer putScratch(scratch)
+	buf := *scratch
+	for pos := 0; pos < count; {
+		c := len(buf) / 8
+		if c > count-pos {
+			c = count - pos
+		}
+		chunk := buf[:8*c]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			putPairsBuf(out)
+			return nil, err
+		}
+		for i := 0; i < c; i++ {
+			out[pos+i] = exec.PairIdx{
+				I1: binary.LittleEndian.Uint32(chunk[8*i:]),
+				I2: binary.LittleEndian.Uint32(chunk[8*i+4:]),
+			}
+		}
+		pos += c
+	}
+	return out, nil
+}
+
+// byteBufPool recycles the workers' flat payload receive buffers.
+var byteBufPool = sync.Pool{} // stores *[]byte
+
+func getByteBuf(n int) []byte {
+	if v := byteBufPool.Get(); v != nil {
+		b := *v.(*[]byte)
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putByteBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	byteBufPool.Put(&b)
 }
 
 // readKeyBlock decodes one block frame's payload (already past the frame
