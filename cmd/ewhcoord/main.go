@@ -12,7 +12,12 @@
 // times over the one dialed session (the dial-amortization the session
 // protocol exists for); -dial-per-job falls back to the one-shot v2
 // transport for comparison, and -multiway runs the 3-way chain join
-// pipeline distributed end to end.
+// pipeline distributed end to end — by default with the direct
+// worker→worker re-shuffle of the stage-1 intermediate (-relay forces the
+// coordinator-relay baseline). -planin executes a plan artifact written by
+// ewhplan -planout, skipping the planning phase entirely (plan once,
+// execute many); -timeout arms dial and per-operation IO deadlines so a
+// hung worker fails a job instead of wedging the run.
 package main
 
 import (
@@ -28,6 +33,8 @@ import (
 	"ewh/internal/join"
 	"ewh/internal/multiway"
 	"ewh/internal/netexec"
+	"ewh/internal/partition"
+	"ewh/internal/planio"
 	"ewh/internal/workload"
 )
 
@@ -42,6 +49,9 @@ func main() {
 		jobs       = flag.Int("jobs", 1, "jobs to run over the one dialed session")
 		dialPerJob = flag.Bool("dial-per-job", false, "use the one-shot v2 transport (dials every worker per job)")
 		mway       = flag.Bool("multiway", false, "run the 3-way chain join pipeline instead of a 2-way join")
+		relay      = flag.Bool("relay", false, "with -multiway: force the coordinator-relay baseline instead of the peer shuffle")
+		planin     = flag.String("planin", "", "execute a plan artifact (ewhplan -planout) instead of planning: plan once, execute many")
+		timeout    = flag.Duration("timeout", 0, "dial and per-operation IO deadline on worker connections (0: none)")
 	)
 	flag.Parse()
 
@@ -49,19 +59,41 @@ func main() {
 	r2 := workload.Zipfian(*n, int64(*n), *z, *seed+1)
 	cond := join.NewBand(*beta)
 	model := cost.DefaultBand
+	timeouts := netexec.Timeouts{Dial: *timeout, IO: *timeout}
 
-	plan, err := core.PlanCSIO(r1, r2, cond, core.Options{J: *j, Model: model, Seed: *seed})
-	if err != nil {
-		fatal(err)
+	var scheme partition.Scheme
+	execSeed := *seed + 2
+	if *planin != "" && *mway {
+		fatal(fmt.Errorf("-planin applies to the 2-way join only: the multiway pipeline plans each stage internally"))
 	}
-	fmt.Printf("plan: %s with %d regions, m=%d, stats %v\n",
-		plan.Scheme.Name(), plan.Scheme.Workers(), plan.M, plan.StatsDuration.Round(1e6))
+	if *planin != "" {
+		data, err := os.ReadFile(*planin)
+		if err != nil {
+			fatal(err)
+		}
+		artifact, err := planio.Decode(data)
+		if err != nil {
+			fatal(err)
+		}
+		scheme = artifact.Scheme
+		execSeed = artifact.Seed + 2
+		fmt.Printf("plan artifact %s: %s with %d workers, seed %d (no planning phase)\n",
+			*planin, scheme.Name(), scheme.Workers(), artifact.Seed)
+	} else {
+		plan, err := core.PlanCSIO(r1, r2, cond, core.Options{J: *j, Model: model, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		scheme = plan.Scheme
+		fmt.Printf("plan: %s with %d regions, m=%d, stats %v\n",
+			plan.Scheme.Name(), plan.Scheme.Workers(), plan.M, plan.StatsDuration.Round(1e6))
+	}
 
 	// The 2-way plan may regionalize to fewer than J workers, but the
 	// multiway pipeline re-plans each stage internally with J — size the
 	// spawned pool for the largest scheme any mode can produce (stage
 	// schemes never exceed their Options' J).
-	spawn := plan.Scheme.Workers()
+	spawn := scheme.Workers()
 	if *mway && *j > spawn {
 		spawn = *j
 	}
@@ -82,16 +114,20 @@ func main() {
 	}
 
 	if *mway {
-		runMultiway(addrs, r1, r2, *n, *j, *seed, model)
+		runMultiway(addrs, r1, r2, *n, *j, *seed, model, timeouts, *relay)
 		return
 	}
 
 	if *dialPerJob {
+		if *timeout > 0 {
+			fmt.Fprintln(os.Stderr, "ewhcoord: -timeout applies to session connections only; the one-shot v2 transport ignores it")
+		}
 		start := time.Now()
 		var res *exec.Result
+		var err error
 		for i := 0; i < *jobs; i++ {
-			res, err = netexec.Run(addrs, r1, r2, cond, plan.Scheme, model,
-				exec.Config{Seed: *seed + 2})
+			res, err = netexec.Run(addrs, r1, r2, cond, scheme, model,
+				exec.Config{Seed: execSeed})
 			if err != nil {
 				fatal(err)
 			}
@@ -101,7 +137,7 @@ func main() {
 		return
 	}
 
-	sess, err := netexec.Dial(addrs)
+	sess, err := netexec.DialWith(addrs, timeouts)
 	if err != nil {
 		fatal(err)
 	}
@@ -109,8 +145,8 @@ func main() {
 	start := time.Now()
 	var res *exec.Result
 	for i := 0; i < *jobs; i++ {
-		res, err = exec.RunOver(sess, r1, r2, cond, plan.Scheme, model,
-			exec.Config{Seed: *seed + 2})
+		res, err = exec.RunOver(sess, r1, r2, cond, scheme, model,
+			exec.Config{Seed: execSeed})
 		if err != nil {
 			fatal(err)
 		}
@@ -122,8 +158,12 @@ func main() {
 
 // runMultiway executes the 3-way chain join R1 ⋈ Mid ⋈ R3 distributed over
 // the session: the Mid relation's B keys ship as a payload segment and both
-// EWH-planned stages run on the remote workers.
-func runMultiway(addrs []string, r1, r2 []join.Key, n, j int, seed uint64, model cost.Model) {
+// stages run on the remote workers. By default the stage-1 intermediate
+// re-shuffles directly worker→worker under a broadcast plan artifact;
+// -relay forces the coordinator-relay baseline.
+func runMultiway(addrs []string, r1, r2 []join.Key, n, j int, seed uint64, model cost.Model,
+	timeouts netexec.Timeouts, relay bool) {
+
 	mid := multiway.MidRelation{
 		A: r2,
 		B: workload.Zipfian(n, int64(n), 0.3, seed+7),
@@ -132,17 +172,24 @@ func runMultiway(addrs []string, r1, r2 []join.Key, n, j int, seed uint64, model
 	q := multiway.Query{R1: r1, Mid: mid, R3: r3,
 		CondA: join.NewBand(1), CondB: join.Equi{}}
 
-	sess, err := netexec.Dial(addrs)
+	sess, err := netexec.DialWith(addrs, timeouts)
 	if err != nil {
 		fatal(err)
 	}
 	defer sess.Close()
-	res, err := multiway.ExecuteOver(sess, q, core.Options{J: j, Model: model, Seed: seed},
+	run := multiway.ExecuteOver
+	mode := "peer shuffle"
+	if relay {
+		run = multiway.ExecuteOverRelay
+		mode = "coordinator relay"
+	}
+	res, err := run(sess, q, core.Options{J: j, Model: model, Seed: seed},
 		exec.Config{Seed: seed + 2})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("multiway: |R1 ⋈ Mid ⋈ R3| = %d (intermediate %d)\n", res.Output, res.Intermediate)
+	fmt.Printf("multiway (%s): |R1 ⋈ Mid ⋈ R3| = %d (intermediate %d, %d pairs relayed through coordinator)\n",
+		mode, res.Output, res.Intermediate, sess.RelayedPairs())
 	for i, st := range res.Stages {
 		if st.Exec == nil {
 			fmt.Printf("  stage %d: %s\n", i+1, st.Scheme)

@@ -1,9 +1,14 @@
 // Command ewhplan builds a partitioning plan for a generated workload and
 // prints the resulting equi-weight histogram regions — a quick way to see
-// what the planner does without running the join.
+// what the planner does without running the join. With -planout the plan is
+// persisted as a binary artifact (scheme, regions, routing seed) that any
+// executor — ewhcoord -planin, or a coordinator process on another machine —
+// loads and executes identically: plan once, execute many.
 //
 //	ewhplan -workload bcb -x 19200 -beta 3 -j 8
 //	ewhplan -workload bicd -n 60000 -j 16 -scheme csi -p 500
+//	ewhplan -workload zipf -j 8 -planout band.ewhp
+//	ewhplan -planin band.ewhp
 package main
 
 import (
@@ -14,22 +19,31 @@ import (
 	"ewh/internal/core"
 	"ewh/internal/cost"
 	"ewh/internal/join"
+	"ewh/internal/partition"
+	"ewh/internal/planio"
 	"ewh/internal/workload"
 )
 
 func main() {
 	var (
-		wl     = flag.String("workload", "bcb", "workload: bcb | bicd | beocd | uniform | zipf")
-		scheme = flag.String("scheme", "csio", "scheme: csio | csi | ci")
-		n      = flag.Int("n", 60000, "rows per relation (bicd/beocd/uniform/zipf)")
-		x      = flag.Int("x", 19200, "dense-segment size (bcb); relations hold 5x rows")
-		beta   = flag.Int64("beta", 3, "band half-width (bcb/uniform/zipf)")
-		z      = flag.Float64("z", 0.25, "zipf skew (bicd/zipf)")
-		j      = flag.Int("j", 8, "number of machines J")
-		p      = flag.Int("p", 1000, "CSI bucket count")
-		seed   = flag.Uint64("seed", 42, "random seed")
+		wl      = flag.String("workload", "bcb", "workload: bcb | bicd | beocd | uniform | zipf")
+		scheme  = flag.String("scheme", "csio", "scheme: csio | csi | ci")
+		n       = flag.Int("n", 60000, "rows per relation (bicd/beocd/uniform/zipf)")
+		x       = flag.Int("x", 19200, "dense-segment size (bcb); relations hold 5x rows")
+		beta    = flag.Int64("beta", 3, "band half-width (bcb/uniform/zipf)")
+		z       = flag.Float64("z", 0.25, "zipf skew (bicd/zipf)")
+		j       = flag.Int("j", 8, "number of machines J")
+		p       = flag.Int("p", 1000, "CSI bucket count")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		planout = flag.String("planout", "", "write the built plan as a binary artifact to this file")
+		planin  = flag.String("planin", "", "load and describe a plan artifact instead of planning")
 	)
 	flag.Parse()
+
+	if *planin != "" {
+		describeArtifact(*planin)
+		return
+	}
 
 	var (
 		r1, r2 []join.Key
@@ -93,6 +107,41 @@ func main() {
 		for i, r := range plan.Regions {
 			fmt.Printf("  %2d: %v (input=%.0f output=%.0f)\n", i, r, r.Input, r.Output)
 		}
+	}
+
+	if *planout != "" {
+		data, err := planio.Encode(&planio.Artifact{Scheme: plan.Scheme, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*planout, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan artifact written to %s (%d bytes)\n", *planout, len(data))
+	}
+}
+
+// describeArtifact loads a plan artifact and prints what it would execute.
+func describeArtifact(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := planio.Decode(data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("artifact %s: scheme=%s workers=%d seed=%d (%d bytes)\n",
+		path, a.Scheme.Name(), a.Scheme.Workers(), a.Seed, len(data))
+	if rs, ok := a.Scheme.(*partition.RegionScheme); ok {
+		fmt.Println("regions:")
+		for i, r := range rs.Regions() {
+			fmt.Printf("  %2d: %v (input=%.0f output=%.0f)\n", i, r, r.Input, r.Output)
+		}
+	}
+	if a.Assignment != nil {
+		fmt.Printf("assignment over %d machines, makespan=%.2f\n",
+			len(a.Assignment.Capacity), a.Assignment.Makespan())
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "address to listen on")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for in-flight jobs")
+	timeout := flag.Duration("timeout", 0, "dial and per-operation IO deadline on session and peer connections (0: none)")
 	flag.Parse()
 
 	w, err := netexec.ListenWorker(*addr)
@@ -31,6 +32,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ewhworker:", err)
 		os.Exit(1)
 	}
+	w.SetTimeouts(netexec.Timeouts{Dial: *timeout, IO: *timeout})
 	fmt.Println("ewhworker listening on", w.Addr())
 
 	sigc := make(chan os.Signal, 1)

@@ -6,6 +6,7 @@ import (
 	"ewh/internal/multiway"
 	"ewh/internal/netexec"
 	"ewh/internal/partition"
+	"ewh/internal/planio"
 )
 
 // This file exposes the paper's extension features (§IV-B, §A5): multi-way
@@ -50,6 +51,28 @@ type Cluster = netexec.Session
 // executed over the returned Cluster may use up to len(addrs) workers.
 func Dial(addrs []string) (*Cluster, error) { return netexec.Dial(addrs) }
 
+// Timeouts bounds a cluster's connection establishment and per-operation IO
+// so one hung worker or peer fails a job instead of wedging the session.
+type Timeouts = netexec.Timeouts
+
+// DialWith is Dial with explicit dial/IO deadlines.
+func DialWith(addrs []string, t Timeouts) (*Cluster, error) { return netexec.DialWith(addrs, t) }
+
+// PlanArtifact is a serializable partitioning plan: the scheme, its routing
+// seed, and an optional heterogeneous-cluster assignment. Artifacts
+// round-trip byte-exactly through EncodePlanArtifact/DecodePlanArtifact, so
+// a plan built once executes identically anywhere — in files (ewhplan
+// -planout, ewhcoord -planin) and on the wire (the cluster broadcasts one
+// to its workers for the multiway peer re-shuffle).
+type PlanArtifact = planio.Artifact
+
+// EncodePlanArtifact serializes a plan artifact with the binary plan codec.
+func EncodePlanArtifact(a *PlanArtifact) ([]byte, error) { return planio.Encode(a) }
+
+// DecodePlanArtifact reconstructs a plan artifact; the decoded scheme routes
+// identically to the encoded one.
+func DecodePlanArtifact(data []byte) (*PlanArtifact, error) { return planio.Decode(data) }
+
 // ExecuteOver runs a planned join through rt — Execute generalized over the
 // transport. With a Cluster runtime the relations are shuffled once on the
 // coordinator and streamed to the remote workers as they scatter.
@@ -77,10 +100,23 @@ func ExecuteTuplesOver[P1, P2 any](rt Runtime, r1 []Tuple[P1], r2 []Tuple[P2],
 }
 
 // ExecuteMultiwayOver runs the 3-way chain join through rt: with a Cluster
-// runtime both EWH-planned stages execute on the remote workers, the Mid
-// relation shipping its B keys as a wire payload segment.
+// runtime both stages execute on the remote workers, the Mid relation
+// shipping its B keys as a wire payload segment. Stage-aware runtimes (a
+// Cluster) take the peer-shuffle path — the stage-1 intermediate re-shuffles
+// directly worker→worker under a broadcast plan artifact and never transits
+// the coordinator; others fall back to the coordinator-relay strategy.
 func ExecuteMultiwayOver(rt Runtime, q MultiwayQuery, opts Options, cfg ExecConfig) (*MultiwayResult, error) {
 	return multiway.ExecuteOver(rt, q, opts, cfg)
+}
+
+// ExecuteMultiwayOverRelay forces the coordinator-relay strategy on any
+// runtime: stage-1 matches stream back as pairs, the coordinator
+// materializes the intermediate, re-plans it with a fresh equi-weight
+// histogram and re-shuffles it itself. It is the tracked baseline the peer
+// path is measured against — and the path that keeps CSIO output balancing
+// for stage 2.
+func ExecuteMultiwayOverRelay(rt Runtime, q MultiwayQuery, opts Options, cfg ExecConfig) (*MultiwayResult, error) {
+	return multiway.ExecuteOverRelay(rt, q, opts, cfg)
 }
 
 // Assignment maps histogram regions onto machines of heterogeneous capacity

@@ -14,6 +14,7 @@ import (
 	"ewh/internal/exec"
 	"ewh/internal/join"
 	"ewh/internal/localjoin"
+	"ewh/internal/multiway"
 	"ewh/internal/netexec"
 	"ewh/internal/partition"
 	"ewh/internal/stats"
@@ -249,6 +250,71 @@ func ExecBench(cfg Config) (*ExecBenchReport, error) {
 		WallNS: bestPay.WallTime.Nanoseconds(), Output: bestPay.Output,
 		NetworkTuples: bestPay.NetworkTuples, MaxWork: bestPay.MaxWork,
 	})
+
+	// Multiway pipeline rows over the same session: the coordinator-relay
+	// strategy (stage-1 matches stream back as pairs and the re-planned
+	// intermediate re-scatters from the coordinator) against the direct
+	// worker→worker peer shuffle (the intermediate never transits the
+	// coordinator). The relay row is the peer row's tracked baseline.
+	midB := make([]join.Key, n)
+	r3 := make([]join.Key, n)
+	for i := range midB {
+		midB[i] = rng.Int64n(int64(n))
+		r3[i] = rng.Int64n(int64(n))
+	}
+	q := multiway.Query{
+		R1:    r1,
+		Mid:   multiway.MidRelation{A: r2, B: midB},
+		R3:    r3,
+		CondA: join.NewBand(1),
+		CondB: join.Equi{},
+	}
+	mopts := core.Options{J: cfg.J, Model: cost.DefaultBand, Seed: cfg.Seed}
+	runMwayRow := func(name string,
+		run func(exec.Runtime, multiway.Query, core.Options, exec.Config) (*multiway.Result, error)) error {
+
+		var best *multiway.Result
+		var bestWall time.Duration
+		for i := 0; i < execBenchReps; i++ {
+			start := time.Now()
+			res, err := run(sess, q, mopts, exec.Config{Seed: cfg.Seed, Mappers: 4})
+			wall := time.Since(start)
+			if err != nil {
+				return fmt.Errorf("execbench: %s: %w", name, err)
+			}
+			if best == nil || wall < bestWall {
+				best, bestWall = res, wall
+			}
+		}
+		var net int64
+		var maxWork float64
+		scheme := ""
+		for _, st := range best.Stages {
+			if st.Exec == nil {
+				continue
+			}
+			net += st.Exec.NetworkTuples
+			if st.Exec.MaxWork > maxWork {
+				maxWork = st.Exec.MaxWork
+			}
+			if scheme != "" {
+				scheme += "+"
+			}
+			scheme += st.Exec.Scheme
+		}
+		rep.Rows = append(rep.Rows, ExecBenchRow{
+			Name: name, Scheme: scheme, N1: n, N2: n, Mappers: 4,
+			WallNS: bestWall.Nanoseconds(), Output: best.Output,
+			NetworkTuples: net, MaxWork: maxWork,
+		})
+		return nil
+	}
+	if err := runMwayRow("netexec-relay-multiway", multiway.ExecuteOverRelay); err != nil {
+		return nil, err
+	}
+	if err := runMwayRow("netexec-peer-multiway", multiway.ExecuteOver); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 

@@ -154,14 +154,56 @@ func calibrationRatio(base, cur *ExecBenchReport) float64 {
 	return ratio
 }
 
+// effectiveParallelism is the concurrency a report's recording actually
+// delivered: min(physical CPUs, GOMAXPROCS). Zero when the report predates
+// the cpus field.
+func effectiveParallelism(r *ExecBenchReport) int {
+	if r.CPUs == 0 {
+		return 0
+	}
+	p := r.CPUs
+	if r.GOMAXPROCS > 0 && r.GOMAXPROCS < p {
+		p = r.GOMAXPROCS
+	}
+	return p
+}
+
+// CPUMismatchWarning describes a baseline whose effective parallelism
+// differs from the report it gates. The calibration row rescales total
+// machine speed, but it cannot rescale parallelism: a baseline recorded
+// with GOMAXPROCS=4 on a 1-core container never saw the concurrent shuffle
+// actually overlap, so its wall times compare apples to oranges against a
+// genuine 4-core run (BENCH_exec_mc4.json is exactly this case until
+// refreshed from a real multi-core recording). Both shapes come from the
+// reports' recorded cpus/gomaxprocs fields, so comparing two saved files on
+// a third machine stays meaningful. Empty when the shapes agree or either
+// report predates the cpus field.
+func CPUMismatchWarning(base, cur *ExecBenchReport, path string) string {
+	basePar, curPar := effectiveParallelism(base), effectiveParallelism(cur)
+	if basePar == 0 || curPar == 0 || basePar == curPar {
+		return ""
+	}
+	return fmt.Sprintf("WARNING: baseline %s was recorded at effective parallelism %d (cpus=%d, gomaxprocs=%d) "+
+		"but this run delivers %d (cpus=%d, gomaxprocs=%d) — wall times compare different parallelism shapes "+
+		"(calibration rescales speed, not cores); refresh the baseline from a run on matching hardware",
+		path, basePar, base.CPUs, base.GOMAXPROCS, curPar, cur.CPUs, cur.GOMAXPROCS)
+}
+
 // CheckExecBenchAgainst loads the baseline at path, compares cur against it
 // and writes one line per violation to w. It returns an error carrying the
 // violation count when the gate fails — the ewhbench CLI and the CI job
-// turn that into a nonzero exit.
+// turn that into a nonzero exit. A baseline whose recorded CPU count
+// differs from the running GOMAXPROCS gets a loud warning and an annotated
+// gate line (see CPUMismatchWarning); the gate still runs — exact-output
+// checks are hardware-independent — but its wall verdicts carry the caveat.
 func CheckExecBenchAgainst(w io.Writer, cur *ExecBenchReport, path string, maxRegress float64) error {
 	base, err := LoadExecBench(path)
 	if err != nil {
 		return err
+	}
+	warn := CPUMismatchWarning(base, cur, path)
+	if warn != "" {
+		fmt.Fprintf(w, "%s\n", warn)
 	}
 	regs, err := CompareExecBench(base, cur, maxRegress)
 	if err != nil {
@@ -170,11 +212,16 @@ func CheckExecBenchAgainst(w io.Writer, cur *ExecBenchReport, path string, maxRe
 	for _, r := range regs {
 		fmt.Fprintf(w, "REGRESSION %s\n", r)
 	}
-	if len(regs) > 0 {
-		return fmt.Errorf("bench: %d metric(s) regressed beyond %.0f%% vs %s",
-			len(regs), maxRegress*100, path)
+	note := ""
+	if warn != "" {
+		note = fmt.Sprintf(" [baseline parallelism %d vs current %d: cross-hardware wall comparison]",
+			effectiveParallelism(base), effectiveParallelism(cur))
 	}
-	fmt.Fprintf(w, "benchmark gate passed: no metric regressed beyond %.0f%% vs %s\n",
-		maxRegress*100, path)
+	if len(regs) > 0 {
+		return fmt.Errorf("bench: %d metric(s) regressed beyond %.0f%% vs %s%s",
+			len(regs), maxRegress*100, path, note)
+	}
+	fmt.Fprintf(w, "benchmark gate passed: no metric regressed beyond %.0f%% vs %s%s\n",
+		maxRegress*100, path, note)
 	return nil
 }

@@ -197,3 +197,50 @@ func TestCheckExecBenchAgainstRoundTrip(t *testing.T) {
 		t.Fatalf("output %q lacks regression line", sb.String())
 	}
 }
+
+func TestCPUMismatchWarningAnnotatesGate(t *testing.T) {
+	cur := &ExecBenchReport{CPUs: 4, GOMAXPROCS: 4}
+	matched := &ExecBenchReport{CPUs: 4, GOMAXPROCS: 4}
+	if w := CPUMismatchWarning(matched, cur, "x.json"); w != "" {
+		t.Fatalf("matching shape warned: %q", w)
+	}
+	// Different raw counts but the same EFFECTIVE parallelism (min of cpus
+	// and gomaxprocs) must not warn: an 8-core machine pinned to 4 procs
+	// delivers the same overlap as a 4-core one.
+	pinned := &ExecBenchReport{CPUs: 8, GOMAXPROCS: 4}
+	if w := CPUMismatchWarning(pinned, cur, "x.json"); w != "" {
+		t.Fatalf("equal effective parallelism warned: %q", w)
+	}
+	legacy := &ExecBenchReport{} // pre-cpus baseline: nothing to compare
+	if w := CPUMismatchWarning(legacy, cur, "x.json"); w != "" {
+		t.Fatalf("legacy baseline warned: %q", w)
+	}
+	// The mc4 scenario: recorded on a 1-core container claiming
+	// GOMAXPROCS=4, gating a genuine 4-core run.
+	container := &ExecBenchReport{CPUs: 1, GOMAXPROCS: 4}
+	if w := CPUMismatchWarning(container, cur, "x.json"); !strings.Contains(w, "WARNING") ||
+		!strings.Contains(w, "x.json") {
+		t.Fatalf("mismatch warning missing or unnamed: %q", w)
+	}
+
+	// End to end: a cpus-mismatched baseline must warn loudly AND annotate
+	// the gate verdict, while still gating. Shapes come from the reports'
+	// recorded fields, so the test is hardware-independent.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	base := &ExecBenchReport{Scale: 1, Seed: 42, CPUs: 1, GOMAXPROCS: 4, Rows: []ExecBenchRow{
+		row("a", 100_000_000, 50, 200, 10),
+	}}
+	if err := writeReportJSON(path, base); err != nil {
+		t.Fatal(err)
+	}
+	curFull := &ExecBenchReport{Scale: 1, Seed: 42, CPUs: 4, GOMAXPROCS: 4, Rows: base.Rows}
+	var sb strings.Builder
+	if err := CheckExecBenchAgainst(&sb, curFull, path, 0.25); err != nil {
+		t.Fatalf("gate failed on identical rows: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "cross-hardware") {
+		t.Fatalf("output lacks the mismatch warning/annotation: %q", out)
+	}
+}

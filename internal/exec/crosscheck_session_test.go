@@ -170,6 +170,9 @@ func TestCrossCheckSessionRunOverSchemes(t *testing.T) {
 }
 
 func TestCrossCheckSessionMultiway(t *testing.T) {
+	// The coordinator-relay path (the tracked baseline): bit-identical to
+	// the in-process engine including every per-worker metric, because both
+	// re-plan stage 2 with CSIO over the identical materialized intermediate.
 	const maxWorkers = 8
 	sess := dialLoopbackSession(t, maxWorkers)
 
@@ -195,7 +198,7 @@ func TestCrossCheckSessionMultiway(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: local: %v", id, err)
 			}
-			dist, err := multiway.ExecuteOver(sess, q, opts, cfg)
+			dist, err := multiway.ExecuteOverRelay(sess, q, opts, cfg)
 			if err != nil {
 				t.Fatalf("%s: session: %v", id, err)
 			}
@@ -218,6 +221,132 @@ func TestCrossCheckSessionMultiway(t *testing.T) {
 					if de.Workers[w] != le.Workers[w] {
 						t.Errorf("%s: stage %d worker %d metrics differ: sess %+v local %+v",
 							id, si, w, de.Workers[w], le.Workers[w])
+					}
+				}
+			}
+		}
+	}
+}
+
+// localIntermediate reproduces the multiway stage-1 materialization
+// in-process: the matched Mid rows' B keys, concatenated over workers in
+// worker order — the deterministic sequence the peer path's senders hold.
+func localIntermediate(t *testing.T, q multiway.Query, opts core.Options, cfg exec.Config) []join.Key {
+	t.Helper()
+	plan1, err := core.PlanCSIO(q.R1, q.Mid.A, q.CondA, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := make([]exec.Tuple[join.Key], len(q.Mid.A))
+	for i := range mid {
+		mid[i] = exec.Tuple[join.Key]{Key: q.Mid.A[i], Payload: q.Mid.B[i]}
+	}
+	perWorker := make([][]join.Key, plan1.Scheme.Workers())
+	if _, err := exec.RunTuplesOver(exec.Local{}, exec.WrapKeys(q.R1), mid, q.CondA,
+		plan1.Scheme, netModel, cfg, nil, nil,
+		func(w int, _ exec.Tuple[struct{}], b exec.Tuple[join.Key]) {
+			perWorker[w] = append(perWorker[w], b.Payload)
+		}); err != nil {
+		t.Fatal(err)
+	}
+	var inter []join.Key
+	for _, pw := range perWorker {
+		inter = append(inter, pw...)
+	}
+	return inter
+}
+
+func TestCrossCheckSessionMultiwayPeer(t *testing.T) {
+	// The peer-shuffle path: stage-1 intermediates re-shuffle directly
+	// worker→worker. Asserted here: (1) not a single matched pair transits
+	// the coordinator (the session's relayed-pairs counter stays flat),
+	// while the relay path moves the whole intermediate through it; (2)
+	// Output and Intermediate are bit-identical to the in-process engine;
+	// (3) stage-1 per-worker metrics are bit-identical to in-process; (4)
+	// for an equality stage-2 predicate the peer-assembled stage-2 blocks
+	// yield per-worker metrics bit-identical to an in-process run of the
+	// same content-deterministic Hash plan over the relay's intermediate.
+	const maxWorkers = 8
+	sess := dialLoopbackSession(t, maxWorkers)
+
+	for seed := uint64(700); seed < 703; seed++ {
+		rng := stats.NewRNG(seed)
+		n := 400 + int(rng.Int64n(600))
+		domain := 80 + rng.Int64n(300)
+		for _, condB := range []join.Condition{join.Equi{}, join.NewBand(2)} {
+			q := multiway.Query{
+				R1: netRandKeys(n, domain, seed+1),
+				Mid: multiway.MidRelation{
+					A: netRandKeys(n, domain, seed+2),
+					B: netRandKeys(n, domain, seed+3),
+				},
+				R3:    netRandKeys(n, domain, seed+4),
+				CondA: join.NewBand(1),
+				CondB: condB,
+			}
+			opts := core.Options{J: 5, Model: netModel, Seed: seed + 5}
+			for _, mappers := range []int{1, 4} {
+				cfg := exec.Config{Seed: seed + 6, Mappers: mappers}
+				id := fmt.Sprintf("seed %d condB %v mappers=%d", seed, condB, mappers)
+
+				local, err := multiway.Execute(q, opts, cfg)
+				if err != nil {
+					t.Fatalf("%s: local: %v", id, err)
+				}
+				before := sess.RelayedPairs()
+				peer, err := multiway.ExecuteOver(sess, q, opts, cfg)
+				if err != nil {
+					t.Fatalf("%s: peer: %v", id, err)
+				}
+				if relayed := sess.RelayedPairs() - before; relayed != 0 {
+					t.Fatalf("%s: %d intermediate pairs transited the coordinator on the peer path",
+						id, relayed)
+				}
+				if peer.Output != local.Output || peer.Intermediate != local.Intermediate {
+					t.Fatalf("%s: results differ: peer (out=%d mid=%d) local (out=%d mid=%d)",
+						id, peer.Output, peer.Intermediate, local.Output, local.Intermediate)
+				}
+				// Stage 1 is the identical shuffle and join on both paths.
+				l1, p1 := local.Stages[0].Exec, peer.Stages[0].Exec
+				for w := range l1.Workers {
+					if p1.Workers[w] != l1.Workers[w] {
+						t.Errorf("%s: stage 1 worker %d metrics differ: peer %+v local %+v",
+							id, w, p1.Workers[w], l1.Workers[w])
+					}
+				}
+				// The relay path moves every intermediate tuple through the
+				// coordinator as a matched pair; the delta is the tracked
+				// baseline the peer path eliminates.
+				relayBefore := sess.RelayedPairs()
+				if _, err := multiway.ExecuteOverRelay(sess, q, opts, cfg); err != nil {
+					t.Fatalf("%s: relay: %v", id, err)
+				}
+				if relayed := sess.RelayedPairs() - relayBefore; relayed < local.Intermediate {
+					t.Errorf("%s: relay path relayed %d pairs, expected at least the %d intermediates",
+						id, relayed, local.Intermediate)
+				}
+
+				// Pair-for-pair stage-2 check for the content-deterministic
+				// Hash plan: same intermediate multiset per worker ⇒ same
+				// per-worker inputs, outputs and modeled work.
+				if _, isEqui := condB.(join.Equi); !isEqui {
+					continue
+				}
+				scheme2, err := multiway.PeerStage2Scheme(condB, opts.J)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inter := localIntermediate(t, q, opts, cfg)
+				ref := exec.Run(inter, q.R3, condB, scheme2, netModel, cfg)
+				p2 := peer.Stages[1].Exec
+				if len(ref.Workers) != len(p2.Workers) {
+					t.Fatalf("%s: stage 2 worker counts differ: ref %d peer %d",
+						id, len(ref.Workers), len(p2.Workers))
+				}
+				for w := range ref.Workers {
+					if p2.Workers[w] != ref.Workers[w] {
+						t.Errorf("%s: stage 2 worker %d metrics differ: peer %+v reference %+v",
+							id, w, p2.Workers[w], ref.Workers[w])
 					}
 				}
 			}

@@ -193,6 +193,34 @@ func ShufflePair(r1, r2 []join.Key, scheme partition.Scheme, cfg Config) (*KeySh
 	return &KeyShuffle{s1}, &KeyShuffle{s2}
 }
 
+// ShuffleKeys routes one bare-key relation to scheme's workers on the given
+// side (rel 1 routes with RouteBatchR1, rel 2 with RouteBatchR2) — the
+// single-relation form of ShufflePair. It is what a peer worker uses to
+// re-shuffle its stage-1 matches by a broadcast plan (rel 1, Mappers 1 so
+// the routing is identical on any worker), and what the stage driver uses to
+// scatter a later stage's right relation. Deterministic for a fixed cfg.
+func ShuffleKeys(keys []join.Key, scheme partition.Scheme, rel int, cfg Config) *KeyShuffle {
+	cfg.defaults()
+	j := scheme.Workers()
+	master := stats.NewRNG(cfg.Seed)
+	rngs := make([]*stats.RNG, cfg.Mappers)
+	for i := range rngs {
+		rngs[i] = master.Split()
+	}
+	route := func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
+		partition.RouteBatchR1(scheme, keys, rng, b)
+	}
+	if rel == 2 {
+		route = func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
+			partition.RouteBatchR2(scheme, keys, rng, b)
+		}
+	}
+	batches := getBatches(cfg.Mappers)
+	s := shuffleRelation(keys, keys, j, cfg.Mappers, rngs, batches, route, GetKeyBuffer)
+	putBatches(batches)
+	return &KeyShuffle{s}
+}
+
 // scatter places one mapper's shard into the flat buffer following the
 // routes recorded in pass 1. p is the mapper's per-worker write cursor set;
 // items is the shard (indexed from 0).

@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"ewh/internal/cost"
+	"ewh/internal/join"
+	"ewh/internal/partition"
+)
+
+// This file is the stage-aware half of the runtime layer: instead of the
+// driver materializing one stage's output and re-shuffling it itself (the
+// coordinator-relay pattern), the driver hands the transport a PLAN — a
+// serializable partitioning artifact — plus relation futures, and the
+// transport decides where the intermediate lives and how it moves. Over
+// netexec this is the direct worker→worker re-shuffle: each worker routes
+// its own stage-1 matches by the broadcast plan and streams them straight to
+// peer workers, so the intermediate never transits the driver.
+
+// PlanJob hands a transport a downstream join stage as a plan rather than
+// pre-routed blocks. The stage's left relation is the upstream stage's
+// materialized matches, already living wherever the transport put them; the
+// right relation is still shuffled by the driver (it owns that base data).
+type PlanJob struct {
+	// Plan is the planio-encoded artifact (scheme + routing seed) every
+	// executor of the stage shares. The transport ships it opaquely; workers
+	// decode it and route with bit-identical decisions.
+	Plan []byte
+	// Workers is the decoded scheme's worker count (the driver holds the
+	// decoded scheme too; transports must not need to decode Plan to size
+	// their dispatch).
+	Workers int
+	// Cond is the stage's join predicate.
+	Cond join.Condition
+	// R2 resolves to the stage's driver-shuffled right relation.
+	R2 *RelFuture
+	// MaxIntermediate, when positive, fails the pipeline before the stage
+	// dispatches if the upstream stage matched more tuples — the earliest
+	// point the total is known on a transport whose driver never sees the
+	// intermediate.
+	MaxIntermediate int64
+}
+
+// StageRuntime is an optional Runtime extension implemented by transports
+// that can re-shuffle one job's materialized matches directly between their
+// workers. The first job's second relation must carry, as its payload
+// encoding, the 8-byte little-endian stage-2 routing key of each tuple: a
+// stage-1 match (t1, t2) materializes as the bare key decoded from t2's
+// payload, which is exactly how the multiway pipeline re-keys its
+// intermediate on the next join attribute.
+type StageRuntime interface {
+	Runtime
+	// RunStages executes first (count-only; first.Pairs must be nil), routes
+	// each worker's matches by next.Plan to the stage-2 workers, joins them
+	// against next.R2 and fills wm1/wm2 (lengths first.Workers and
+	// next.Workers). It returns the total intermediate size — the only thing
+	// about the intermediate the driver ever sees.
+	RunStages(first *Job, next *PlanJob, wm1, wm2 []WorkerMetrics) (intermediate int64, err error)
+}
+
+// StagePlan describes the downstream stage to RunStagesOver: the encoded
+// artifact the transport broadcasts and the decoded scheme the driver sizes
+// results with. Scheme must be the decode of Bytes. MaxIntermediate (when
+// positive) caps the stage-1 match total before stage 2 dispatches.
+type StagePlan struct {
+	Bytes           []byte
+	Scheme          partition.Scheme
+	Cond            join.Condition
+	MaxIntermediate int64
+}
+
+// stage2SeedDelta decorrelates the driver's right-relation shuffle from the
+// first stage's shuffle streams without a second Config knob.
+const stage2SeedDelta = 0x51ed270
+
+// RunStagesOver executes a two-stage pipeline through a stage-aware
+// transport: stage 1 joins r1 ⋈ r2 under scheme (shuffled once by the
+// driver, payload segments carrying each r2 tuple's stage-2 routing key),
+// the transport re-shuffles the matches by sp's plan without them ever
+// returning to the driver, and stage 2 joins them against r3 (driver-
+// shuffled on the R2 side, seed cfg.Seed+stage2SeedDelta). enc2 must encode
+// exactly the 8-byte little-endian stage-2 key (see StageRuntime); enc1 may
+// be nil. Both stages' Results carry the usual per-worker metrics; stage 1's
+// Output is the intermediate size.
+func RunStagesOver[P1, P2 any](rt StageRuntime, r1 []Tuple[P1], r2 []Tuple[P2],
+	cond join.Condition, scheme partition.Scheme, sp StagePlan, r3 []join.Key,
+	model cost.Model, cfg Config, enc1 PayloadEncoder[P1], enc2 PayloadEncoder[P2],
+) (stage1, stage2 *Result, err error) {
+
+	if enc2 == nil {
+		return nil, nil, fmt.Errorf("exec: stage pipeline needs a stage-2 key encoder for relation 2")
+	}
+	if sp.Scheme == nil || len(sp.Bytes) == 0 {
+		return nil, nil, fmt.Errorf("exec: stage pipeline without an encoded stage-2 plan")
+	}
+	cfg.defaults()
+	start := time.Now()
+	j1 := scheme.Workers()
+	j2 := sp.Scheme.Workers()
+
+	k1 := GetKeyBuffer(len(r1))
+	keysInto(k1, r1)
+	k2 := GetKeyBuffer(len(r2))
+	keysInto(k2, r2)
+	var s1 shuffled[Tuple[P1]]
+	var s2 shuffled[Tuple[P2]]
+	f1, f2 := newRelFuture(), newRelFuture()
+	shufflePairAsync(r1, k1, r2, k2, scheme, cfg, getTupleSlice[P1], getTupleSlice[P2],
+		func(s shuffled[Tuple[P1]]) { s1 = s; f1.resolve(tupleRelData(s, enc1)) },
+		func(s shuffled[Tuple[P2]]) { s2 = s; f2.resolve(tupleRelData(s, enc2)) })
+
+	// The right relation of stage 2 shuffles concurrently with stage 1's
+	// relations; the transport waits on its future only when stage 2 opens.
+	cfg3 := cfg
+	cfg3.Seed = cfg.Seed + stage2SeedDelta
+	f3 := newRelFuture()
+	go func() {
+		ks := ShuffleKeys(r3, sp.Scheme, 2, cfg3)
+		f3.resolve(RelData{Keys: ks})
+	}()
+
+	first := &Job{Cond: cond, Workers: j1, R1: f1, R2: f2}
+	next := &PlanJob{Plan: sp.Bytes, Workers: j2, Cond: sp.Cond, R2: f3,
+		MaxIntermediate: sp.MaxIntermediate}
+	res1 := &Result{Scheme: scheme.Name() + rt.Label(), Workers: make([]WorkerMetrics, j1)}
+	res2 := &Result{Scheme: sp.Scheme.Name() + "@peer", Workers: make([]WorkerMetrics, j2)}
+	inter, err := rt.RunStages(first, next, res1.Workers, res2.Workers)
+
+	f1.Wait().Keys.Release()
+	f2.Wait().Keys.Release()
+	f3.Wait().Keys.Release()
+	PutKeyBuffer(k1)
+	PutKeyBuffer(k2)
+	putTupleSlice(s1.flat)
+	putTupleSlice(s2.flat)
+	if err != nil {
+		return nil, nil, err
+	}
+	finishResult(res1, model, start, cfg.BytesPerTuple)
+	finishResult(res2, model, start, cfg.BytesPerTuple)
+	if inter != res1.Output {
+		return nil, nil, fmt.Errorf("exec: transport re-shuffled %d intermediate tuples, stage 1 matched %d",
+			inter, res1.Output)
+	}
+	return res1, res2, nil
+}

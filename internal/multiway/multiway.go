@@ -16,6 +16,8 @@ import (
 	"ewh/internal/cost"
 	"ewh/internal/exec"
 	"ewh/internal/join"
+	"ewh/internal/partition"
+	"ewh/internal/planio"
 )
 
 // MidRelation is the middle relation of a 3-way chain join
@@ -76,6 +78,26 @@ func Execute(q Query, opts core.Options, cfg exec.Config) (*Result, error) {
 	return ExecuteOver(exec.Local{}, q, opts, cfg)
 }
 
+// PeerStage2Scheme is the statistics-free stage-2 scheme the peer-shuffle
+// path partitions the intermediate with: Hash for equality predicates, CI
+// otherwise. Both are complete and duplicate-free without seeing a single
+// intermediate tuple — the property that lets the stage-2 plan be built and
+// broadcast BEFORE stage 1 runs, so the intermediate never has to visit the
+// coordinator for re-planning. (The relay path keeps the full CSIO re-plan;
+// distributed statistics collection to restore CSIO planning on the peer
+// path is ROADMAP work.) Exported so tests and experiments can construct
+// the bit-identical in-process reference.
+func PeerStage2Scheme(cond join.Condition, j int) (partition.Scheme, error) {
+	if _, ok := cond.(join.Equi); ok {
+		return partition.NewHash(j, nil)
+	}
+	return partition.NewCI(j), nil
+}
+
+// peerSeedDelta decorrelates the peer re-shuffle's routing streams from the
+// engine seed without another knob.
+const peerSeedDelta = 0x7f4a7c15
+
 // encodeKeyPayload is the wire encoding of the intermediate tuples' payload
 // (the Mid rows' B keys): 8 fixed-width little-endian bytes. Shipping the
 // payload segment is deliberate even though pair emission reconstructs
@@ -89,24 +111,107 @@ func encodeKeyPayload(dst []byte, k join.Key) []byte {
 	return binary.LittleEndian.AppendUint64(dst, uint64(k))
 }
 
-// ExecuteOver runs the chain join through rt — the whole pipeline becomes
-// distributed by passing a netexec session: stage 1 ships the Mid relation
-// as key blocks plus a payload segment carrying each row's B key, the
-// workers join and stream matched pairs back, and the re-keyed intermediate
-// is re-planned and joined on the same runtime. Planning (statistics,
-// histograms) stays on the coordinator, exactly as the paper's coordinator
-// builds the equi-weight histogram before each shuffle. Results are
-// bit-identical across runtimes for a fixed cfg.
+// ExecuteOver runs the chain join through rt. Stage-aware transports
+// (exec.StageRuntime, e.g. a netexec session) take the peer-shuffle path:
+// the coordinator broadcasts a serialized stage-2 plan with stage 1, each
+// worker re-shuffles its own matches directly to peer workers, and the
+// intermediate never transits the coordinator. Other transports take the
+// coordinator-relay path (ExecuteOverRelay), which remains the tracked
+// baseline.
 func ExecuteOver(rt exec.Runtime, q Query, opts core.Options, cfg exec.Config) (*Result, error) {
+	if sr, ok := rt.(exec.StageRuntime); ok {
+		return executePeer(sr, q, opts, cfg)
+	}
+	return ExecuteOverRelay(rt, q, opts, cfg)
+}
+
+// validate normalizes the query and options shared by both paths.
+func validate(q Query, opts *core.Options) error {
 	if err := q.Mid.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if !opts.Model.Valid() {
 		opts.Model = cost.DefaultBand
 	}
 	if len(q.R1) == 0 || q.Mid.Rows() == 0 || len(q.R3) == 0 {
-		return nil, fmt.Errorf("multiway: empty relation (|R1|=%d |Mid|=%d |R3|=%d)",
+		return fmt.Errorf("multiway: empty relation (|R1|=%d |Mid|=%d |R3|=%d)",
 			len(q.R1), q.Mid.Rows(), len(q.R3))
+	}
+	return nil
+}
+
+// midTuples re-keys the Mid relation on column A with column B as payload —
+// the shape both stage-1 shuffles ship.
+func midTuples(q Query) []exec.Tuple[join.Key] {
+	ts := make([]exec.Tuple[join.Key], q.Mid.Rows())
+	for i := range ts {
+		ts[i] = exec.Tuple[join.Key]{Key: q.Mid.A[i], Payload: q.Mid.B[i]}
+	}
+	return ts
+}
+
+// executePeer is the direct worker→worker path: stage 1 runs exactly as the
+// relay path (same plan, same shuffle, same per-worker blocks), but its
+// matches stay on the workers, re-shuffled among them by a content-
+// insensitive stage-2 plan the coordinator serialized and broadcast up
+// front. The coordinator only ever sees pair counts; Output and the
+// intermediate size are bit-identical to the relay and in-process paths
+// (stage-2 per-worker placement differs — the plan is statistics-free
+// rather than the relay's CSIO re-plan).
+func executePeer(rt exec.StageRuntime, q Query, opts core.Options, cfg exec.Config) (*Result, error) {
+	if err := validate(q, &opts); err != nil {
+		return nil, err
+	}
+
+	plan1Start := time.Now()
+	plan1, err := core.PlanCSIO(q.R1, q.Mid.A, q.CondA, opts)
+	if err != nil {
+		return nil, fmt.Errorf("multiway: stage 1 plan: %w", err)
+	}
+	plan1Dur := time.Since(plan1Start)
+
+	plan2Start := time.Now()
+	scheme2, err := PeerStage2Scheme(q.CondB, opts.J)
+	if err != nil {
+		return nil, fmt.Errorf("multiway: stage 2 plan: %w", err)
+	}
+	artifact := planio.Artifact{Scheme: scheme2, Seed: cfg.Seed + peerSeedDelta}
+	planBytes, err := planio.Encode(&artifact)
+	if err != nil {
+		return nil, fmt.Errorf("multiway: stage 2 plan: %w", err)
+	}
+	plan2Dur := time.Since(plan2Start)
+
+	res1, res2, err := exec.RunStagesOver(rt, exec.WrapKeys(q.R1), midTuples(q), q.CondA,
+		plan1.Scheme,
+		exec.StagePlan{Bytes: planBytes, Scheme: scheme2, Cond: q.CondB,
+			MaxIntermediate: MaxIntermediate},
+		q.R3, opts.Model, cfg, nil, encodeKeyPayload)
+	if err != nil {
+		return nil, fmt.Errorf("multiway: peer pipeline: %w", err)
+	}
+	return &Result{
+		Stages: []StageResult{
+			{Scheme: plan1.Scheme.Name(), PlanDuration: plan1Dur, Exec: res1},
+			{Scheme: res2.Scheme, PlanDuration: plan2Dur, Exec: res2},
+		},
+		Intermediate: res1.Output,
+		Output:       res2.Output,
+	}, nil
+}
+
+// ExecuteOverRelay runs the chain join with the coordinator-relay strategy
+// on any runtime: stage 1 ships the Mid relation as key blocks plus a
+// payload segment carrying each row's B key, the workers join and stream
+// matched pairs back, and the re-keyed intermediate is re-planned with a
+// fresh equi-weight histogram and joined on the same runtime. Planning
+// (statistics, histograms) stays on the coordinator, exactly as the paper's
+// coordinator builds the equi-weight histogram before each shuffle. Results
+// are bit-identical across runtimes for a fixed cfg. It is the tracked
+// baseline the peer-shuffle path is measured against.
+func ExecuteOverRelay(rt exec.Runtime, q Query, opts core.Options, cfg exec.Config) (*Result, error) {
+	if err := validate(q, &opts); err != nil {
+		return nil, err
 	}
 
 	// Stage 1: R1 ⋈_A Mid, materializing the matched Mid rows' B keys.
@@ -117,16 +222,10 @@ func ExecuteOver(rt exec.Runtime, q Query, opts core.Options, cfg exec.Config) (
 	}
 	plan1Dur := time.Since(plan1Start)
 
-	r1Tuples := exec.WrapKeys(q.R1)
-	midTuples := make([]exec.Tuple[join.Key], q.Mid.Rows())
-	for i := range midTuples {
-		midTuples[i] = exec.Tuple[join.Key]{Key: q.Mid.A[i], Payload: q.Mid.B[i]}
-	}
-
 	perWorker := make([][]join.Key, plan1.Scheme.Workers())
 	var mu sync.Mutex
 	overflow := false
-	res1, err := exec.RunTuplesOver(rt, r1Tuples, midTuples, q.CondA, plan1.Scheme, opts.Model, cfg,
+	res1, err := exec.RunTuplesOver(rt, exec.WrapKeys(q.R1), midTuples(q), q.CondA, plan1.Scheme, opts.Model, cfg,
 		nil, encodeKeyPayload,
 		func(w int, _ exec.Tuple[struct{}], b exec.Tuple[join.Key]) {
 			perWorker[w] = append(perWorker[w], b.Payload)

@@ -62,12 +62,16 @@ type batch struct {
 
 // metrics is the worker's report. PayBytes1/PayBytes2 report the payload
 // segment bytes received per relation (v3 session jobs only), so the
-// coordinator can assert the payload path end to end.
+// coordinator can assert the payload path end to end. PeerCounts, present
+// only on stage-1 plan jobs, is the sender's per-receiver routed tuple
+// counts — the ONLY thing about the re-shuffled intermediate the
+// coordinator ever receives.
 type metrics struct {
 	InputR1, InputR2     int64
 	Output               int64
 	Nanos                int64
 	PayBytes1, PayBytes2 int64
+	PeerCounts           []int64
 	Err                  string
 }
 
@@ -78,6 +82,38 @@ type jobOpen struct {
 	WorkerID  int
 	Cond      join.Spec
 	WantPairs bool
+}
+
+// planSpec rides a frameV3Plan alongside a stage-1 job: the job's matches
+// feed the broadcast plan instead of streaming back as pairs. Plan is a
+// planio-encoded artifact (scheme + routing seed); Peers is the stage-2
+// worker address map; Self is this worker's own index in Peers (-1 when it
+// hosts no stage-2 worker), so self-contributions move in memory instead of
+// over a socket.
+type planSpec struct {
+	Token uint64
+	Plan  []byte
+	Peers []string
+	Self  int
+}
+
+// peerJobOpen opens a stage-2 job whose relation 1 arrives from peer workers
+// rather than from the coordinator. SenderCounts[s] is the exact tuple count
+// sender s routed to this worker (reported by the stage-1 metrics), so the
+// receiver assembles a deterministic sender-ordered block and knows exactly
+// when the peer transfer is complete.
+type peerJobOpen struct {
+	WorkerID     int
+	Cond         join.Spec
+	Token        uint64
+	SenderCounts []int64
+}
+
+// planCancel discards a worker's buffered peer state for an abandoned plan
+// (the coordinator failed the pipeline between broadcasting the plan and
+// opening the stage-2 jobs).
+type planCancel struct {
+	Token uint64
 }
 
 // BatchSize is the number of keys per shipped batch on the v1 gob path.
@@ -100,20 +136,36 @@ const connBufSize = 64 << 10
 type Worker struct {
 	ln     net.Listener
 	closed chan struct{}
+	kill   chan struct{} // closed by Close: abandon peer waits immediately
+
+	timeouts Timeouts // set before Serve; see SetTimeouts
 
 	mu       sync.Mutex
 	conns    map[*connState]struct{}
 	draining bool           // no new jobs; set by Shutdown AND Close
 	killed   bool           // connections must not be served at all; set by Close
 	jobs     sync.WaitGroup // in-flight jobs across all connections
+
+	// Peer mesh: outbound connections this worker dialed to stream its
+	// stage-1 matches to peers (lazily dialed, persistent), and inbound
+	// transfer state keyed by token (see peer.go).
+	peersMu    sync.Mutex
+	peers      map[string]*peerConn
+	peerStates map[uint64]*peerJobState
 }
 
 // connState tracks one accepted connection for shutdown: active counts the
 // connection's in-flight jobs (one for the whole lifetime of a v1/v2
-// connection, per open job for v3 sessions).
+// connection, per open job for v3 sessions). peer marks inbound peer-mesh
+// connections, which Shutdown must keep open until the job drain completes —
+// an in-flight stage-2 job may still be receiving tuples over them;
+// classified flips once the protocol sniff has run, so the drain never
+// closes a connection it cannot yet tell apart from a peer transfer.
 type connState struct {
-	conn   net.Conn
-	active int // guarded by Worker.mu
+	conn       net.Conn
+	active     int // guarded by Worker.mu
+	peer       bool
+	classified bool
 }
 
 // ListenWorker starts a worker on addr ("127.0.0.1:0" picks a free port).
@@ -123,11 +175,23 @@ func ListenWorker(addr string) (*Worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netexec: listen %s: %w", addr, err)
 	}
-	return &Worker{ln: ln, closed: make(chan struct{}), conns: make(map[*connState]struct{})}, nil
+	return &Worker{
+		ln:         ln,
+		closed:     make(chan struct{}),
+		kill:       make(chan struct{}),
+		conns:      make(map[*connState]struct{}),
+		peers:      make(map[string]*peerConn),
+		peerStates: make(map[uint64]*peerJobState),
+	}, nil
 }
 
 // Addr returns the worker's bound address.
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// SetTimeouts configures the worker's dial and IO deadlines (peer dials,
+// per-operation reads/writes on session and peer connections). Call before
+// Serve; the zero value disables deadlines.
+func (w *Worker) SetTimeouts(t Timeouts) { w.timeouts = t }
 
 // Close stops the worker abruptly: the listener and every live connection
 // are closed, killing in-flight jobs (their coordinators see the broken
@@ -138,12 +202,27 @@ func (w *Worker) Close() error {
 	err := w.stopAccepting()
 	w.mu.Lock()
 	w.draining = true
-	w.killed = true
+	if !w.killed {
+		w.killed = true
+		close(w.kill) // abandon any job waiting on peer transfers
+	}
 	for cs := range w.conns {
 		_ = cs.conn.Close()
 	}
 	w.mu.Unlock()
+	w.closePeers()
 	return err
+}
+
+// closePeers hangs up the worker's outbound peer-mesh connections.
+func (w *Worker) closePeers() {
+	w.peersMu.Lock()
+	peers := w.peers
+	w.peers = make(map[string]*peerConn)
+	w.peersMu.Unlock()
+	for _, pc := range peers {
+		pc.close()
+	}
 }
 
 // stopAccepting closes the listener exactly once.
@@ -170,7 +249,15 @@ func (w *Worker) Shutdown(ctx context.Context) error {
 	w.mu.Lock()
 	w.draining = true
 	for cs := range w.conns {
-		if cs.active == 0 {
+		// Peer-mesh connections are never "idle" in the job sense: an
+		// in-flight stage-2 job may still be receiving tuples over them, so
+		// they only close once the drain completes — and an unclassified
+		// connection (accepted, prelude not yet parsed) might BE one, so it
+		// is spared too. The drain itself also covers this worker's OUTBOUND
+		// peer transfers — a stage-1 plan job streams its contributions to
+		// peers before it replies, so jobs.Wait returning means every
+		// outbound transfer has flushed.
+		if cs.active == 0 && cs.classified && !cs.peer {
 			_ = cs.conn.Close()
 		}
 	}
@@ -189,16 +276,28 @@ func (w *Worker) Shutdown(ctx context.Context) error {
 			_ = cs.conn.Close()
 		}
 		w.mu.Unlock()
+		w.closePeers()
 		return ctx.Err()
 	}
 	// Every job replied; busy connections closed themselves as their last
-	// job ended (see endJob), so only post-drain stragglers remain.
+	// job ended (see endJob), so only post-drain stragglers (and the kept-
+	// open peer connections) remain.
 	w.mu.Lock()
 	for cs := range w.conns {
 		_ = cs.conn.Close()
 	}
 	w.mu.Unlock()
+	w.closePeers()
 	return nil
+}
+
+// classify records the outcome of a connection's protocol sniff for the
+// shutdown logic.
+func (w *Worker) classify(cs *connState, peer bool) {
+	w.mu.Lock()
+	cs.classified = true
+	cs.peer = peer
+	w.mu.Unlock()
 }
 
 // beginJob registers an in-flight job on cs. It refuses (returns false)
@@ -253,11 +352,13 @@ func (w *Worker) Serve() error {
 func (w *Worker) handle(conn net.Conn) {
 	cs := &connState{conn: conn}
 	w.mu.Lock()
-	// draining covers the Shutdown path, killed the Close path: either way
-	// a connection that registers after the flag flipped (it was accepted
-	// concurrently, so Close/Shutdown's iteration missed it) must not be
-	// served.
-	if w.draining || w.killed {
+	// killed (the Close path) rejects outright — a connection that registers
+	// after the flag flipped was accepted concurrently, so Close's iteration
+	// missed it. A DRAINING worker still serves new connections: job opens
+	// are refused politely by beginJob, but peer-mesh dials must get through
+	// — a sender's in-flight stage-1 job may need to deliver its
+	// contribution to this worker for the drain to complete at all.
+	if w.killed {
 		w.mu.Unlock()
 		_ = conn.Close()
 		return
@@ -277,7 +378,8 @@ func (w *Worker) handle(conn net.Conn) {
 				conn.RemoteAddr(), r, debug.Stack())
 		}
 	}()
-	br := bufio.NewReaderSize(conn, connBufSize)
+	tc := newTimedConn(conn, w.timeouts.IO)
+	br := bufio.NewReaderSize(tc, connBufSize)
 	head, err := br.Peek(len(protoMagic))
 	if err == nil && bytes.Equal(head, protoMagic[:]) {
 		var prelude [len(protoMagic) + 2]byte
@@ -286,18 +388,24 @@ func (w *Worker) handle(conn net.Conn) {
 		}
 		switch v := binary.LittleEndian.Uint16(prelude[len(protoMagic):]); v {
 		case protoVersion:
+			w.classify(cs, false)
 			w.handleBinary(br, conn, cs)
 		case protoVersionSession:
-			w.handleSession(br, conn, cs)
+			w.classify(cs, false)
+			w.handleSession(br, tc, cs)
+		case protoVersionPeer:
+			w.classify(cs, true)
+			w.handlePeer(br, tc)
 		default:
 			bw := bufio.NewWriterSize(conn, 512)
 			_ = writeGobFrame(bw, frameMetrics, metrics{
-				Err: fmt.Sprintf("protocol version %d, worker speaks %d and %d",
-					v, protoVersion, protoVersionSession)})
+				Err: fmt.Sprintf("protocol version %d, worker speaks %d, %d and %d",
+					v, protoVersion, protoVersionSession, protoVersionPeer)})
 			_ = bw.Flush()
 		}
 		return
 	}
+	w.classify(cs, false)
 	w.handleGob(br, conn, cs)
 }
 

@@ -1,0 +1,589 @@
+package netexec
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"ewh/internal/exec"
+	"ewh/internal/join"
+)
+
+// This file is the worker→worker peer mesh of the stage-aware pipeline: a
+// stage-1 worker that executed a plan job re-shuffles its matches by the
+// broadcast plan and streams each stage-2 worker's share DIRECTLY to that
+// peer, over a lazily-dialed persistent connection to the peer's regular
+// listener (protoVersionPeer selects this handler). The receiving side
+// buffers contributions keyed by a coordinator-issued 64-bit token; when the
+// coordinator opens the matching stage-2 job it names the exact per-sender
+// counts, so the receiver assembles one deterministic sender-ordered flat
+// block and knows precisely when the transfer is complete. The intermediate
+// relation therefore never transits the coordinator — it only ever sees the
+// count vectors riding the stage-1 metrics.
+
+// peerTokens makes transfer tokens unique across coordinators sharing a
+// worker pool: a process-random base plus a counter.
+var (
+	peerTokenBase = func() uint64 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return 0x9e3779b97f4a7c15 // deterministic fallback; collisions still need equal counters
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}()
+	peerTokenCtr atomic.Uint64
+)
+
+func newPeerToken() uint64 { return peerTokenBase + peerTokenCtr.Add(1) }
+
+// peerSenderSeed derives sender s's deterministic routing stream from the
+// artifact seed: every holder of the plan can reproduce any sender's routing
+// decisions, which is what makes the assembled stage-2 blocks deterministic.
+func peerSenderSeed(artifactSeed uint64, sender int) uint64 {
+	return artifactSeed + 0x9e3779b97f4a7c15*uint64(sender+1)
+}
+
+// ---------- sender side ----------
+
+// peerConn is one outbound peer-mesh connection, dialed lazily on first use
+// and kept open for the worker's lifetime. mu serializes whole contributions
+// so one sender's frames for one transfer are contiguous on the wire; err is
+// sticky — a dead peer fails fast on every later send.
+type peerConn struct {
+	addr string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	bw     *bufio.Writer
+	err    error
+	dialed bool
+}
+
+// peerFor returns the (possibly not yet dialed) mesh connection to addr.
+func (w *Worker) peerFor(addr string) *peerConn {
+	w.peersMu.Lock()
+	defer w.peersMu.Unlock()
+	pc := w.peers[addr]
+	if pc == nil {
+		pc = &peerConn{addr: addr}
+		w.peers[addr] = pc
+	}
+	return pc
+}
+
+// sendToPeer streams one contribution to addr, and on failure retires the
+// dead connection from the mesh so the NEXT plan job redials a fresh one —
+// the current job still fails (its contribution may be half-sent), but a
+// transiently unreachable peer doesn't poison the link forever.
+func (w *Worker) sendToPeer(addr string, token uint64, sender int, keys []join.Key) error {
+	pc := w.peerFor(addr)
+	err := pc.sendContribution(w.timeouts, token, sender, keys)
+	if err != nil {
+		w.peersMu.Lock()
+		if w.peers[addr] == pc {
+			delete(w.peers, addr)
+		}
+		w.peersMu.Unlock()
+	}
+	return err
+}
+
+// sendContribution streams one transfer contribution (head + key blocks) to
+// the peer, dialing on first use. Errors name the peer address.
+func (pc *peerConn) sendContribution(t Timeouts, token uint64, sender int, keys []join.Key) error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.err != nil {
+		return fmt.Errorf("peer %s: %w", pc.addr, pc.err)
+	}
+	if !pc.dialed {
+		conn, err := dialTCP(pc.addr, t)
+		if err != nil {
+			pc.err = err
+			return fmt.Errorf("peer %s: %w", pc.addr, err)
+		}
+		pc.dialed = true
+		pc.conn = newTimedConn(conn, t.IO)
+		pc.bw = bufio.NewWriterSize(pc.conn, connBufSize)
+		var prelude [len(protoMagic) + 2]byte
+		copy(prelude[:], protoMagic[:])
+		binary.LittleEndian.PutUint16(prelude[len(protoMagic):], protoVersionPeer)
+		if _, err := pc.bw.Write(prelude[:]); err != nil {
+			pc.fail(err)
+			return fmt.Errorf("peer %s: %w", pc.addr, err)
+		}
+	}
+	if err := pc.writeContribution(token, sender, keys); err != nil {
+		pc.fail(err)
+		return fmt.Errorf("peer %s: %w", pc.addr, err)
+	}
+	return nil
+}
+
+// fail marks the connection dead (mu held).
+func (pc *peerConn) fail(err error) {
+	if pc.err == nil {
+		pc.err = err
+	}
+	if pc.conn != nil {
+		_ = pc.conn.Close()
+	}
+}
+
+func (pc *peerConn) close() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.fail(fmt.Errorf("worker closed"))
+}
+
+func (pc *peerConn) writeContribution(token uint64, sender int, keys []join.Key) error {
+	if err := writeFrameHeader(pc.bw, framePeerHead, peerHeadLen); err != nil {
+		return err
+	}
+	var h [peerHeadLen]byte
+	binary.LittleEndian.PutUint64(h[:], token)
+	binary.LittleEndian.PutUint32(h[8:], uint32(sender))
+	binary.LittleEndian.PutUint32(h[12:], uint32(len(keys)))
+	if _, err := pc.bw.Write(h[:]); err != nil {
+		return err
+	}
+	scratch := getScratch()
+	defer putScratch(scratch)
+	buf := *scratch
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > maxPeerBlockKeys {
+			n = maxPeerBlockKeys
+		}
+		if err := writeFrameHeader(pc.bw, framePeerBlock, peerBlockHeaderLen+8*n); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(h[12:], uint32(n))
+		if _, err := pc.bw.Write(h[:]); err != nil {
+			return err
+		}
+		if err := writeKeysLE(pc.bw, keys[:n], buf); err != nil {
+			return err
+		}
+		keys = keys[n:]
+	}
+	return pc.bw.Flush()
+}
+
+// ---------- receiver side ----------
+
+// peerContrib is one sender's (possibly still streaming) share of a
+// transfer. keys is pooled and exactly declared-sized. reading marks a
+// block decode in progress OUTSIDE the state lock: while set, the reader
+// goroutine owns keys — a concurrent failure must not recycle the buffer
+// (releaseLocked skips it; the reader releases it when it observes the
+// poisoned state).
+type peerContrib struct {
+	declared int
+	keys     []join.Key
+	pos      int
+	reading  bool
+}
+
+// peerJobState accumulates one transfer's contributions until the matching
+// stage-2 job binds it with the coordinator's expected per-sender counts;
+// once every expected contribution is complete, the state assembles the
+// deterministic sender-ordered flat block and signals ready.
+type peerJobState struct {
+	mu       sync.Mutex
+	contrib  map[int]*peerContrib
+	declared int64   // sum of contribution declarations (pre-bind buffering cap)
+	expected []int64 // nil until the stage-2 job binds
+	err      error
+	done     bool
+	ready    chan struct{} // closed once assembled or failed
+	flat     []join.Key    // pooled; valid when done && err == nil
+}
+
+func newPeerJobState() *peerJobState {
+	return &peerJobState{contrib: make(map[int]*peerContrib), ready: make(chan struct{})}
+}
+
+// failLocked poisons the state; waiters observe err after ready closes.
+func (st *peerJobState) failLocked(err error) {
+	if st.done {
+		return
+	}
+	st.done = true
+	st.err = err
+	st.releaseLocked()
+	close(st.ready)
+}
+
+func (st *peerJobState) fail(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.failLocked(err)
+}
+
+func (st *peerJobState) releaseLocked() {
+	for s, c := range st.contrib {
+		// A buffer mid-decode belongs to its reader goroutine; it observes
+		// st.done after the read and recycles the buffer itself.
+		if c.keys != nil && !c.reading {
+			exec.PutKeyBuffer(c.keys)
+			c.keys = nil
+		}
+		delete(st.contrib, s)
+	}
+	if st.flat != nil {
+		exec.PutKeyBuffer(st.flat)
+		st.flat = nil
+	}
+}
+
+// checkReadyLocked assembles the flat block once the state is bound and
+// every expected contribution is complete. Contributions the coordinator
+// did not announce are protocol errors.
+func (st *peerJobState) checkReadyLocked() {
+	if st.done || st.expected == nil {
+		return
+	}
+	total := 0
+	for s, exp := range st.expected {
+		c := st.contrib[s]
+		if exp == 0 {
+			if c != nil {
+				st.failLocked(fmt.Errorf("sender %d contributed %d tuples, coordinator announced none", s, c.declared))
+			}
+			continue
+		}
+		if c == nil || int64(c.declared) != exp {
+			if c != nil && int64(c.declared) != exp {
+				st.failLocked(fmt.Errorf("sender %d declared %d tuples, coordinator announced %d", s, c.declared, exp))
+			}
+			return // still waiting (or just failed)
+		}
+		if c.pos != c.declared {
+			return // still streaming
+		}
+		total += c.declared
+	}
+	for s := range st.contrib {
+		if s < 0 || s >= len(st.expected) {
+			st.failLocked(fmt.Errorf("contribution from unannounced sender %d", s))
+			return
+		}
+	}
+	// Complete: assemble in sender order, so the stage-2 block is fully
+	// deterministic no matter how the contributions' arrivals interleaved.
+	flat := exec.GetKeyBuffer(total)
+	pos := 0
+	for s, exp := range st.expected {
+		if exp == 0 {
+			continue
+		}
+		c := st.contrib[s]
+		copy(flat[pos:], c.keys)
+		pos += c.declared
+		exec.PutKeyBuffer(c.keys)
+		c.keys = nil
+		delete(st.contrib, s)
+	}
+	st.flat = flat
+	st.done = true
+	close(st.ready)
+}
+
+// maxPeerStates bounds the distinct transfer tokens a worker will track at
+// once; together with the per-state declared-count cap it bounds what an
+// unauthenticated peer connection can make the worker buffer. (The mesh, like
+// the session protocol, trusts its cluster network — TLS + auth is ROADMAP.)
+const maxPeerStates = 1 << 12
+
+// peerState returns (creating if needed) the transfer state for token; it
+// returns nil when the token table is full of live transfers. A full table
+// first evicts finished states (tombstones of cancelled or failed
+// transfers, which hold no buffers) so long-lived workers can't wedge on
+// accumulated cancellations — the worst an evicted tombstone costs is one
+// late straggler contribution re-buffering up to the per-transfer cap.
+func (w *Worker) peerState(token uint64) *peerJobState {
+	w.peersMu.Lock()
+	defer w.peersMu.Unlock()
+	st := w.peerStates[token]
+	if st == nil {
+		if len(w.peerStates) >= maxPeerStates {
+			for tok, old := range w.peerStates {
+				// Only FAILED states are evictable: they hold no buffers by
+				// invariant (failLocked released them). An assembled state
+				// still in the table has a stage-2 job about to consume it.
+				old.mu.Lock()
+				evict := old.done && old.err != nil
+				old.mu.Unlock()
+				if evict {
+					delete(w.peerStates, tok)
+				}
+			}
+			if len(w.peerStates) >= maxPeerStates {
+				return nil
+			}
+		}
+		st = newPeerJobState()
+		w.peerStates[token] = st
+	}
+	return st
+}
+
+// bindPeerJob attaches a stage-2 job to its transfer state with the
+// coordinator-announced per-sender counts.
+func (w *Worker) bindPeerJob(token uint64, senderCounts []int64) (*peerJobState, error) {
+	var total int64
+	for s, c := range senderCounts {
+		if c < 0 || c > MaxRelationTuples {
+			return nil, fmt.Errorf("sender %d count %d outside [0, %d]", s, c, MaxRelationTuples)
+		}
+		total += c
+	}
+	if total > MaxRelationTuples {
+		return nil, fmt.Errorf("peer transfer of %d tuples exceeds relation limit %d", total, MaxRelationTuples)
+	}
+	st := w.peerState(token)
+	if st == nil {
+		return nil, fmt.Errorf("transfer table full (%d tokens)", maxPeerStates)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.expected != nil {
+		return nil, fmt.Errorf("transfer token %d already bound", token)
+	}
+	st.expected = senderCounts
+	st.checkReadyLocked()
+	return st, nil
+}
+
+// dropPeerState discards the transfer state for token. An in-flight state
+// is poisoned and RETAINED as a tombstone (creating one if the token was
+// never seen): contributions may still be streaming in when a cancel
+// arrives, and a tombstone makes their frames swallow without buffering
+// instead of re-creating fresh state that nothing would ever reap — a
+// poisoned state holds no buffers, so a tombstone costs ~100 bytes, bounded
+// by maxPeerStates. A state that already ASSEMBLED (its job was aborted or
+// its session died before consuming the block) releases its flat buffer and
+// is removed outright — every announced contribution arrived, so no
+// stragglers can revive the token. finishPeerState removes states whose job
+// consumed them.
+func (w *Worker) dropPeerState(token uint64) {
+	w.peersMu.Lock()
+	st := w.peerStates[token]
+	if st == nil && len(w.peerStates) < maxPeerStates {
+		st = newPeerJobState()
+		w.peerStates[token] = st
+	}
+	w.peersMu.Unlock()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	assembled := st.done && st.flat != nil
+	if assembled {
+		exec.PutKeyBuffer(st.flat)
+		st.flat = nil
+	} else {
+		st.failLocked(fmt.Errorf("transfer cancelled"))
+	}
+	st.mu.Unlock()
+	if assembled {
+		w.finishPeerState(token)
+	}
+}
+
+// finishPeerState removes the completed state after its job consumed flat.
+func (w *Worker) finishPeerState(token uint64) {
+	w.peersMu.Lock()
+	delete(w.peerStates, token)
+	w.peersMu.Unlock()
+}
+
+// deliverLocal is the self-contribution path: a worker that hosts both the
+// sending stage-1 job and the receiving stage-2 worker moves the block in
+// memory. The keys are copied — the caller's shuffle buffer is recycled.
+func (w *Worker) deliverLocal(token uint64, sender int, keys []join.Key) error {
+	st := w.peerState(token)
+	if st == nil {
+		return fmt.Errorf("transfer table full (%d tokens)", maxPeerStates)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.done {
+		return st.err
+	}
+	if st.contrib[sender] != nil {
+		err := fmt.Errorf("duplicate local contribution from sender %d", sender)
+		st.failLocked(err)
+		return err
+	}
+	st.declared += int64(len(keys))
+	c := &peerContrib{declared: len(keys), keys: exec.GetKeyBuffer(len(keys)), pos: len(keys)}
+	copy(c.keys, keys)
+	st.contrib[sender] = c
+	st.checkReadyLocked()
+	return nil
+}
+
+// handlePeer serves one inbound peer-mesh connection until the sender hangs
+// up. Frame-level corruption is connection-fatal; a connection dying with
+// contributions still streaming fails their transfers (and thereby the
+// stage-2 jobs bound to them) with an error naming the sender address.
+func (w *Worker) handlePeer(br *bufio.Reader, conn net.Conn) {
+	type inflightKey struct {
+		token  uint64
+		sender int
+	}
+	inflight := make(map[inflightKey]*peerJobState)
+	defer func() {
+		for k, st := range inflight {
+			st.fail(fmt.Errorf("peer connection from %s died mid-transfer (sender %d)", conn.RemoteAddr(), k.sender))
+		}
+	}()
+
+	fatal := func(err error) {
+		for k, st := range inflight {
+			st.fail(fmt.Errorf("peer transfer from %s (sender %d): %v", conn.RemoteAddr(), k.sender, err))
+		}
+		inflight = nil
+	}
+
+	for {
+		typ, n, err := readFrameHeader(br)
+		if err != nil {
+			return
+		}
+		armConn(conn)
+		switch typ {
+		case framePeerHead:
+			if n != peerHeadLen {
+				fatal(fmt.Errorf("head frame length %d", n))
+				return
+			}
+			var h [peerHeadLen]byte
+			if _, err := io.ReadFull(br, h[:]); err != nil {
+				return
+			}
+			token := binary.LittleEndian.Uint64(h[:])
+			sender := int(binary.LittleEndian.Uint32(h[8:]))
+			count := int64(binary.LittleEndian.Uint32(h[12:]))
+			if sender >= maxPeerSenders || count > MaxRelationTuples {
+				fatal(fmt.Errorf("head declares sender %d count %d", sender, count))
+				return
+			}
+			st := w.peerState(token)
+			if st == nil {
+				fatal(fmt.Errorf("transfer table full (%d tokens)", maxPeerStates))
+				return
+			}
+			st.mu.Lock()
+			switch {
+			case st.done:
+				// Poisoned or cancelled transfer: swallow the contribution's
+				// frames (they carry their own counts) without buffering.
+			case st.contrib[sender] != nil:
+				st.failLocked(fmt.Errorf("duplicate contribution from sender %d via %s", sender, conn.RemoteAddr()))
+			case st.expected != nil && (sender >= len(st.expected) || st.expected[sender] != count):
+				st.failLocked(fmt.Errorf("sender %d via %s declared %d tuples, coordinator announced %s",
+					sender, conn.RemoteAddr(), count, expectedStr(st.expected, sender)))
+			case st.declared+count > MaxRelationTuples:
+				// Pre-bind buffering cap: one transfer may never declare more
+				// than a relation is allowed to hold, bound or not.
+				st.failLocked(fmt.Errorf("transfer declarations exceed %d tuples at sender %d via %s",
+					MaxRelationTuples, sender, conn.RemoteAddr()))
+			default:
+				st.declared += count
+				c := &peerContrib{declared: int(count), keys: exec.GetKeyBuffer(int(count))}
+				st.contrib[sender] = c
+				if count > 0 {
+					inflight[inflightKey{token, sender}] = st
+				} else {
+					st.checkReadyLocked()
+				}
+			}
+			st.mu.Unlock()
+
+		case framePeerBlock:
+			if n < peerBlockHeaderLen {
+				fatal(fmt.Errorf("block frame length %d below sub-header size", n))
+				return
+			}
+			var h [peerBlockHeaderLen]byte
+			if _, err := io.ReadFull(br, h[:]); err != nil {
+				return
+			}
+			token := binary.LittleEndian.Uint64(h[:])
+			sender := int(binary.LittleEndian.Uint32(h[8:]))
+			count := int(binary.LittleEndian.Uint32(h[12:]))
+			if n != peerBlockHeaderLen+8*count {
+				fatal(fmt.Errorf("block frame length %d inconsistent with count %d", n, count))
+				return
+			}
+			st := w.peerState(token)
+			if st == nil {
+				fatal(fmt.Errorf("block for untracked transfer (table full)"))
+				return
+			}
+			st.mu.Lock()
+			c := st.contrib[sender]
+			var dst []join.Key
+			switch {
+			case st.done || c == nil:
+				// Swallowing a poisoned transfer's frames keeps the stream in
+				// sync (c == nil after done released the contribution).
+			case c.pos+count > c.declared:
+				st.failLocked(fmt.Errorf("sender %d via %s overflows declared %d tuples", sender, conn.RemoteAddr(), c.declared))
+				delete(inflight, inflightKey{token, sender})
+			default:
+				dst = c.keys[c.pos : c.pos+count]
+				c.reading = true // the decode below runs outside st.mu
+			}
+			st.mu.Unlock()
+			if dst == nil {
+				if _, err := io.CopyN(io.Discard, br, int64(8*count)); err != nil {
+					return
+				}
+				break
+			}
+			readErr := readKeysLE(br, dst)
+			st.mu.Lock()
+			c.reading = false
+			if st.done {
+				// The transfer failed while we were decoding; the buffer's
+				// release was deferred to us (see releaseLocked).
+				if c.keys != nil {
+					exec.PutKeyBuffer(c.keys)
+					c.keys = nil
+				}
+				delete(inflight, inflightKey{token, sender})
+			} else if readErr == nil {
+				c.pos += count
+				if c.pos == c.declared {
+					delete(inflight, inflightKey{token, sender})
+					st.checkReadyLocked()
+				}
+			}
+			st.mu.Unlock()
+			if readErr != nil {
+				return
+			}
+
+		default:
+			fatal(fmt.Errorf("unknown peer frame type %d", typ))
+			return
+		}
+		disarmConn(conn)
+	}
+}
+
+func expectedStr(expected []int64, sender int) string {
+	if sender >= len(expected) {
+		return fmt.Sprintf("only %d senders", len(expected))
+	}
+	return fmt.Sprintf("%d", expected[sender])
+}

@@ -1,0 +1,228 @@
+package netexec
+
+import (
+	"context"
+	"encoding/binary"
+	"strings"
+	"testing"
+	"time"
+
+	"ewh/internal/cost"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/localjoin"
+	"ewh/internal/partition"
+	"ewh/internal/planio"
+)
+
+func encodeKeyLE8(dst []byte, k join.Key) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(k))
+}
+
+// stagePlanFor encodes a Hash stage-2 plan for j2 workers.
+func stagePlanFor(t *testing.T, cond join.Condition, j2 int, seed uint64) exec.StagePlan {
+	t.Helper()
+	scheme, err := partition.NewHash(j2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes, err := planio.Encode(&planio.Artifact{Scheme: scheme, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exec.StagePlan{Bytes: bytes, Scheme: scheme, Cond: cond}
+}
+
+// tuplesWithPayloadKeys lifts keys into tuples whose payload is the stage-2
+// key (here: the key itself, rotated), the shape a plan job re-shuffles.
+func tuplesWithPayloadKeys(keys []join.Key) []exec.Tuple[join.Key] {
+	ts := make([]exec.Tuple[join.Key], len(keys))
+	for i, k := range keys {
+		ts[i] = exec.Tuple[join.Key]{Key: k, Payload: k*3 + 1}
+	}
+	return ts
+}
+
+func TestPeerPipelineMatchesLocalReference(t *testing.T) {
+	// End-to-end stage pipeline over loopback workers, checked against a
+	// hand-composed in-process reference: stage 1's matches (the payload
+	// keys of matched R2 tuples), re-shuffled by the content-deterministic
+	// Hash plan, joined against R3.
+	_, addrs := startWorkerSet(t, 4)
+	sess := dialSession(t, addrs)
+
+	r1 := randKeys(1200, 600, 200)
+	r2 := randKeys(1000, 600, 201)
+	r3 := randKeys(900, 2000, 202)
+	scheme1, err := partition.NewHash(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := stagePlanFor(t, join.Equi{}, 4, 77)
+	cfg := exec.Config{Seed: 11, Mappers: 2}
+	model := cost.Model{Wi: 1, Wo: 0.2}
+
+	res1, res2, err := exec.RunStagesOver(sess, exec.WrapKeys(r1), tuplesWithPayloadKeys(r2),
+		join.Equi{}, scheme1, sp, r3, model, cfg, nil, encodeKeyLE8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: materialize the stage-1 matches in-process in the same
+	// deterministic order, then run the same Hash plan over them.
+	var inter []join.Key
+	perWorker := make([][]join.Key, scheme1.Workers())
+	if _, err := exec.RunTuplesOver(exec.Local{}, exec.WrapKeys(r1), tuplesWithPayloadKeys(r2),
+		join.Equi{}, scheme1, model, cfg, nil, nil,
+		func(w int, _ exec.Tuple[struct{}], b exec.Tuple[join.Key]) {
+			perWorker[w] = append(perWorker[w], b.Payload)
+		}); err != nil {
+		t.Fatal(err)
+	}
+	for _, pw := range perWorker {
+		inter = append(inter, pw...)
+	}
+	if int64(len(inter)) != res1.Output {
+		t.Fatalf("stage 1 matched %d, reference %d", res1.Output, len(inter))
+	}
+	ref := exec.Run(inter, r3, join.Equi{}, sp.Scheme, model, cfg)
+	if res2.Output != ref.Output {
+		t.Fatalf("stage 2 output %d, reference %d", res2.Output, ref.Output)
+	}
+	if want := localjoin.NestedLoopCount(inter, r3, join.Equi{}); res2.Output != want {
+		t.Fatalf("stage 2 output %d, ground truth %d", res2.Output, want)
+	}
+	for w := range ref.Workers {
+		if res2.Workers[w] != ref.Workers[w] {
+			t.Fatalf("stage 2 worker %d metrics differ: peer %+v reference %+v",
+				w, res2.Workers[w], ref.Workers[w])
+		}
+	}
+}
+
+func TestPeerPipelineFailureNamesWorkerAndJob(t *testing.T) {
+	// A malformed stage-1 payload (4 bytes instead of the 8-byte stage-2
+	// key) fails the plan job on every worker; the aggregated error must
+	// name each failing worker's address and the job.
+	_, addrs := startWorkerSet(t, 2)
+	sess := dialSession(t, addrs)
+
+	r1 := randKeys(200, 100, 210)
+	r2 := randKeys(200, 100, 211)
+	scheme1, err := partition.NewHash(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := stagePlanFor(t, join.Equi{}, 2, 5)
+	enc4 := func(dst []byte, k join.Key) []byte {
+		return binary.LittleEndian.AppendUint32(dst, uint32(k))
+	}
+	_, _, err = exec.RunStagesOver(sess, exec.WrapKeys(r1), tuplesWithPayloadKeys(r2),
+		join.Equi{}, scheme1, sp, r1, cost.Model{Wi: 1, Wo: 0.2},
+		exec.Config{Seed: 3, Mappers: 1}, nil, enc4)
+	if err == nil {
+		t.Fatal("malformed stage-2 keys did not fail the pipeline")
+	}
+	for _, addr := range addrs {
+		if !strings.Contains(err.Error(), addr) {
+			t.Errorf("error does not name worker %s: %v", addr, err)
+		}
+	}
+	if !strings.Contains(err.Error(), "stage job") || !strings.Contains(err.Error(), "8-byte") {
+		t.Errorf("error does not name the stage job and cause: %v", err)
+	}
+}
+
+func TestPeerDialFailureNamesPeerAddress(t *testing.T) {
+	// Stage 1 runs on worker 0 only; the plan fans out to both workers, but
+	// worker 1 is dead — the peer dial fails and the stage-1 job's error
+	// must name the unreachable PEER address (not just the stage worker).
+	ws, addrs := startWorkerSet(t, 2)
+	sess := dialSession(t, addrs)
+	_ = ws[1].Close()
+
+	r1 := randKeys(400, 50, 220)
+	r2 := randKeys(400, 50, 221)
+	scheme1, err := partition.NewHash(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := stagePlanFor(t, join.Equi{}, 2, 9)
+	_, _, err = exec.RunStagesOver(sess, exec.WrapKeys(r1), tuplesWithPayloadKeys(r2),
+		join.Equi{}, scheme1, sp, r1, cost.Model{Wi: 1, Wo: 0.2},
+		exec.Config{Seed: 3, Mappers: 1}, nil, encodeKeyLE8)
+	if err == nil {
+		t.Fatal("unreachable peer did not fail the pipeline")
+	}
+	if !strings.Contains(err.Error(), "peer "+addrs[1]) {
+		t.Errorf("error does not name the unreachable peer %s: %v", addrs[1], err)
+	}
+}
+
+func TestPeerPipelineSurvivesShutdownAfterDrain(t *testing.T) {
+	// After a completed pipeline, a graceful Shutdown must return promptly:
+	// the kept-open peer-mesh connections may not wedge the drain.
+	ws, addrs := startWorkerSet(t, 3)
+	sess := dialSession(t, addrs)
+
+	r1 := randKeys(600, 300, 230)
+	r2 := randKeys(600, 300, 231)
+	scheme1, err := partition.NewHash(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := stagePlanFor(t, join.Equi{}, 3, 13)
+	if _, _, err := exec.RunStagesOver(sess, exec.WrapKeys(r1), tuplesWithPayloadKeys(r2),
+		join.Equi{}, scheme1, sp, r1, cost.Model{Wi: 1, Wo: 0.2},
+		exec.Config{Seed: 3, Mappers: 1}, nil, encodeKeyLE8); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := w.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown after drained pipeline: %v", err)
+		}
+		cancel()
+	}
+}
+
+func TestWorkerIOTimeoutFailsStalledTransfer(t *testing.T) {
+	// A session peer that declares a frame payload and then stalls must be
+	// disconnected by the worker's IO deadline instead of wedging the read
+	// loop forever.
+	w, err := ListenWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetTimeouts(Timeouts{IO: 150 * time.Millisecond})
+	go func() { _ = w.Serve() }()
+	t.Cleanup(func() { _ = w.Close() })
+
+	bw, conn := dialV3(t, w.Addr())
+	sendOpenJob(t, bw, 1, false)
+	// Declare a 64-byte gob payload for a second open and send nothing.
+	if err := writeV3FrameHeader(bw, frameV3OpenJob, 2, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	_ = conn.SetReadDeadline(deadline)
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("worker kept the stalled connection open")
+	}
+	if time.Now().After(deadline) {
+		t.Fatal("worker did not enforce the IO deadline")
+	}
+}
+
+func TestDialWithRejectsUnreachableWorker(t *testing.T) {
+	// The dial timeout bounds connection establishment; an address nobody
+	// listens on fails the session dial outright.
+	_, err := DialWith([]string{"127.0.0.1:1"}, Timeouts{Dial: 500 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+}

@@ -26,14 +26,27 @@ import (
 type Session struct {
 	conns  []*sessConn
 	nextID atomic.Uint32
+
+	// relayedPairs counts the matched index pairs workers streamed back
+	// through this coordinator — the quantity the peer-shuffle path drives
+	// to zero for multiway intermediates. Exposed for the crosscheck's
+	// nothing-transits-the-coordinator assertion and the experiment tables.
+	relayedPairs atomic.Int64
 }
 
 // Dial connects to the workers and opens a session on each. The returned
 // Session serves jobs needing up to len(addrs) workers; Close hangs up.
 func Dial(addrs []string) (*Session, error) {
+	return DialWith(addrs, Timeouts{})
+}
+
+// DialWith is Dial with explicit dial/IO deadlines: connection establishment
+// is bounded by t.Dial and every in-flight frame transfer by t.IO, so a hung
+// worker fails its jobs instead of wedging the whole session (see Timeouts).
+func DialWith(addrs []string, t Timeouts) (*Session, error) {
 	s := &Session{}
 	for _, addr := range addrs {
-		c, err := dialSessConn(addr)
+		c, err := dialSessConn(addr, t, s)
 		if err != nil {
 			_ = s.Close()
 			return nil, err
@@ -42,6 +55,10 @@ func Dial(addrs []string) (*Session, error) {
 	}
 	return s, nil
 }
+
+// RelayedPairs reports the total matched index pairs this session's workers
+// have streamed back to the coordinator since Dial.
+func (s *Session) RelayedPairs() int64 { return s.relayedPairs.Load() }
 
 // Workers returns the session's worker count.
 func (s *Session) Workers() int { return len(s.conns) }
@@ -118,6 +135,7 @@ type jobHandler struct {
 type sessConn struct {
 	addr string
 	conn net.Conn
+	sess *Session // owning session (pairs accounting)
 
 	wmu sync.Mutex // serializes whole-job sends
 	bw  *bufio.Writer
@@ -127,14 +145,16 @@ type sessConn struct {
 	err     error // sticky: set once the connection is unusable
 }
 
-func dialSessConn(addr string) (*sessConn, error) {
-	conn, err := net.Dial("tcp", addr)
+func dialSessConn(addr string, t Timeouts, sess *Session) (*sessConn, error) {
+	raw, err := dialTCP(addr, t)
 	if err != nil {
 		return nil, fmt.Errorf("netexec: dial %s: %w", addr, err)
 	}
+	conn := newTimedConn(raw, t.IO)
 	c := &sessConn{
 		addr:    addr,
 		conn:    conn,
+		sess:    sess,
 		bw:      bufio.NewWriterSize(conn, connBufSize),
 		pending: make(map[uint32]*jobHandler),
 	}
@@ -202,11 +222,13 @@ func (c *sessConn) handler(id uint32) *jobHandler {
 func (c *sessConn) readLoop() {
 	br := bufio.NewReaderSize(c.conn, connBufSize)
 	for {
+		disarmConn(c.conn)
 		typ, id, n, err := readV3FrameHeader(br)
 		if err != nil {
 			c.fail(fmt.Errorf("connection lost: %w", err))
 			return
 		}
+		armConn(c.conn)
 		switch typ {
 		case frameV3Pairs:
 			pairs, err := readPairsPayload(br, n)
@@ -214,6 +236,7 @@ func (c *sessConn) readLoop() {
 				c.fail(fmt.Errorf("pairs frame: %w", err))
 				return
 			}
+			c.sess.relayedPairs.Add(int64(len(pairs)))
 			if h := c.handler(id); h != nil && h.onPairs != nil {
 				h.onPairs(pairs)
 			}
@@ -255,7 +278,7 @@ func (c *sessConn) runJob(id uint32, workerID int, spec join.Spec, job *exec.Job
 		return wrap(err)
 	}
 	defer c.deregister(id)
-	sentPay, err := c.sendJob(id, workerID, spec, job)
+	sentPay, err := c.sendJob(id, workerID, spec, nil, job)
 	if err != nil {
 		// The reader may deliver the underlying failure too; the buffered
 		// done channel absorbs it.
@@ -285,13 +308,17 @@ func (c *sessConn) runJob(id uint32, workerID int, spec join.Spec, job *exec.Job
 // so its frames are contiguous on the wire; each relation is fetched from
 // its future right before sending, which is where the shuffle/socket
 // overlap happens — relation 1's blocks go out (and flush) while relation
-// 2 may still be scattering. A job that cannot be completed (a coordinator-
-// side validation failure) is abandoned with an abort frame so the worker
-// discards its partial state instead of waiting forever for an EOS —
-// validation errors surface at frame boundaries, so the connection's
-// framing stays intact for subsequent jobs. (If the failure was the socket
-// itself, the abort write fails too and the read loop retires everything.)
-func (c *sessConn) sendJob(id uint32, workerID int, spec join.Spec, job *exec.Job) (sentPay [2]int64, err error) {
+// 2 may still be scattering. A non-nil ps makes this a stage-1 plan job:
+// the PLAN frame rides between the open and the relations. A job that
+// cannot be completed (a coordinator-side validation failure) is abandoned
+// with an abort frame so the worker discards its partial state instead of
+// waiting forever for an EOS — validation errors surface at frame
+// boundaries, so the connection's framing stays intact for subsequent
+// jobs. (If the failure was the socket itself, the abort write fails too
+// and the read loop retires everything.)
+func (c *sessConn) sendJob(id uint32, workerID int, spec join.Spec, ps *planSpec,
+	job *exec.Job) (sentPay [2]int64, err error) {
+
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	abort := func(err error) ([2]int64, error) {
@@ -302,6 +329,11 @@ func (c *sessConn) sendJob(id uint32, workerID int, spec join.Spec, job *exec.Jo
 	jo := jobOpen{WorkerID: workerID, Cond: spec, WantPairs: job.Pairs != nil}
 	if err := writeV3GobFrame(c.bw, frameV3OpenJob, id, jo); err != nil {
 		return abort(err)
+	}
+	if ps != nil {
+		if err := writeV3GobFrame(c.bw, frameV3Plan, id, *ps); err != nil {
+			return abort(err)
+		}
 	}
 	pay1, err := c.sendRelation(id, 1, job.R1.Wait(), workerID)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"ewh/internal/exec"
 	"ewh/internal/join"
 	"ewh/internal/localjoin"
+	"ewh/internal/planio"
 )
 
 // This file is the worker side of the v3 session protocol: one read loop
@@ -43,11 +44,22 @@ type sessRel struct {
 // sessJob is one numbered job in flight on a session connection.
 type sessJob struct {
 	id        uint32
+	workerID  int
 	cond      join.Condition
 	wantPairs bool
 	counted   bool // beginJob admitted it (draining workers refuse)
 	err       error
 	rels      [2]sessRel
+
+	// plan, when set, marks a stage-1 plan job: the join's matches are
+	// materialized worker-side, re-shuffled by the broadcast plan and
+	// streamed to peers instead of returning as pairs.
+	plan *planSpec
+	// peerFed marks a stage-2 job whose relation 1 arrives over the peer
+	// mesh; peerSt is its bound transfer state and token its transfer id.
+	peerFed bool
+	peerSt  *peerJobState
+	token   uint64
 }
 
 // fail records the job's first error; subsequent data frames for the job
@@ -86,6 +98,10 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 	bw := bufio.NewWriterSize(conn, connBufSize)
 	var wmu sync.Mutex // serializes reply frames across concurrent job joins
 	jobs := make(map[uint32]*sessJob)
+	// connDone aborts peer-fed jobs still waiting on transfers when the
+	// coordinator hangs up — their reply has nowhere to go anyway.
+	connDone := make(chan struct{})
+	defer close(connDone)
 	defer func() {
 		// Connection gone with jobs still streaming in: nothing to reply to,
 		// just recycle their buffers and retire their drain accounting.
@@ -98,10 +114,12 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 	}()
 
 	for {
+		disarmConn(conn)
 		typ, id, n, err := readV3FrameHeader(br)
 		if err != nil {
 			return
 		}
+		armConn(conn)
 		switch typ {
 		case frameV3OpenJob:
 			if jobs[id] != nil {
@@ -124,7 +142,68 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 				continue
 			}
 			j.cond = cond
+			j.workerID = jo.WorkerID
 			j.wantPairs = jo.WantPairs
+
+		case frameV3Plan:
+			j := jobs[id]
+			if j == nil {
+				return // plan for an unopened job is connection-fatal
+			}
+			var ps planSpec
+			if err := readGobPayload(br, n, &ps); err != nil {
+				return
+			}
+			if j.err != nil {
+				continue
+			}
+			switch {
+			case j.plan != nil:
+				j.fail(fmt.Errorf("job carries two plans"))
+			case j.wantPairs:
+				j.fail(fmt.Errorf("plan job cannot also stream pairs"))
+			case j.peerFed:
+				j.fail(fmt.Errorf("peer-fed job cannot carry a plan"))
+			default:
+				j.plan = &ps
+			}
+
+		case frameV3OpenPeerJob:
+			if jobs[id] != nil {
+				return
+			}
+			j := &sessJob{id: id, peerFed: true}
+			jobs[id] = j
+			j.counted = w.beginJob(cs)
+			var po peerJobOpen
+			if err := readGobPayload(br, n, &po); err != nil {
+				return
+			}
+			if !j.counted {
+				j.fail(fmt.Errorf("worker shutting down"))
+				continue
+			}
+			cond, err := po.Cond.Condition()
+			if err != nil {
+				j.fail(err)
+				continue
+			}
+			j.cond = cond
+			j.workerID = po.WorkerID
+			j.token = po.Token
+			st, err := w.bindPeerJob(po.Token, po.SenderCounts)
+			if err != nil {
+				j.fail(err)
+				continue
+			}
+			j.peerSt = st
+
+		case frameV3PlanCancel:
+			var pc planCancel
+			if err := readGobPayload(br, n, &pc); err != nil {
+				return
+			}
+			w.dropPeerState(pc.Token)
 
 		case frameV3RelHead:
 			j := jobs[id]
@@ -141,6 +220,10 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			r, err := j.rel(h[0])
 			if err != nil {
 				j.fail(err)
+				continue
+			}
+			if j.peerFed && h[0] == 1 {
+				j.fail(fmt.Errorf("relation 1 of a peer-fed job arrives from peers, not the coordinator"))
 				continue
 			}
 			if r.declared {
@@ -211,7 +294,11 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 				return
 			}
 			delete(jobs, id)
-			go w.finishSessionJob(j, bw, &wmu, cs, conn)
+			if j.peerFed {
+				go w.finishPeerSessionJob(j, bw, &wmu, cs, conn, connDone)
+			} else {
+				go w.finishSessionJob(j, bw, &wmu, cs, conn)
+			}
 
 		case frameV3Abort:
 			// The coordinator abandoned the job mid-send (a validation
@@ -223,6 +310,9 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			if j := jobs[id]; j != nil {
 				delete(jobs, id)
 				j.release()
+				if j.peerFed {
+					w.dropPeerState(j.token)
+				}
 				if j.counted {
 					w.endJob(cs)
 				}
@@ -281,23 +371,8 @@ func (j *sessJob) readBlock(br *bufio.Reader, n int) error {
 	if r.pos+count > r.n {
 		return drain(protoErrf("relation %d overflows declared count %d", bh[0], r.n))
 	}
-	scratch := getScratch()
-	defer putScratch(scratch)
-	buf := *scratch
-	out := r.keys[r.pos : r.pos+count]
-	for len(out) > 0 {
-		c := len(buf) / 8
-		if c > len(out) {
-			c = len(out)
-		}
-		chunk := buf[:8*c]
-		if _, err := io.ReadFull(br, chunk); err != nil {
-			return err
-		}
-		for i := range out[:c] {
-			out[i] = join.Key(binary.LittleEndian.Uint64(chunk[8*i:]))
-		}
-		out = out[c:]
+	if err := readKeysLE(br, r.keys[r.pos:r.pos+count]); err != nil {
+		return err
 	}
 	r.pos += count
 	return nil
@@ -411,6 +486,27 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 		return
 	}
 	r1, r2 := &j.rels[0], &j.rels[1]
+	if j.plan != nil {
+		// Stage-1 plan job: join, materialize the matched stage-2 keys,
+		// re-shuffle them by the broadcast plan and stream each share
+		// straight to its peer. Only the count vector returns.
+		start := time.Now()
+		out, counts, err := w.runPlanJob(j, r1, r2)
+		if err != nil {
+			reply(metrics{Err: err.Error()})
+			return
+		}
+		reply(metrics{
+			InputR1:    int64(r1.n),
+			InputR2:    int64(r2.n),
+			Output:     out,
+			Nanos:      time.Since(start).Nanoseconds(),
+			PayBytes1:  int64(r1.payBytes),
+			PayBytes2:  int64(r2.payBytes),
+			PeerCounts: counts,
+		})
+		return
+	}
 	start := time.Now()
 	var out int64
 	if j.wantPairs {
@@ -433,6 +529,152 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 		Output:    out,
 		Nanos:     time.Since(start).Nanoseconds(),
 		PayBytes1: int64(r1.payBytes),
+		PayBytes2: int64(r2.payBytes),
+	})
+}
+
+// runPlanJob executes a stage-1 plan job's join and peer re-shuffle: the
+// matches materialize as the stage-2 keys decoded from relation 2's payload
+// segment, the broadcast plan routes them (batch-routed through the shared
+// exec shuffle, deterministic per sender), and each stage-2 worker's share
+// streams directly to that peer over the mesh. It returns the match count
+// and the per-receiver count vector. Errors name the peer address.
+func (w *Worker) runPlanJob(j *sessJob, r1, r2 *sessRel) (int64, []int64, error) {
+	ps := j.plan
+	art, err := planio.Decode(ps.Plan)
+	if err != nil {
+		return 0, nil, fmt.Errorf("stage-2 plan: %w", err)
+	}
+	j2 := art.Scheme.Workers()
+	if j2 != len(ps.Peers) {
+		return 0, nil, fmt.Errorf("stage-2 plan routes to %d workers, address map has %d", j2, len(ps.Peers))
+	}
+	if !r2.hasPay || r2.payBytes != 8*r2.n {
+		return 0, nil, fmt.Errorf("plan job needs 8-byte stage-2 keys as relation 2 payloads (%d bytes for %d tuples)",
+			r2.payBytes, r2.n)
+	}
+	for i := 0; i < r2.n; i++ {
+		if r2.off[i+1]-r2.off[i] != 8 {
+			return 0, nil, fmt.Errorf("relation 2 tuple %d payload is %d bytes, want 8", i, r2.off[i+1]-r2.off[i])
+		}
+	}
+
+	// Materialize in the deterministic pair order (R1 arrival order, partners
+	// ascending by key then arrival) — the same order the relay path's
+	// coordinator-side emission observes, so the two paths' intermediates are
+	// tuple-for-tuple identical.
+	inter := make([]join.Key, 0, r1.n)
+	out := exec.JoinPairs(r1.keys, r2.keys, j.cond, func(chunk []exec.PairIdx) {
+		for _, p := range chunk {
+			inter = append(inter, join.Key(binary.LittleEndian.Uint64(r2.pay[r2.off[p.I2]:])))
+		}
+	})
+
+	sender := j.workerID
+	ks := exec.ShuffleKeys(inter, art.Scheme, 1,
+		exec.Config{Seed: peerSenderSeed(art.Seed, sender), Mappers: 1})
+	defer ks.Release()
+	counts := make([]int64, j2)
+	for p := 0; p < j2; p++ {
+		blk := ks.Worker(p)
+		counts[p] = int64(len(blk))
+		if len(blk) == 0 {
+			continue
+		}
+		if p == ps.Self {
+			if err := w.deliverLocal(ps.Token, sender, blk); err != nil {
+				return 0, nil, fmt.Errorf("transfer %d to self: %w", ps.Token, err)
+			}
+			continue
+		}
+		if err := w.sendToPeer(ps.Peers[p], ps.Token, sender, blk); err != nil {
+			return 0, nil, fmt.Errorf("transfer %d: %w", ps.Token, err)
+		}
+	}
+	return out, counts, nil
+}
+
+// finishPeerSessionJob completes a stage-2 peer-fed job: relation 2 (the
+// coordinator-streamed right relation) is validated as usual, relation 1 is
+// the assembled peer transfer. The wait ends when the transfer completes,
+// fails, the worker is killed, or the coordinator hangs up.
+func (w *Worker) finishPeerSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex, cs *connState,
+	conn net.Conn, connDone <-chan struct{}) {
+
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "netexec: worker: recovered in peer job %d from %s: %v\n%s",
+				j.id, conn.RemoteAddr(), r, debug.Stack())
+		}
+	}()
+	defer j.release()
+	if j.counted {
+		defer w.endJob(cs)
+	}
+	reply := func(m metrics) {
+		wmu.Lock()
+		_ = writeV3GobFrame(bw, frameV3Metrics, j.id, m)
+		_ = bw.Flush()
+		wmu.Unlock()
+	}
+	if j.err == nil {
+		r2 := &j.rels[1]
+		switch {
+		case j.rels[0].declared:
+			j.err = fmt.Errorf("relation 1 of a peer-fed job arrived from the coordinator")
+		case !r2.declared:
+			j.err = fmt.Errorf("relation 2 never declared")
+		case r2.pos != r2.n:
+			j.err = fmt.Errorf("relation 2 ended at %d tuples, head declared %d", r2.pos, r2.n)
+		case r2.hasPay && (r2.payPos != r2.payBytes || r2.payTup != r2.n):
+			j.err = fmt.Errorf("relation 2 payload ended at %d bytes/%d tuples, head declared %d/%d",
+				r2.payPos, r2.payTup, r2.payBytes, r2.n)
+		}
+	}
+	if j.err != nil {
+		if j.peerSt != nil {
+			w.dropPeerState(j.token)
+		}
+		reply(metrics{Err: j.err.Error()})
+		return
+	}
+	st := j.peerSt
+	select {
+	case <-st.ready:
+	case <-w.kill:
+		w.dropPeerState(j.token)
+		return // abrupt close: the coordinator sees the broken connection
+	case <-connDone:
+		w.dropPeerState(j.token)
+		return
+	}
+	st.mu.Lock()
+	flat, stErr := st.flat, st.err
+	st.flat = nil // the job owns it now
+	st.mu.Unlock()
+	w.finishPeerState(j.token)
+	if stErr == nil && flat == nil {
+		// Defensive: a ready state must either fail or carry the block;
+		// losing it (e.g. a concurrent discard) must not join empty input.
+		stErr = fmt.Errorf("transfer state discarded before the join")
+	}
+	if stErr != nil {
+		reply(metrics{Err: fmt.Sprintf("peer transfer %d: %v", j.token, stErr)})
+		return
+	}
+	r2 := &j.rels[1]
+	start := time.Now()
+	// The job owns both blocks outright: in-place count join, as any other
+	// count-only session job.
+	out := localjoin.AutoCountOwned(flat, r2.keys, j.cond)
+	n1 := int64(len(flat))
+	exec.PutKeyBuffer(flat)
+	reply(metrics{
+		InputR1:   n1,
+		InputR2:   int64(r2.n),
+		Output:    out,
+		Nanos:     time.Since(start).Nanoseconds(),
+		PayBytes1: 0,
 		PayBytes2: int64(r2.payBytes),
 	})
 }

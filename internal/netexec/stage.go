@@ -1,0 +1,235 @@
+package netexec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ewh/internal/exec"
+	"ewh/internal/join"
+)
+
+// This file is the coordinator side of the stage-aware pipeline
+// (exec.StageRuntime): stage 1 ships as ordinary session jobs carrying a
+// PLAN frame (the planio-encoded stage-2 artifact plus the peer address
+// map), the workers re-shuffle their matches directly to each other, and
+// stage 2 opens as peer-fed jobs that only receive the driver-owned right
+// relation from the coordinator. The intermediate's sole coordinator-side
+// footprint is the per-sender count vectors riding the stage-1 metrics.
+
+// RunStages implements exec.StageRuntime over the persistent session.
+func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
+	wm1, wm2 []exec.WorkerMetrics) (int64, error) {
+
+	j1, j2 := first.Workers, next.Workers
+	if j1 > len(s.conns) || j2 > len(s.conns) {
+		return 0, fmt.Errorf("netexec: stage pipeline needs %d/%d workers, session has %d",
+			j1, j2, len(s.conns))
+	}
+	if first.Pairs != nil {
+		return 0, fmt.Errorf("netexec: a stage pipeline's first job cannot stream pairs")
+	}
+	spec1, err := join.SpecOf(first.Cond)
+	if err != nil {
+		return 0, err
+	}
+	spec2, err := join.SpecOf(next.Cond)
+	if err != nil {
+		return 0, err
+	}
+
+	token := newPeerToken()
+	peers := s.Addrs()[:j2]
+	id1 := s.nextID.Add(1)
+	counts := make([][]int64, j1)
+	errs := make([]error, j1)
+	var wg sync.WaitGroup
+	for w := 0; w < j1; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			self := -1
+			if w < j2 {
+				self = w
+			}
+			ps := planSpec{Token: token, Plan: next.Plan, Peers: peers, Self: self}
+			counts[w], errs[w] = s.conns[w].runStageJob(id1, w, spec1, &ps, first, &wm1[w])
+		}(w)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		// Some workers may already have streamed contributions to their
+		// peers; tell every stage-2 worker to discard the orphaned transfer.
+		s.cancelPlan(token, j2)
+		return 0, err
+	}
+
+	// Transpose the per-sender vectors into per-receiver expectations — the
+	// only intermediate metadata the coordinator ever holds. The
+	// intermediate SIZE is the stage-1 match total; the vectors carry the
+	// routed transfer volume, which exceeds it under replicating schemes
+	// (CI fans each tuple out to a full grid row).
+	var intermediate int64
+	for w := 0; w < j1; w++ {
+		intermediate += wm1[w].Output
+	}
+	if next.MaxIntermediate > 0 && intermediate > next.MaxIntermediate {
+		// Earliest point the total is known: the matches are materialized on
+		// the workers, but stage 2's re-shuffle and join never run.
+		s.cancelPlan(token, j2)
+		return 0, fmt.Errorf("netexec: stage 1 matched %d tuples, pipeline cap %d; restructure the chain",
+			intermediate, next.MaxIntermediate)
+	}
+	expected := make([][]int64, j2)
+	for p := 0; p < j2; p++ {
+		expected[p] = make([]int64, j1)
+	}
+	for w, v := range counts {
+		if len(v) != j2 {
+			s.cancelPlan(token, j2)
+			return 0, fmt.Errorf("netexec: worker %d (%s) reported %d peer counts, plan has %d workers",
+				w, s.conns[w].addr, len(v), j2)
+		}
+		for p, c := range v {
+			expected[p][w] = c
+		}
+	}
+	for p := 0; p < j2; p++ {
+		var total int64
+		for _, c := range expected[p] {
+			total += c
+		}
+		if total > MaxRelationTuples {
+			s.cancelPlan(token, j2)
+			return 0, fmt.Errorf("netexec: stage-2 worker %d would receive %d tuples, wire limit %d",
+				p, total, MaxRelationTuples)
+		}
+	}
+
+	id2 := s.nextID.Add(1)
+	errs2 := make([]error, j2)
+	for p := 0; p < j2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs2[p] = s.conns[p].runPeerJob(id2, p, spec2, token, expected[p], next, &wm2[p])
+		}(p)
+	}
+	wg.Wait()
+	if err := errors.Join(errs2...); err != nil {
+		// A worker whose peer job never opened (or failed before binding)
+		// still holds its fully-delivered contributions; cancel so they are
+		// released rather than buffered until the worker restarts. Workers
+		// whose job consumed the transfer just tombstone the token.
+		s.cancelPlan(token, j2)
+		return 0, err
+	}
+	return intermediate, nil
+}
+
+// cancelPlan tells the stage-2 workers to discard buffered peer state for an
+// abandoned transfer. Best-effort: a worker we cannot reach will drop the
+// state when its connection dies anyway.
+func (s *Session) cancelPlan(token uint64, j2 int) {
+	for p := 0; p < j2; p++ {
+		c := s.conns[p]
+		c.wmu.Lock()
+		_ = writeV3GobFrame(c.bw, frameV3PlanCancel, 0, planCancel{Token: token})
+		_ = c.bw.Flush()
+		c.wmu.Unlock()
+	}
+}
+
+// runStageJob runs one stage-1 sub-job: a plain session job plus the PLAN
+// frame, whose reply carries the sender's per-receiver count vector.
+func (c *sessConn) runStageJob(id uint32, workerID int, spec join.Spec, ps *planSpec,
+	job *exec.Job, m *exec.WorkerMetrics) ([]int64, error) {
+
+	wrap := func(err error) error {
+		return fmt.Errorf("netexec: stage job %d on worker %d (%s): %w", id, workerID, c.addr, err)
+	}
+	h := &jobHandler{done: make(chan sessReply, 1)}
+	if err := c.register(id, h); err != nil {
+		return nil, wrap(err)
+	}
+	defer c.deregister(id)
+	sentPay, err := c.sendJob(id, workerID, spec, ps, job)
+	if err != nil {
+		return nil, wrap(err)
+	}
+	r := <-h.done
+	if r.err != nil {
+		return nil, wrap(r.err)
+	}
+	if r.m.Err != "" {
+		return nil, wrap(errors.New(r.m.Err))
+	}
+	if r.m.PayBytes1 != sentPay[0] || r.m.PayBytes2 != sentPay[1] {
+		return nil, wrap(fmt.Errorf("worker decoded %d/%d payload bytes, coordinator sent %d/%d",
+			r.m.PayBytes1, r.m.PayBytes2, sentPay[0], sentPay[1]))
+	}
+	m.InputR1 = r.m.InputR1
+	m.InputR2 = r.m.InputR2
+	m.Output = r.m.Output
+	return r.m.PeerCounts, nil
+}
+
+// runPeerJob runs one stage-2 sub-job: the open names the transfer token and
+// the exact per-sender counts, the coordinator streams only the right
+// relation, and the worker joins once its peer transfer completes.
+func (c *sessConn) runPeerJob(id uint32, workerID int, spec join.Spec, token uint64,
+	senderCounts []int64, next *exec.PlanJob, m *exec.WorkerMetrics) error {
+
+	wrap := func(err error) error {
+		return fmt.Errorf("netexec: peer job %d on worker %d (%s): %w", id, workerID, c.addr, err)
+	}
+	h := &jobHandler{done: make(chan sessReply, 1)}
+	if err := c.register(id, h); err != nil {
+		return wrap(err)
+	}
+	defer c.deregister(id)
+	if err := c.sendPeerJob(id, workerID, spec, token, senderCounts, next); err != nil {
+		return wrap(err)
+	}
+	r := <-h.done
+	if r.err != nil {
+		return wrap(r.err)
+	}
+	if r.m.Err != "" {
+		return wrap(errors.New(r.m.Err))
+	}
+	var expect int64
+	for _, sc := range senderCounts {
+		expect += sc
+	}
+	if r.m.InputR1 != expect {
+		return wrap(fmt.Errorf("worker joined %d peer tuples, senders reported %d", r.m.InputR1, expect))
+	}
+	m.InputR1 = r.m.InputR1
+	m.InputR2 = r.m.InputR2
+	m.Output = r.m.Output
+	return nil
+}
+
+func (c *sessConn) sendPeerJob(id uint32, workerID int, spec join.Spec, token uint64,
+	senderCounts []int64, next *exec.PlanJob) error {
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	abort := func(err error) error {
+		_ = writeV3FrameHeader(c.bw, frameV3Abort, id, 0)
+		_ = c.bw.Flush()
+		return err
+	}
+	po := peerJobOpen{WorkerID: workerID, Cond: spec, Token: token, SenderCounts: senderCounts}
+	if err := writeV3GobFrame(c.bw, frameV3OpenPeerJob, id, po); err != nil {
+		return abort(err)
+	}
+	if _, err := c.sendRelation(id, 2, next.R2.Wait(), workerID); err != nil {
+		return abort(err)
+	}
+	if err := writeV3FrameHeader(c.bw, frameV3EOS, id, 0); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}

@@ -1,0 +1,89 @@
+package netexec
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Timeouts bounds a connection's blocking operations so one hung peer fails
+// a job (or a connection) instead of wedging the whole session. Dial bounds
+// connection establishment (sessions and the worker peer mesh); IO is a
+// per-operation progress deadline: every write, and every read that is part
+// of an in-flight frame payload, must make progress within IO. Reads at
+// frame boundaries are exempt — an idle persistent connection is legitimate
+// — so the deadline measures stalled transfers, not quiet sessions (and not
+// long-running worker joins, which produce no traffic while computing).
+// The zero value disables all deadlines.
+type Timeouts struct {
+	Dial time.Duration
+	IO   time.Duration
+}
+
+// dialTCP connects with the configured dial timeout (unbounded when zero).
+func dialTCP(addr string, t Timeouts) (net.Conn, error) {
+	if t.Dial > 0 {
+		return net.DialTimeout("tcp", addr, t.Dial)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// timedConn wraps a connection with Timeouts.IO semantics: writes always
+// refresh a write deadline (writes only happen while actively sending), and
+// reads refresh a read deadline only while armed — the read loops arm
+// around frame payloads and disarm at frame boundaries. Each Read/Write
+// gets a fresh deadline, so the timeout bounds the maximum stall between
+// progress, not the total transfer time. With io == 0 it is a passthrough.
+type timedConn struct {
+	net.Conn
+	io    time.Duration
+	armed atomic.Bool
+}
+
+func newTimedConn(c net.Conn, io time.Duration) *timedConn {
+	return &timedConn{Conn: c, io: io}
+}
+
+func (c *timedConn) Read(p []byte) (int, error) {
+	if c.io > 0 && c.armed.Load() {
+		_ = c.Conn.SetReadDeadline(time.Now().Add(c.io))
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *timedConn) Write(p []byte) (int, error) {
+	if c.io > 0 {
+		_ = c.Conn.SetWriteDeadline(time.Now().Add(c.io))
+	}
+	return c.Conn.Write(p)
+}
+
+// arm makes subsequent reads deadline-bounded (mid-frame).
+func (c *timedConn) arm() {
+	if c.io > 0 {
+		c.armed.Store(true)
+	}
+}
+
+// disarm returns reads to unbounded blocking (frame boundary) and clears
+// any pending deadline so a buffered partial read can't fire it later.
+func (c *timedConn) disarm() {
+	if c.io > 0 {
+		c.armed.Store(false)
+		_ = c.Conn.SetReadDeadline(time.Time{})
+	}
+}
+
+// armConn arms c when it is deadline-capable (a *timedConn with IO set).
+func armConn(c net.Conn) {
+	if tc, ok := c.(*timedConn); ok {
+		tc.arm()
+	}
+}
+
+// disarmConn is armConn's counterpart.
+func disarmConn(c net.Conn) {
+	if tc, ok := c.(*timedConn); ok {
+		tc.disarm()
+	}
+}

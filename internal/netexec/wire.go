@@ -40,6 +40,11 @@ const (
 	// it until either side closes. See session.go and the "Session
 	// protocol" section of DESIGN.md.
 	protoVersionSession = 3
+	// protoVersionPeer opens a worker→worker peer-transfer connection on the
+	// same listener: one sender streams stage-1 match contributions to one
+	// receiver, identified by 64-bit transfer tokens (see peer.go and the
+	// "Peer shuffle" section of DESIGN.md).
+	protoVersionPeer = 4
 
 	frameHandshake = 1
 	frameBlock     = 2
@@ -57,6 +62,21 @@ const (
 	frameV3Pairs   = 15 // worker→coord [count u32][count×(i1 u32, i2 u32)]
 	frameV3Metrics = 16 // worker→coord gob metrics (terminates the job)
 	frameV3Abort   = 17 // coord→worker job abandoned; discard its state, no reply
+
+	// PLAN/PEER frames (stage-aware pipelines): the coordinator broadcasts a
+	// serialized stage-2 plan alongside a stage-1 job, each worker
+	// re-shuffles its own matches straight to peer workers, and the
+	// coordinator only ever sees pair counts.
+	frameV3Plan        = 18 // coord→worker gob planSpec: this job's matches feed the plan
+	frameV3OpenPeerJob = 19 // coord→worker gob peerJobOpen: job whose relation 1 arrives from peers
+	frameV3PlanCancel  = 20 // coord→worker gob planCancel: discard buffered peer state for a token
+
+	// Peer-mesh frames (worker→worker connections, protoVersionPeer). They
+	// use the v2-style [type u8][len u32] framing; the 64-bit transfer token
+	// rides in each payload, so peer transfers are immune to session job-id
+	// collisions across coordinators.
+	framePeerHead  = 30 // [token u64][sender u32][count u32] — declares one sender's contribution
+	framePeerBlock = 31 // [token u64][sender u32][count u32][count×8 LE keys]
 
 	// relFlagPayload marks a relation head that declares a payload segment.
 	relFlagPayload = 1
@@ -77,6 +97,17 @@ const (
 	// maxFramePayload bounds what a worker will buffer for one control
 	// frame; data frames are bounded by maxBlockKeys instead.
 	maxFramePayload = blockHeaderLen + 8*maxBlockKeys
+
+	// peerHeadLen is framePeerHead's payload: [token u64][sender u32][count u32].
+	peerHeadLen = 16
+	// peerBlockHeaderLen is framePeerBlock's sub-header before the keys.
+	peerBlockHeaderLen = 16
+	// maxPeerBlockKeys caps one peer block frame (8 MiB of keys); larger
+	// contributions split into consecutive frames.
+	maxPeerBlockKeys = 1 << 20
+	// maxPeerSenders bounds the sender ids a peer transfer may name before
+	// the receiver knows the real sender count from its stage-2 job open.
+	maxPeerSenders = 1 << 12
 )
 
 // MaxRelationPayloadBytes bounds the payload bytes one relation head may
@@ -269,6 +300,30 @@ func writeKeyBlocksV3(w *bufio.Writer, job uint32, rel int8, keys []join.Key) er
 			return err
 		}
 		keys = keys[n:]
+	}
+	return nil
+}
+
+// readKeysLE decodes len(dst) little-endian keys from r into dst, staged
+// through a pooled scratch buffer — the inverse of writeKeysLE, shared by
+// every key-block decode path (one-shot, session, peer mesh).
+func readKeysLE(r io.Reader, dst []join.Key) error {
+	scratch := getScratch()
+	defer putScratch(scratch)
+	buf := *scratch
+	for len(dst) > 0 {
+		c := len(buf) / 8
+		if c > len(dst) {
+			c = len(dst)
+		}
+		chunk := buf[:8*c]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return err
+		}
+		for i := range dst[:c] {
+			dst[i] = join.Key(binary.LittleEndian.Uint64(chunk[8*i:]))
+		}
+		dst = dst[c:]
 	}
 	return nil
 }
@@ -473,23 +528,8 @@ func readKeyBlock(r io.Reader, payloadLen int, rel1, rel2 []join.Key, pos1, pos2
 	if *pos+count > len(dst) {
 		return fmt.Errorf("relation %d overflows declared count %d", bh[0], len(dst))
 	}
-	scratch := getScratch()
-	defer putScratch(scratch)
-	buf := *scratch
-	out := dst[*pos : *pos+count]
-	for len(out) > 0 {
-		c := len(buf) / 8
-		if c > len(out) {
-			c = len(out)
-		}
-		chunk := buf[:8*c]
-		if _, err := io.ReadFull(r, chunk); err != nil {
-			return err
-		}
-		for i := range out[:c] {
-			out[i] = join.Key(binary.LittleEndian.Uint64(chunk[8*i:]))
-		}
-		out = out[c:]
+	if err := readKeysLE(r, dst[*pos:*pos+count]); err != nil {
+		return err
 	}
 	*pos += count
 	return nil

@@ -32,6 +32,9 @@ func NewHash(j int, heavyKeys []join.Key) (*Hash, error) {
 	}
 	h := &Hash{workers: j, heavy: append([]join.Key(nil), heavyKeys...)}
 	slices.Sort(h.heavy)
+	// Duplicates are routing no-ops; dropping them keeps the sorted set the
+	// canonical form the plan codec round-trips byte-exactly.
+	h.heavy = slices.Compact(h.heavy)
 	return h, nil
 }
 
@@ -70,6 +73,10 @@ func (h *Hash) Name() string {
 
 // Workers implements Scheme.
 func (h *Hash) Workers() int { return h.workers }
+
+// HeavyKeys returns the scheme's heavy-hitter keys, sorted (read-only) — the
+// plan codec persists them so a decoded Hash plan routes identically.
+func (h *Hash) HeavyKeys() []join.Key { return h.heavy }
 
 func (h *Hash) isHeavy(k join.Key) bool {
 	_, found := slices.BinarySearch(h.heavy, k)
