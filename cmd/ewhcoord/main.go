@@ -50,6 +50,7 @@ func main() {
 		dialPerJob = flag.Bool("dial-per-job", false, "use the one-shot v2 transport (dials every worker per job)")
 		mway       = flag.Bool("multiway", false, "run the 3-way chain join pipeline instead of a 2-way join")
 		relay      = flag.Bool("relay", false, "with -multiway: force the coordinator-relay baseline instead of the peer shuffle")
+		stage2     = flag.String("stage2-scheme", "auto", "with -multiway: peer-path stage-2 scheme (auto, hash, ci, csio; auto = CSIO via distributed statistics)")
 		planin     = flag.String("planin", "", "execute a plan artifact (ewhplan -planout) instead of planning: plan once, execute many")
 		timeout    = flag.Duration("timeout", 0, "dial and per-operation IO deadline on worker connections (0: none)")
 	)
@@ -114,7 +115,14 @@ func main() {
 	}
 
 	if *mway {
-		runMultiway(addrs, r1, r2, *n, *j, *seed, model, timeouts, *relay)
+		mode, err := multiway.ParseStage2Mode(*stage2)
+		if err != nil {
+			fatal(err)
+		}
+		if *relay && mode != multiway.Stage2Auto {
+			fatal(fmt.Errorf("-relay re-plans stage 2 on the coordinator; -stage2-scheme %v applies to the peer path only", mode))
+		}
+		runMultiway(addrs, r1, r2, *n, *j, *seed, model, timeouts, *relay, mode)
 		return
 	}
 
@@ -159,10 +167,12 @@ func main() {
 // runMultiway executes the 3-way chain join R1 ⋈ Mid ⋈ R3 distributed over
 // the session: the Mid relation's B keys ship as a payload segment and both
 // stages run on the remote workers. By default the stage-1 intermediate
-// re-shuffles directly worker→worker under a broadcast plan artifact;
-// -relay forces the coordinator-relay baseline.
+// re-shuffles directly worker→worker under a broadcast plan artifact, with
+// the stage-2 scheme selected by -stage2-scheme (auto = a genuine CSIO plan
+// built from distributed statistics); -relay forces the coordinator-relay
+// baseline.
 func runMultiway(addrs []string, r1, r2 []join.Key, n, j int, seed uint64, model cost.Model,
-	timeouts netexec.Timeouts, relay bool) {
+	timeouts netexec.Timeouts, relay bool, stage2 multiway.Stage2Mode) {
 
 	mid := multiway.MidRelation{
 		A: r2,
@@ -177,8 +187,10 @@ func runMultiway(addrs []string, r1, r2 []join.Key, n, j int, seed uint64, model
 		fatal(err)
 	}
 	defer sess.Close()
-	run := multiway.ExecuteOver
-	mode := "peer shuffle"
+	run := func(rt exec.Runtime, q multiway.Query, opts core.Options, cfg exec.Config) (*multiway.Result, error) {
+		return multiway.ExecuteOverStage2(rt, q, opts, cfg, stage2)
+	}
+	mode := fmt.Sprintf("peer shuffle, stage-2 %v", stage2)
 	if relay {
 		run = multiway.ExecuteOverRelay
 		mode = "coordinator relay"

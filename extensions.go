@@ -103,10 +103,37 @@ func ExecuteTuplesOver[P1, P2 any](rt Runtime, r1 []Tuple[P1], r2 []Tuple[P2],
 // runtime both stages execute on the remote workers, the Mid relation
 // shipping its B keys as a wire payload segment. Stage-aware runtimes (a
 // Cluster) take the peer-shuffle path — the stage-1 intermediate re-shuffles
-// directly worker→worker under a broadcast plan artifact and never transits
-// the coordinator; others fall back to the coordinator-relay strategy.
+// directly worker→worker and never transits the coordinator, under a genuine
+// CSIO stage-2 plan built from distributed statistics (each worker ships a
+// small summary of its local intermediate; the coordinator merges them and
+// broadcasts the plan); others fall back to the coordinator-relay strategy.
 func ExecuteMultiwayOver(rt Runtime, q MultiwayQuery, opts Options, cfg ExecConfig) (*MultiwayResult, error) {
 	return multiway.ExecuteOver(rt, q, opts, cfg)
+}
+
+// Stage2Mode selects how the peer-shuffle path partitions a multiway
+// pipeline's second stage: Stage2Auto (CSIO via distributed statistics —
+// the default), Stage2Hash / Stage2CI (content-insensitive plans broadcast
+// before stage 1 runs), or Stage2CSIO (force the distributed-statistics
+// plan). ParseStage2Mode parses the CLI spelling (auto, hash, ci, csio).
+type Stage2Mode = multiway.Stage2Mode
+
+// Stage-2 partitioning modes for ExecuteMultiwayOverStage2.
+const (
+	Stage2Auto = multiway.Stage2Auto
+	Stage2Hash = multiway.Stage2Hash
+	Stage2CI   = multiway.Stage2CI
+	Stage2CSIO = multiway.Stage2CSIO
+)
+
+// ParseStage2Mode parses a stage-2 mode name (auto, hash, ci, csio).
+func ParseStage2Mode(s string) (Stage2Mode, error) { return multiway.ParseStage2Mode(s) }
+
+// ExecuteMultiwayOverStage2 is ExecuteMultiwayOver with an explicit stage-2
+// partitioning mode for the peer-shuffle path.
+func ExecuteMultiwayOverStage2(rt Runtime, q MultiwayQuery, opts Options, cfg ExecConfig,
+	mode Stage2Mode) (*MultiwayResult, error) {
+	return multiway.ExecuteOverStage2(rt, q, opts, cfg, mode)
 }
 
 // ExecuteMultiwayOverRelay forces the coordinator-relay strategy on any

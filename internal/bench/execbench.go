@@ -255,7 +255,12 @@ func ExecBench(cfg Config) (*ExecBenchReport, error) {
 	// strategy (stage-1 matches stream back as pairs and the re-planned
 	// intermediate re-scatters from the coordinator) against the direct
 	// worker→worker peer shuffle (the intermediate never transits the
-	// coordinator). The relay row is the peer row's tracked baseline.
+	// coordinator) — once with the pre-broadcast content-insensitive Hash
+	// stage-2 plan and once with the distributed-statistics CSIO plan
+	// (workers summarize their intermediates, the coordinator replans and
+	// broadcasts a second PLAN frame). The relay row is both peer rows'
+	// tracked baseline; the csio-vs-hash delta prices the statistics
+	// exchange.
 	midB := make([]join.Key, n)
 	r3 := make([]join.Key, n)
 	for i := range midB {
@@ -309,10 +314,18 @@ func ExecBench(cfg Config) (*ExecBenchReport, error) {
 		})
 		return nil
 	}
+	peerMode := func(mode multiway.Stage2Mode) func(exec.Runtime, multiway.Query, core.Options, exec.Config) (*multiway.Result, error) {
+		return func(rt exec.Runtime, q multiway.Query, opts core.Options, cfg exec.Config) (*multiway.Result, error) {
+			return multiway.ExecuteOverStage2(rt, q, opts, cfg, mode)
+		}
+	}
 	if err := runMwayRow("netexec-relay-multiway", multiway.ExecuteOverRelay); err != nil {
 		return nil, err
 	}
-	if err := runMwayRow("netexec-peer-multiway", multiway.ExecuteOver); err != nil {
+	if err := runMwayRow("netexec-peer-multiway", peerMode(multiway.Stage2Hash)); err != nil {
+		return nil, err
+	}
+	if err := runMwayRow("netexec-peer-multiway-csio", peerMode(multiway.Stage2CSIO)); err != nil {
 		return nil, err
 	}
 	return rep, nil

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ewh/internal/histogram"
+	"ewh/internal/join"
+	"ewh/internal/matrix"
+	"ewh/internal/sample"
+	"ewh/internal/stats"
+)
+
+// PlanCSIOFromSummary builds the equi-weight histogram plan for r1' ⋈ r2
+// when r1' is known only through a distributed statistics summary — the
+// coordinator side of distributed statistics collection. The summary stands
+// in for the left relation everywhere the planner would scan it:
+//
+//   - the R1 equi-depth histogram comes straight from the summary's merged
+//     per-worker boundaries (computed worker-side over ALL local keys, so
+//     quantile accuracy does not degrade with the sample cap);
+//   - the output sample runs Stream-Sample over the summary's uniform key
+//     sample against the full r2 multiset, and its exact per-sample output
+//     size scales by Count/len(Keys) to estimate m (exact whenever the
+//     sample holds the whole population);
+//   - r2 is planner-local (the driver owns that base relation), so its
+//     histogram and multiset are exact, as in PlanCSIO.
+//
+// The §VI-E high-selectivity fallback applies to the estimated m exactly as
+// PlanCSIO applies it to the exact one: over-selective joins fall back to CI
+// with Fallback reported. Results are deterministic for a given summary and
+// seed.
+func PlanCSIOFromSummary(sum *stats.Summary, r2 []join.Key, cond join.Condition, opts Options) (*Plan, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	if err := sum.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n2 := len(r2)
+	if sum.Count == 0 || n2 == 0 {
+		return nil, fmt.Errorf("core: empty input relation (summary count=%d n2=%d)", sum.Count, n2)
+	}
+	if sum.Count > int64(math.MaxInt) {
+		return nil, fmt.Errorf("core: summary count %d overflows", sum.Count)
+	}
+	n1 := int(sum.Count)
+	n := maxInt(n1, n2)
+	rng := stats.NewRNG(opts.Seed)
+
+	rh, err := histogram.FromBounds(sum.Bounds)
+	if err != nil {
+		return nil, err
+	}
+	ns := opts.NS
+	if ns <= 0 {
+		ns = int(math.Ceil(math.Sqrt(2 * float64(n) * float64(opts.J))))
+	}
+	if ns > n2 {
+		ns = n2
+	}
+	s2 := sample.FixedSize(r2, inputSampleSize(ns, n), rng)
+	ch, err := histogram.FromSample(s2, ns)
+	if err != nil {
+		return nil, err
+	}
+
+	nsc := countCandidates(rh, ch, cond)
+	so := int(opts.OutputSampleFactor * float64(nsc))
+	if so < 1063 {
+		so = 1063 // Kolmogorov-statistics floor (§A1), as PlanCSIO
+	}
+	m2 := sample.BuildMultiset(r2)
+	out := sample.StreamSampleWith(sum.Keys, m2, cond, so, opts.StatWorkers, rng)
+	mEst := out.M
+	if int64(len(sum.Keys)) < sum.Count && len(sum.Keys) > 0 {
+		mEst = int64(math.Round(float64(out.M) * float64(sum.Count) / float64(len(sum.Keys))))
+	}
+
+	overSelective := mEst > int64(opts.HighSelectivityRatio)*int64(n)
+	overBudget := opts.StatsBudget > 0 &&
+		time.Since(start).Seconds() > opts.StatsBudget*float64(n1+n2)/1e6
+	if !opts.DisableFallback && (overSelective || overBudget) {
+		p, err := PlanCI(opts)
+		if err != nil {
+			return nil, err
+		}
+		p.Fallback = true
+		p.M = mEst
+		p.StatsDuration = time.Since(start)
+		return p, nil
+	}
+
+	algStart := time.Now()
+	sm, err := matrix.BuildSample(rh, ch, cond, out.Pairs, mEst, n1, n2, 0)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := regionalizePlan(sm, "CSIO", opts)
+	if err != nil {
+		return nil, err
+	}
+	plan.M = mEst
+	plan.NS = sm.Rows
+	plan.HistAlgDuration = time.Since(algStart)
+	plan.StatsDuration = time.Since(start)
+	return plan, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ewh/internal/cost"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/sample"
+	"ewh/internal/stats"
+	"ewh/internal/workload"
+)
+
+// shardSummaries splits r1 into n shards and summarizes each — the worker
+// side of distributed statistics, in miniature.
+func shardSummaries(r1 []join.Key, shards, cap, buckets int) []*stats.Summary {
+	out := make([]*stats.Summary, shards)
+	for w := 0; w < shards; w++ {
+		lo, hi := len(r1)*w/shards, len(r1)*(w+1)/shards
+		out[w] = sample.Summarize(r1[lo:hi], cap, buckets, stats.NewRNG(uint64(w)*7+1))
+	}
+	return out
+}
+
+func mergeAll(t *testing.T, sums []*stats.Summary) *stats.Summary {
+	t.Helper()
+	merged := sums[0]
+	var err error
+	for _, s := range sums[1:] {
+		if merged, err = stats.MergeSummaries(merged, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return merged
+}
+
+func TestPlanCSIOFromSummaryBalancesSkew(t *testing.T) {
+	// A skewed intermediate, known to the planner only through merged shard
+	// summaries: the resulting CSIO plan must beat CI's makespan on the same
+	// workload, just as the full-knowledge planner does — the paper's core
+	// claim carried over to distributed statistics.
+	r1 := workload.Zipfian(20000, 8000, 0.7, 41)
+	r2 := workload.Zipfian(15000, 8000, 0.7, 43)
+	cond := join.NewBand(2)
+	opts := Options{J: 8, Seed: 17}
+
+	merged := mergeAll(t, shardSummaries(r1, 4, 2048, 128))
+	if merged.Count != int64(len(r1)) {
+		t.Fatalf("merged count %d, want %d", merged.Count, len(r1))
+	}
+	plan, err := PlanCSIOFromSummary(merged, r2, cond, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Fallback {
+		t.Fatal("summary plan fell back to CI on a moderate-selectivity workload")
+	}
+	if plan.Scheme.Name() != "CSIO" {
+		t.Fatalf("summary plan built %q, want CSIO", plan.Scheme.Name())
+	}
+	if plan.Scheme.Workers() > opts.J {
+		t.Fatalf("plan routes to %d workers, J = %d", plan.Scheme.Workers(), opts.J)
+	}
+
+	// The estimated output size must be in the right ballpark of the truth.
+	exactM := sample.OutputSize(r1, r2, cond, 4)
+	if plan.M < exactM/3 || plan.M > exactM*3 {
+		t.Fatalf("estimated m = %d, exact m = %d: summary statistics badly off", plan.M, exactM)
+	}
+
+	// The distributed-statistics claim itself: the plan built from capped
+	// summaries must execute about as well as the plan built from the FULL
+	// relation — same output, makespan within a modest factor.
+	model := cost.DefaultBand
+	cfg := exec.Config{Seed: 23, Mappers: 2}
+	fromSummary := exec.Run(r1, r2, cond, plan.Scheme, model, cfg)
+	fullPlan, err := PlanCSIO(r1, r2, cond, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFull := exec.Run(r1, r2, cond, fullPlan.Scheme, model, cfg)
+	if fromSummary.Output != fromFull.Output {
+		t.Fatalf("schemes disagree on output: summary %d full %d", fromSummary.Output, fromFull.Output)
+	}
+	if fromSummary.MaxWork > 1.5*fromFull.MaxWork {
+		t.Fatalf("summary-built makespan %.0f is far off the full-knowledge plan's %.0f",
+			fromSummary.MaxWork, fromFull.MaxWork)
+	}
+
+	// Routing must be total even for keys the sample never saw.
+	rng := stats.NewRNG(1)
+	var buf []int
+	for _, k := range []join.Key{r1[0], r1[len(r1)/2], -999999, 999999} {
+		if buf = plan.Scheme.RouteR1(k, rng, buf[:0]); len(buf) == 0 {
+			t.Fatalf("key %d routes nowhere", k)
+		}
+	}
+}
+
+func TestPlanCSIOFromSummaryExactWhenSampleCoversAll(t *testing.T) {
+	// A cap large enough to enumerate the whole population makes m exact.
+	r1 := workload.Zipfian(3000, 500, 0.6, 5)
+	r2 := workload.Zipfian(2500, 500, 0.6, 6)
+	cond := join.Equi{}
+	merged := mergeAll(t, shardSummaries(r1, 3, len(r1), 64))
+	plan, err := PlanCSIOFromSummary(merged, r2, cond, Options{J: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sample.OutputSize(r1, r2, cond, 2); plan.M != want {
+		t.Fatalf("full-coverage summary estimated m = %d, exact m = %d", plan.M, want)
+	}
+}
+
+func TestPlanCSIOFromSummaryFallsBackOnHighSelectivity(t *testing.T) {
+	// Everything joins with everything: the §VI-E fallback must fire off the
+	// ESTIMATED m exactly as it does off the exact one.
+	n := 2000
+	r1 := make([]join.Key, n)
+	r2 := make([]join.Key, n)
+	merged := mergeAll(t, shardSummaries(r1, 2, 256, 32))
+	plan, err := PlanCSIOFromSummary(merged, r2, join.Equi{}, Options{J: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Fallback || plan.Scheme.Name() != "CI" {
+		t.Fatalf("high-selectivity summary plan did not fall back: %q fallback=%v",
+			plan.Scheme.Name(), plan.Fallback)
+	}
+}
+
+func TestPlanCSIOFromSummaryRejectsEmpty(t *testing.T) {
+	empty := sample.Summarize(nil, 16, 8, stats.NewRNG(1))
+	_, err := PlanCSIOFromSummary(empty, []join.Key{1, 2}, join.Equi{}, Options{J: 2})
+	if err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("empty summary accepted: %v", err)
+	}
+	full := sample.Summarize([]join.Key{1, 2, 3}, 16, 8, stats.NewRNG(1))
+	if _, err := PlanCSIOFromSummary(full, nil, join.Equi{}, Options{J: 2}); err == nil {
+		t.Fatal("empty r2 accepted")
+	}
+}

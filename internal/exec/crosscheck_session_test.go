@@ -21,6 +21,7 @@ import (
 	"ewh/internal/netexec"
 	"ewh/internal/partition"
 	"ewh/internal/stats"
+	"ewh/internal/workload"
 )
 
 func dialLoopbackSession(t *testing.T, n int) *netexec.Session {
@@ -228,6 +229,95 @@ func TestCrossCheckSessionMultiway(t *testing.T) {
 	}
 }
 
+func TestCrossCheckSessionMultiwayPeerCSIO(t *testing.T) {
+	// The content-sensitive peer path: the stage-2 plan is a genuine CSIO
+	// equi-weight histogram built from DISTRIBUTED statistics — each worker
+	// summarizes its local intermediate, only the summaries reach the
+	// coordinator. On a skewed (Zipf) workload, across seeds and worker
+	// counts: (1) zero pairs transit the coordinator; (2) Output and
+	// Intermediate are bit-identical to the coordinator-relay baseline AND
+	// the in-process engine; (3) stage-1 per-worker metrics are
+	// bit-identical to in-process (same plan, same shuffle); (4) the
+	// replanned stage-2 scheme really is the content-sensitive one (no
+	// silent fallback on this workload).
+	const maxWorkers = 8
+	sess := dialLoopbackSession(t, maxWorkers)
+
+	for seed := uint64(900); seed < 903; seed++ {
+		rng := stats.NewRNG(seed)
+		n := 500 + int(rng.Int64n(500))
+		domain := int64(200 + rng.Int64n(400))
+		for _, workers := range []int{2, 4} {
+			for _, condB := range []join.Condition{join.Equi{}, join.NewBand(2)} {
+				q := multiway.Query{
+					R1: workload.Zipfian(n, domain, 0.9, seed+1),
+					Mid: multiway.MidRelation{
+						A: workload.Zipfian(n, domain, 0.9, seed+2),
+						B: workload.Zipfian(n, domain, 1.1, seed+3),
+					},
+					R3:    workload.Zipfian(n, domain, 0.9, seed+4),
+					CondA: join.NewBand(1),
+					CondB: condB,
+				}
+				opts := core.Options{J: workers, Model: netModel, Seed: seed + 5}
+				cfg := exec.Config{Seed: seed + 6, Mappers: 2}
+				id := fmt.Sprintf("seed %d J=%d condB %v", seed, workers, condB)
+
+				local, err := multiway.Execute(q, opts, cfg)
+				if err != nil {
+					t.Fatalf("%s: local: %v", id, err)
+				}
+				before := sess.RelayedPairs()
+				peer, err := multiway.ExecuteOverStage2(sess, q, opts, cfg, multiway.Stage2CSIO)
+				if err != nil {
+					t.Fatalf("%s: csio peer: %v", id, err)
+				}
+				if relayed := sess.RelayedPairs() - before; relayed != 0 {
+					t.Fatalf("%s: %d intermediate pairs transited the coordinator on the CSIO-peer path",
+						id, relayed)
+				}
+				relay, err := multiway.ExecuteOverRelay(sess, q, opts, cfg)
+				if err != nil {
+					t.Fatalf("%s: relay: %v", id, err)
+				}
+
+				for what, got := range map[string]*multiway.Result{"relay": relay, "local": local} {
+					if peer.Output != got.Output || peer.Intermediate != got.Intermediate {
+						t.Fatalf("%s: results differ: csio-peer (out=%d mid=%d) %s (out=%d mid=%d)",
+							id, peer.Output, peer.Intermediate, what, got.Output, got.Intermediate)
+					}
+				}
+				l1, p1 := local.Stages[0].Exec, peer.Stages[0].Exec
+				for w := range l1.Workers {
+					if p1.Workers[w] != l1.Workers[w] {
+						t.Errorf("%s: stage 1 worker %d metrics differ: peer %+v local %+v",
+							id, w, p1.Workers[w], l1.Workers[w])
+					}
+				}
+				if s2 := peer.Stages[1].Exec.Scheme; s2 != "CSIO@peer" {
+					t.Errorf("%s: stage 2 ran %q, want the distributed-statistics CSIO plan", id, s2)
+				}
+				// The CSIO plan may regionalize to fewer than J workers; the
+				// intermediate must still be fully accounted for. Only an
+				// undercount is assertable: region schemes legitimately
+				// REPLICATE a tuple to every region whose row range holds
+				// its key (and the CI fallback to a full grid row), so the
+				// delivered total may exceed the match count. Duplicate
+				// delivery of one contribution is excluded separately by
+				// the peer protocol's exact per-sender count binding.
+				var in1 int64
+				for _, w := range peer.Stages[1].Exec.Workers {
+					in1 += w.InputR1
+				}
+				if in1 < peer.Intermediate {
+					t.Errorf("%s: stage-2 workers received %d intermediate tuples, stage 1 matched %d",
+						id, in1, peer.Intermediate)
+				}
+			}
+		}
+	}
+}
+
 // localIntermediate reproduces the multiway stage-1 materialization
 // in-process: the matched Mid rows' B keys, concatenated over workers in
 // worker order — the deterministic sequence the peer path's senders hold.
@@ -257,15 +347,18 @@ func localIntermediate(t *testing.T, q multiway.Query, opts core.Options, cfg ex
 }
 
 func TestCrossCheckSessionMultiwayPeer(t *testing.T) {
-	// The peer-shuffle path: stage-1 intermediates re-shuffle directly
-	// worker→worker. Asserted here: (1) not a single matched pair transits
-	// the coordinator (the session's relayed-pairs counter stays flat),
-	// while the relay path moves the whole intermediate through it; (2)
-	// Output and Intermediate are bit-identical to the in-process engine;
-	// (3) stage-1 per-worker metrics are bit-identical to in-process; (4)
-	// for an equality stage-2 predicate the peer-assembled stage-2 blocks
-	// yield per-worker metrics bit-identical to an in-process run of the
-	// same content-deterministic Hash plan over the relay's intermediate.
+	// The peer-shuffle path in its content-insensitive modes (the stage-2
+	// plan broadcast BEFORE stage 1 runs): stage-1 intermediates re-shuffle
+	// directly worker→worker. Asserted here: (1) not a single matched pair
+	// transits the coordinator (the session's relayed-pairs counter stays
+	// flat), while the relay path moves the whole intermediate through it;
+	// (2) Output and Intermediate are bit-identical to the in-process
+	// engine; (3) stage-1 per-worker metrics are bit-identical to
+	// in-process; (4) for an equality stage-2 predicate the peer-assembled
+	// stage-2 blocks yield per-worker metrics bit-identical to an
+	// in-process run of the same content-deterministic Hash plan over the
+	// relay's intermediate. (The CSIO distributed-statistics mode has its
+	// own crosscheck below.)
 	const maxWorkers = 8
 	sess := dialLoopbackSession(t, maxWorkers)
 
@@ -293,8 +386,12 @@ func TestCrossCheckSessionMultiwayPeer(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: local: %v", id, err)
 				}
+				mode := multiway.Stage2CI
+				if _, isEqui := condB.(join.Equi); isEqui {
+					mode = multiway.Stage2Hash
+				}
 				before := sess.RelayedPairs()
-				peer, err := multiway.ExecuteOver(sess, q, opts, cfg)
+				peer, err := multiway.ExecuteOverStage2(sess, q, opts, cfg, mode)
 				if err != nil {
 					t.Fatalf("%s: peer: %v", id, err)
 				}

@@ -2,11 +2,14 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"ewh/internal/cost"
 	"ewh/internal/join"
 	"ewh/internal/partition"
+	"ewh/internal/planio"
+	"ewh/internal/stats"
 )
 
 // This file is the stage-aware half of the runtime layer: instead of the
@@ -17,6 +20,26 @@ import (
 // netexec this is the direct worker→worker re-shuffle: each worker routes
 // its own stage-1 matches by the broadcast plan and streams them straight to
 // peer workers, so the intermediate never transits the driver.
+//
+// The plan comes in two flavors. A PRE-BUILT plan (content-insensitive
+// schemes) is broadcast with stage 1. A STATS-DEFERRED plan serves the
+// content-sensitive schemes the paper is about: the transport has every
+// stage-1 worker summarize its local matches (Stats sizes the summaries),
+// collects the summaries, calls Replan to build the real plan from the
+// merged statistics, and only then broadcasts it — the intermediate still
+// never transits the driver, only its statistics summaries do.
+
+// StatsSpec sizes the per-worker statistics summaries of a stats-deferred
+// stage plan (see sample.Summarize).
+type StatsSpec struct {
+	// Cap bounds each worker's uniform key sample.
+	Cap int
+	// Buckets is each worker's local equi-depth histogram resolution.
+	Buckets int
+	// Seed is the base summary-sampling seed; workers derive deterministic
+	// per-sender streams from it.
+	Seed uint64
+}
 
 // PlanJob hands a transport a downstream join stage as a plan rather than
 // pre-routed blocks. The stage's left relation is the upstream stage's
@@ -25,21 +48,37 @@ import (
 type PlanJob struct {
 	// Plan is the planio-encoded artifact (scheme + routing seed) every
 	// executor of the stage shares. The transport ships it opaquely; workers
-	// decode it and route with bit-identical decisions.
+	// decode it and route with bit-identical decisions. Nil when the plan is
+	// stats-deferred (Replan != nil).
 	Plan []byte
 	// Workers is the decoded scheme's worker count (the driver holds the
 	// decoded scheme too; transports must not need to decode Plan to size
-	// their dispatch).
+	// their dispatch). Zero when the plan is stats-deferred — the count is
+	// Replan's to decide.
 	Workers int
 	// Cond is the stage's join predicate.
 	Cond join.Condition
-	// R2 resolves to the stage's driver-shuffled right relation.
+	// R2 resolves to the stage's driver-shuffled right relation. For a
+	// stats-deferred plan it resolves only after Replan returns (the driver
+	// cannot shuffle before it knows the scheme), so transports must not
+	// Wait on it before replanning completes.
 	R2 *RelFuture
 	// MaxIntermediate, when positive, fails the pipeline before the stage
 	// dispatches if the upstream stage matched more tuples — the earliest
 	// point the total is known on a transport whose driver never sees the
 	// intermediate.
 	MaxIntermediate int64
+
+	// Stats, non-nil exactly when the plan is stats-deferred, sizes the
+	// per-worker summaries of the stage-1 matches.
+	Stats *StatsSpec
+	// Replan, non-nil exactly when the plan is stats-deferred, receives the
+	// per-sender encoded summaries (index = stage-1 worker id, each a
+	// planio summary) once every stage-1 join has completed, and returns the
+	// encoded stage-2 plan plus its worker count. The transport must call it
+	// at most once, synchronously, between collecting the summaries and
+	// broadcasting the plan.
+	Replan func(summaries [][]byte) (plan []byte, workers int, err error)
 }
 
 // StageRuntime is an optional Runtime extension implemented by transports
@@ -53,21 +92,39 @@ type StageRuntime interface {
 	Runtime
 	// RunStages executes first (count-only; first.Pairs must be nil), routes
 	// each worker's matches by next.Plan to the stage-2 workers, joins them
-	// against next.R2 and fills wm1/wm2 (lengths first.Workers and
-	// next.Workers). It returns the total intermediate size — the only thing
-	// about the intermediate the driver ever sees.
+	// against next.R2 and fills wm1/wm2. wm1 has length first.Workers; wm2
+	// has length next.Workers for a pre-built plan, and for a stats-deferred
+	// plan it is an upper bound the transport fills up to the worker count
+	// Replan returns. It returns the total intermediate size — the only
+	// thing about the intermediate the driver ever sees.
 	RunStages(first *Job, next *PlanJob, wm1, wm2 []WorkerMetrics) (intermediate int64, err error)
 }
 
-// StagePlan describes the downstream stage to RunStagesOver: the encoded
-// artifact the transport broadcasts and the decoded scheme the driver sizes
-// results with. Scheme must be the decode of Bytes. MaxIntermediate (when
-// positive) caps the stage-1 match total before stage 2 dispatches.
+// StagePlan describes the downstream stage to RunStagesOver. A pre-built
+// plan sets Bytes (the encoded artifact) and Scheme (its decode); a
+// stats-deferred plan leaves both nil and sets Stats, MaxWorkers and Replan
+// instead. MaxIntermediate (when positive) caps the stage-1 match total
+// before stage 2 dispatches.
 type StagePlan struct {
 	Bytes           []byte
 	Scheme          partition.Scheme
 	Cond            join.Condition
 	MaxIntermediate int64
+
+	// Stats-deferred planning:
+
+	// Stats sizes the per-worker summaries.
+	Stats *StatsSpec
+	// MaxWorkers bounds the replanned scheme's worker count (the driver's J;
+	// it sizes the stage-2 metrics before the scheme exists).
+	MaxWorkers int
+	// Replan builds the stage-2 plan from the per-sender statistics
+	// summaries (index = stage-1 worker, already decoded and validated by
+	// the driver layer): it returns the encoded artifact and its decoded
+	// scheme (workers <= MaxWorkers). Called at most once, after every
+	// stage-1 worker has summarized its matches and before the plan
+	// broadcasts — so no intermediate tuple has moved yet.
+	Replan func(summaries []*stats.Summary) (plan []byte, scheme partition.Scheme, err error)
 }
 
 // stage2SeedDelta decorrelates the driver's right-relation shuffle from the
@@ -79,10 +136,11 @@ const stage2SeedDelta = 0x51ed270
 // driver, payload segments carrying each r2 tuple's stage-2 routing key),
 // the transport re-shuffles the matches by sp's plan without them ever
 // returning to the driver, and stage 2 joins them against r3 (driver-
-// shuffled on the R2 side, seed cfg.Seed+stage2SeedDelta). enc2 must encode
-// exactly the 8-byte little-endian stage-2 key (see StageRuntime); enc1 may
-// be nil. Both stages' Results carry the usual per-worker metrics; stage 1's
-// Output is the intermediate size.
+// shuffled on the R2 side, seed cfg.Seed+stage2SeedDelta). For a
+// stats-deferred sp the r3 shuffle starts the moment Replan resolves the
+// scheme. enc2 must encode exactly the 8-byte little-endian stage-2 key
+// (see StageRuntime); enc1 may be nil. Both stages' Results carry the usual
+// per-worker metrics; stage 1's Output is the intermediate size.
 func RunStagesOver[P1, P2 any](rt StageRuntime, r1 []Tuple[P1], r2 []Tuple[P2],
 	cond join.Condition, scheme partition.Scheme, sp StagePlan, r3 []join.Key,
 	model cost.Model, cfg Config, enc1 PayloadEncoder[P1], enc2 PayloadEncoder[P2],
@@ -91,13 +149,28 @@ func RunStagesOver[P1, P2 any](rt StageRuntime, r1 []Tuple[P1], r2 []Tuple[P2],
 	if enc2 == nil {
 		return nil, nil, fmt.Errorf("exec: stage pipeline needs a stage-2 key encoder for relation 2")
 	}
-	if sp.Scheme == nil || len(sp.Bytes) == 0 {
+	deferred := sp.Replan != nil
+	j2cap := 0
+	switch {
+	case deferred:
+		if sp.Scheme != nil || len(sp.Bytes) != 0 {
+			return nil, nil, fmt.Errorf("exec: stats-deferred stage plan cannot also carry a pre-built plan")
+		}
+		if sp.Stats == nil || sp.Stats.Cap < 1 || sp.Stats.Buckets < 1 {
+			return nil, nil, fmt.Errorf("exec: stats-deferred stage plan needs a statistics spec")
+		}
+		if sp.MaxWorkers < 1 {
+			return nil, nil, fmt.Errorf("exec: stats-deferred stage plan needs a worker bound")
+		}
+		j2cap = sp.MaxWorkers
+	case sp.Scheme == nil || len(sp.Bytes) == 0:
 		return nil, nil, fmt.Errorf("exec: stage pipeline without an encoded stage-2 plan")
+	default:
+		j2cap = sp.Scheme.Workers()
 	}
 	cfg.defaults()
 	start := time.Now()
 	j1 := scheme.Workers()
-	j2 := sp.Scheme.Workers()
 
 	k1 := GetKeyBuffer(len(r1))
 	keysInto(k1, r1)
@@ -111,25 +184,84 @@ func RunStagesOver[P1, P2 any](rt StageRuntime, r1 []Tuple[P1], r2 []Tuple[P2],
 		func(s shuffled[Tuple[P2]]) { s2 = s; f2.resolve(tupleRelData(s, enc2)) })
 
 	// The right relation of stage 2 shuffles concurrently with stage 1's
-	// relations; the transport waits on its future only when stage 2 opens.
+	// relations once its scheme is known — immediately for a pre-built plan,
+	// at replan time for a stats-deferred one; the transport waits on its
+	// future only when stage 2 opens.
 	cfg3 := cfg
 	cfg3.Seed = cfg.Seed + stage2SeedDelta
 	f3 := newRelFuture()
-	go func() {
-		ks := ShuffleKeys(r3, sp.Scheme, 2, cfg3)
-		f3.resolve(RelData{Keys: ks})
-	}()
+	var r3Started atomic.Bool
+	startR3 := func(s partition.Scheme) {
+		r3Started.Store(true)
+		go func() {
+			ks := ShuffleKeys(r3, s, 2, cfg3)
+			f3.resolve(RelData{Keys: ks})
+		}()
+	}
+
+	scheme2 := sp.Scheme
+	// A stats-deferred PlanJob carries Workers == 0: the count is Replan's
+	// to decide.
+	j2known := j2cap
+	if deferred {
+		j2known = 0
+	}
+	next := &PlanJob{Plan: sp.Bytes, Workers: j2known, Cond: sp.Cond, R2: f3,
+		MaxIntermediate: sp.MaxIntermediate, Stats: sp.Stats}
+	if deferred {
+		next.Replan = func(encoded [][]byte) ([]byte, int, error) {
+			// The driver layer owns the summary codec: decode once, enforce
+			// the pipeline cap off the exact counts — BEFORE the plan exists,
+			// so a blown cap never moves a single intermediate tuple — and
+			// hand the typed summaries to the planner.
+			summaries := make([]*stats.Summary, len(encoded))
+			var total int64
+			for w, enc := range encoded {
+				s, err := planio.DecodeSummary(enc)
+				if err != nil {
+					return nil, 0, fmt.Errorf("exec: stage-1 worker %d statistics summary: %w", w, err)
+				}
+				summaries[w] = s
+				total += s.Count
+			}
+			if sp.MaxIntermediate > 0 && total > sp.MaxIntermediate {
+				return nil, 0, fmt.Errorf("exec: stage 1 matched %d tuples, pipeline cap %d; restructure the chain",
+					total, sp.MaxIntermediate)
+			}
+			plan, s, err := sp.Replan(summaries)
+			if err != nil {
+				return nil, 0, err
+			}
+			if s == nil || len(plan) == 0 {
+				return nil, 0, fmt.Errorf("exec: replan returned an empty stage-2 plan")
+			}
+			if s.Workers() > sp.MaxWorkers {
+				return nil, 0, fmt.Errorf("exec: replanned scheme routes to %d workers, pipeline bound %d",
+					s.Workers(), sp.MaxWorkers)
+			}
+			scheme2 = s
+			startR3(s)
+			return plan, s.Workers(), nil
+		}
+	} else {
+		startR3(sp.Scheme)
+	}
 
 	first := &Job{Cond: cond, Workers: j1, R1: f1, R2: f2}
-	next := &PlanJob{Plan: sp.Bytes, Workers: j2, Cond: sp.Cond, R2: f3,
-		MaxIntermediate: sp.MaxIntermediate}
 	res1 := &Result{Scheme: scheme.Name() + rt.Label(), Workers: make([]WorkerMetrics, j1)}
-	res2 := &Result{Scheme: sp.Scheme.Name() + "@peer", Workers: make([]WorkerMetrics, j2)}
+	res2 := &Result{Workers: make([]WorkerMetrics, j2cap)}
 	inter, err := rt.RunStages(first, next, res1.Workers, res2.Workers)
 
 	f1.Wait().Keys.Release()
 	f2.Wait().Keys.Release()
-	f3.Wait().Keys.Release()
+	// A failure before replanning leaves the r3 shuffle unstarted; resolve
+	// the future empty so nothing downstream can block on it.
+	if !r3Started.Load() {
+		f3.resolve(RelData{})
+	}
+	if d := f3.Wait(); d.Keys != nil {
+		d.Keys.Release()
+	}
 	PutKeyBuffer(k1)
 	PutKeyBuffer(k2)
 	putTupleSlice(s1.flat)
@@ -137,6 +269,11 @@ func RunStagesOver[P1, P2 any](rt StageRuntime, r1 []Tuple[P1], r2 []Tuple[P2],
 	if err != nil {
 		return nil, nil, err
 	}
+	if scheme2 == nil {
+		return nil, nil, fmt.Errorf("exec: transport completed a stats-deferred pipeline without replanning")
+	}
+	res2.Workers = res2.Workers[:scheme2.Workers()]
+	res2.Scheme = scheme2.Name() + "@peer"
 	finishResult(res1, model, start, cfg.BytesPerTuple)
 	finishResult(res2, model, start, cfg.BytesPerTuple)
 	if inter != res1.Output {

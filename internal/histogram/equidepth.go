@@ -8,6 +8,7 @@ package histogram
 
 import (
 	"fmt"
+	"math"
 	"slices"
 
 	"ewh/internal/join"
@@ -64,14 +65,33 @@ func FromSorted(sorted []join.Key, ns int) (*EquiDepth, error) {
 			bounds = append(bounds, q)
 		}
 	}
-	top := sorted[n-1] + 1
-	if top > bounds[len(bounds)-1] {
-		bounds = append(bounds, top)
-	} else {
-		// All sample keys identical: single bucket [k, k+1).
-		bounds = append(bounds, bounds[len(bounds)-1]+1)
+	top := join.Key(math.MaxInt64)
+	if sorted[n-1] < math.MaxInt64 {
+		top = sorted[n-1] + 1
 	}
-	return &EquiDepth{bounds: bounds}, nil
+	return &EquiDepth{bounds: appendTop(bounds, top)}, nil
+}
+
+// appendTop appends a histogram's final (exclusive) boundary, keeping the
+// slice strictly increasing even at the very top of the key domain, where
+// the usual +1 would overflow int64: boundaries stuck at MaxInt64 are
+// pushed down instead, and the edge-bucket clamping absorbs the off-by-one
+// approximation (keys at or above the last boundary route to the final
+// bucket regardless).
+func appendTop(bounds []join.Key, top join.Key) []join.Key {
+	last := bounds[len(bounds)-1]
+	switch {
+	case top > last:
+		return append(bounds, top)
+	case last < math.MaxInt64:
+		// All sample keys identical: single bucket [k, k+1).
+		return append(bounds, last+1)
+	}
+	bounds = append(bounds, math.MaxInt64)
+	for i := len(bounds) - 2; i >= 0 && bounds[i] >= bounds[i+1]; i-- {
+		bounds[i] = bounds[i+1] - 1
+	}
+	return bounds
 }
 
 // Buckets returns the number of buckets.

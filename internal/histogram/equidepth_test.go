@@ -1,25 +1,26 @@
-package histogram
+package histogram_test
 
 import (
 	"slices"
 	"testing"
 	"testing/quick"
 
+	"ewh/internal/histogram"
 	"ewh/internal/join"
 	"ewh/internal/stats"
 )
 
 func TestFromSampleErrors(t *testing.T) {
-	if _, err := FromSample(nil, 4); err == nil {
+	if _, err := histogram.FromSample(nil, 4); err == nil {
 		t.Error("empty sample accepted")
 	}
-	if _, err := FromSample([]join.Key{1}, 0); err == nil {
+	if _, err := histogram.FromSample([]join.Key{1}, 0); err == nil {
 		t.Error("ns=0 accepted")
 	}
 }
 
 func TestSingleKeySample(t *testing.T) {
-	h, err := FromSample([]join.Key{7, 7, 7}, 4)
+	h, err := histogram.FromSample([]join.Key{7, 7, 7}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestEquiDepthBalance(t *testing.T) {
 		keys[i] = r.Int64n(1 << 30)
 	}
 	const ns = 16
-	h, err := FromSample(keys, ns)
+	h, err := histogram.FromSample(keys, ns)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestEquiDepthSkewedBalance(t *testing.T) {
 	for i := range keys {
 		keys[i] = z.Draw(r)
 	}
-	h, err := FromSample(keys, 8)
+	h, err := histogram.FromSample(keys, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestEquiDepthSkewedBalance(t *testing.T) {
 
 func TestBucketLookupConsistent(t *testing.T) {
 	sample := []join.Key{1, 2, 3, 10, 11, 12, 100, 101, 102, 1000, 1001, 1002}
-	h, err := FromSample(sample, 4)
+	h, err := histogram.FromSample(sample, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestBoundsAreSortedAndDistinct(t *testing.T) {
 	for i := range keys {
 		keys[i] = r.Int64n(50) // many duplicates
 	}
-	h, err := FromSample(keys, 32)
+	h, err := histogram.FromSample(keys, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestBoundsAreSortedAndDistinct(t *testing.T) {
 }
 
 func TestBucketRange(t *testing.T) {
-	h, err := FromSample([]join.Key{0, 10, 20, 30, 40, 50, 60, 70}, 4)
+	h, err := histogram.FromSample([]join.Key{0, 10, 20, 30, 40, 50, 60, 70}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestBucketRange(t *testing.T) {
 
 func TestFromSortedNoCopySemantics(t *testing.T) {
 	sorted := []join.Key{1, 2, 3, 4, 5, 6, 7, 8}
-	h, err := FromSorted(sorted, 2)
+	h, err := histogram.FromSorted(sorted, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestFromSortedNoCopySemantics(t *testing.T) {
 func TestBucketRangeJoinableQueries(t *testing.T) {
 	// The planner's candidate counting uses BucketRange with joinable key
 	// ranges; verify clamping against a known layout.
-	h, err := FromSample([]join.Key{0, 100, 200, 300, 400, 500, 600, 700}, 8)
+	h, err := histogram.FromSample([]join.Key{0, 100, 200, 300, 400, 500, 600, 700}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestBucketRangeJoinableQueries(t *testing.T) {
 func TestFromSampleHugeNS(t *testing.T) {
 	// Requesting more buckets than sample values degrades to one bucket per
 	// distinct value.
-	h, err := FromSample([]join.Key{5, 1, 3}, 100)
+	h, err := histogram.FromSample([]join.Key{5, 1, 3}, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestFromSampleHugeNS(t *testing.T) {
 
 func TestNegativeKeys(t *testing.T) {
 	keys := []join.Key{-500, -400, -300, -200, -100, 0, 100, 200}
-	h, err := FromSample(keys, 4)
+	h, err := histogram.FromSample(keys, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,140 @@
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"ewh/internal/join"
+)
+
+// This file is the distributed half of the histogram machinery: workers
+// summarize disjoint shards of one relation with local equi-depth histograms,
+// and the coordinator merges them into a global approximate equi-depth
+// histogram without ever seeing a tuple. Each local bucket is treated as
+// uniform mass over its key range (the same piecewise-uniform reading every
+// equi-depth estimator uses), the shard CDFs are summed with the shards'
+// tuple counts as weights, and the merged boundaries are the 1/ns quantiles
+// of the summed mass. The computation is deterministic and symmetric in its
+// arguments, which is what makes the distributed statistics summaries'
+// merge order-insensitive (see stats.MergeSummaries).
+
+// FromBounds reconstructs a histogram from a boundary slice (len >= 2,
+// strictly increasing) — the wire form a statistics summary carries. The
+// slice is copied.
+func FromBounds(bounds []join.Key) (*EquiDepth, error) {
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("histogram: %d boundaries, need at least 2", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("histogram: boundaries not strictly increasing at %d", i)
+		}
+	}
+	return &EquiDepth{bounds: slices.Clone(bounds)}, nil
+}
+
+// massBelow evaluates the piecewise-uniform CDF of one histogram at key k:
+// the fraction of the histogram's mass on keys < k, reading each bucket as
+// uniform over its key range.
+func massBelow(bounds []join.Key, k join.Key) float64 {
+	n := len(bounds) - 1
+	if k <= bounds[0] {
+		return 0
+	}
+	if k >= bounds[n] {
+		return 1
+	}
+	// First i with bounds[i] > k; the containing bucket is i-1.
+	i, found := slices.BinarySearch(bounds, k)
+	if found {
+		i++
+	}
+	b := i - 1
+	lo, hi := bounds[b], bounds[b+1]
+	// Subtract in float64: a bucket spanning more than half the int64
+	// domain (full-range hashed keys) would wrap an int64 difference.
+	frac := (float64(k) - float64(lo)) / (float64(hi) - float64(lo))
+	return (float64(b) + frac) / float64(n)
+}
+
+// Merge combines two equi-depth histograms built over disjoint shards of one
+// multiset into an ns-bucket approximate equi-depth histogram of the union.
+// wa and wb weight each histogram by its shard's tuple count; a histogram
+// whose weight is zero (an empty shard) contributes nothing and may be nil.
+// The merge is deterministic and symmetric: Merge(a, wa, b, wb, ns) and
+// Merge(b, wb, a, wa, ns) produce identical boundaries.
+func Merge(a *EquiDepth, wa int64, b *EquiDepth, wb int64, ns int) (*EquiDepth, error) {
+	if ns < 1 {
+		return nil, fmt.Errorf("histogram: merge ns = %d < 1", ns)
+	}
+	if wa < 0 || wb < 0 {
+		return nil, fmt.Errorf("histogram: negative merge weights %d/%d", wa, wb)
+	}
+	if wa == 0 && wb == 0 {
+		return nil, fmt.Errorf("histogram: merging two empty shards")
+	}
+	if wa == 0 {
+		return FromBounds(b.bounds)
+	}
+	if wb == 0 {
+		return FromBounds(a.bounds)
+	}
+
+	// The summed CDF is piecewise linear between consecutive keys of the
+	// union of both boundary sets; quantile inversion interpolates inside
+	// one such segment.
+	edges := make([]join.Key, 0, len(a.bounds)+len(b.bounds))
+	edges = append(edges, a.bounds...)
+	edges = append(edges, b.bounds...)
+	slices.Sort(edges)
+	edges = slices.Compact(edges)
+
+	total := float64(wa) + float64(wb)
+	cdf := func(k join.Key) float64 {
+		return float64(wa)*massBelow(a.bounds, k) + float64(wb)*massBelow(b.bounds, k)
+	}
+	// Cumulative summed mass at each union edge, computed once.
+	cum := make([]float64, len(edges))
+	for i, e := range edges {
+		cum[i] = cdf(e)
+	}
+
+	out := make([]join.Key, 0, ns+1)
+	out = append(out, edges[0])
+	seg := 0
+	for q := 1; q < ns; q++ {
+		t := total * float64(q) / float64(ns)
+		for seg+1 < len(edges)-1 && cum[seg+1] < t {
+			seg++
+		}
+		lo, hi := edges[seg], edges[seg+1]
+		c0, c1 := cum[seg], cum[seg+1]
+		k := lo
+		if c1 > c0 {
+			frac := (t - c0) / (c1 - c0)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			// Interpolate in float64 (an int64 hi-lo difference can wrap on
+			// half-domain segments) and clamp back into the segment.
+			kf := float64(lo) + frac*(float64(hi)-float64(lo))
+			k = join.Key(math.Round(kf))
+			if k < lo {
+				k = lo
+			}
+			if k > hi {
+				k = hi
+			}
+		}
+		// Strictly increasing boundaries only; duplicates collapse (fewer
+		// effective buckets, never empty ones), mirroring FromSorted.
+		if k > out[len(out)-1] {
+			out = append(out, k)
+		}
+	}
+	return &EquiDepth{bounds: appendTop(out, edges[len(edges)-1])}, nil
+}

@@ -1,0 +1,160 @@
+package histogram_test
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"ewh/internal/histogram"
+	"ewh/internal/join"
+	"ewh/internal/stats"
+)
+
+func TestFromBoundsValidates(t *testing.T) {
+	if _, err := histogram.FromBounds([]join.Key{1}); err == nil {
+		t.Error("single boundary accepted")
+	}
+	if _, err := histogram.FromBounds([]join.Key{1, 1}); err == nil {
+		t.Error("non-increasing boundaries accepted")
+	}
+	if _, err := histogram.FromBounds([]join.Key{3, 2}); err == nil {
+		t.Error("decreasing boundaries accepted")
+	}
+	h, err := histogram.FromBounds([]join.Key{0, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Buckets() != 2 {
+		t.Fatalf("got %d buckets, want 2", h.Buckets())
+	}
+}
+
+// buildShard sorts keys and builds an ns-bucket histogram over them.
+func buildShard(t *testing.T, keys []join.Key, ns int) *histogram.EquiDepth {
+	t.Helper()
+	sorted := slices.Clone(keys)
+	slices.Sort(sorted)
+	h, err := histogram.FromSorted(sorted, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestMergeIsSymmetric(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := stats.NewRNG(seed)
+		na := 50 + rng.Intn(2000)
+		nb := 50 + rng.Intn(2000)
+		a := make([]join.Key, na)
+		b := make([]join.Key, nb)
+		for i := range a {
+			a[i] = rng.Int64n(10000) - 5000
+		}
+		for i := range b {
+			b[i] = rng.Int64n(3000)
+		}
+		ha := buildShard(t, a, 16)
+		hb := buildShard(t, b, 24)
+		m1, err := histogram.Merge(ha, int64(na), hb, int64(nb), 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := histogram.Merge(hb, int64(nb), ha, int64(na), 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(m1.Boundaries(), m2.Boundaries()) {
+			t.Fatalf("seed %d: merge not symmetric:\n%v\n%v", seed, m1.Boundaries(), m2.Boundaries())
+		}
+	}
+}
+
+func TestMergeApproximatesUnionQuantiles(t *testing.T) {
+	// Two disjoint shards of one skewed multiset: the merged histogram's
+	// buckets must hold roughly equal shares of the union, within the slack
+	// the piecewise-uniform reading allows.
+	rng := stats.NewRNG(7)
+	zipf := stats.NewZipf(5000, 1.0)
+	var a, b, all []join.Key
+	for i := 0; i < 20000; i++ {
+		k := join.Key(zipf.Draw(rng))
+		all = append(all, k)
+		if i%2 == 0 {
+			a = append(a, k)
+		} else {
+			b = append(b, k)
+		}
+	}
+	const ns = 32
+	merged, err := histogram.Merge(buildShard(t, a, ns), int64(len(a)),
+		buildShard(t, b, ns), int64(len(b)), ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, merged.Buckets())
+	for _, k := range all {
+		counts[merged.Bucket(k)]++
+	}
+	ideal := float64(len(all)) / float64(merged.Buckets())
+	for i, c := range counts {
+		if float64(c) > 4*ideal {
+			t.Errorf("bucket %d holds %d of %d tuples (ideal %.0f): quantiles badly off", i, c, len(all), ideal)
+		}
+	}
+}
+
+func TestMergeSurvivesFullDomainKeys(t *testing.T) {
+	// Full-range 64-bit keys produce buckets spanning more than half the
+	// int64 domain; the CDF and quantile interpolation must not wrap.
+	wide := func(n int, seed uint64) []join.Key {
+		r := stats.NewRNG(seed)
+		out := make([]join.Key, n)
+		for i := range out {
+			out[i] = join.Key(r.Uint64()) // full int64 range, both signs
+		}
+		return out
+	}
+	a := buildShard(t, wide(4000, 1), 16)
+	b := buildShard(t, wide(4000, 2), 16)
+	m, err := histogram.Merge(a, 4000, b, 4000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := m.Boundaries()
+	if len(bounds) < 9 {
+		t.Fatalf("full-domain merge degenerated to %d boundaries: %v", len(bounds), bounds)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("merged boundaries not increasing at %d: %v", i, bounds)
+		}
+	}
+
+	// Shards topping out at MaxInt64: the merged top boundary must not wrap.
+	top := buildShard(t, []join.Key{math.MaxInt64, math.MaxInt64, math.MaxInt64 - 3, 7}, 4)
+	mt, err := histogram.Merge(top, 4, buildShard(t, []join.Key{math.MaxInt64, 1}, 2), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := mt.Boundaries()
+	for i := 1; i < len(tb); i++ {
+		if tb[i] <= tb[i-1] {
+			t.Fatalf("top-of-domain merge not increasing at %d: %v", i, tb)
+		}
+	}
+}
+
+func TestMergeZeroWeightSides(t *testing.T) {
+	h := buildShard(t, []join.Key{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	m, err := histogram.Merge(h, 8, nil, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(m.Boundaries(), h.Boundaries()) {
+		t.Fatal("zero-weight merge changed the surviving histogram")
+	}
+	if _, err := histogram.Merge(nil, 0, nil, 0, 4); err == nil {
+		t.Error("merging two empty shards accepted")
+	}
+}

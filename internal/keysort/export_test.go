@@ -1,0 +1,6 @@
+package keysort
+
+// Cutoff exposes the radix/pdqsort crossover to the external test package
+// (keysort_test imports stats, whose summary machinery transitively imports
+// keysort — an in-package test would be an import cycle).
+const Cutoff = cutoff

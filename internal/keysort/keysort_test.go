@@ -1,10 +1,11 @@
-package keysort
+package keysort_test
 
 import (
 	"math"
 	"slices"
 	"testing"
 
+	"ewh/internal/keysort"
 	"ewh/internal/stats"
 )
 
@@ -18,7 +19,7 @@ func TestSortMatchesSlicesSort(t *testing.T) {
 	}
 	// Random cases across sizes straddling the radix cutoff, with negatives
 	// and duplicates.
-	for _, n := range []int{cutoff - 1, cutoff, 1000, 10000} {
+	for _, n := range []int{keysort.Cutoff - 1, keysort.Cutoff, 1000, 10000} {
 		c := make([]int64, n)
 		for i := range c {
 			c[i] = rng.Int64n(500) - 250
@@ -34,7 +35,7 @@ func TestSortMatchesSlicesSort(t *testing.T) {
 		want := slices.Clone(c)
 		slices.Sort(want)
 		got := slices.Clone(c)
-		Sort(got)
+		keysort.Sort(got)
 		if !slices.Equal(got, want) {
 			t.Errorf("case %d: radix sort differs from slices.Sort", ci)
 		}
@@ -42,11 +43,11 @@ func TestSortMatchesSlicesSort(t *testing.T) {
 }
 
 func TestSortAllEqual(t *testing.T) {
-	a := make([]int64, 2*cutoff)
+	a := make([]int64, 2*keysort.Cutoff)
 	for i := range a {
 		a[i] = 42
 	}
-	Sort(a)
+	keysort.Sort(a)
 	for _, v := range a {
 		if v != 42 {
 			t.Fatal("all-equal input modified")
@@ -66,7 +67,7 @@ func BenchmarkRadixSort(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(buf, orig)
-		SortWithScratch(buf, scratch)
+		keysort.SortWithScratch(buf, scratch)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"ewh/internal/join"
 	"ewh/internal/partition"
 	"ewh/internal/planio"
+	"ewh/internal/stats"
 )
 
 // MidRelation is the middle relation of a 3-way chain join
@@ -78,15 +79,13 @@ func Execute(q Query, opts core.Options, cfg exec.Config) (*Result, error) {
 	return ExecuteOver(exec.Local{}, q, opts, cfg)
 }
 
-// PeerStage2Scheme is the statistics-free stage-2 scheme the peer-shuffle
-// path partitions the intermediate with: Hash for equality predicates, CI
-// otherwise. Both are complete and duplicate-free without seeing a single
-// intermediate tuple — the property that lets the stage-2 plan be built and
-// broadcast BEFORE stage 1 runs, so the intermediate never has to visit the
-// coordinator for re-planning. (The relay path keeps the full CSIO re-plan;
-// distributed statistics collection to restore CSIO planning on the peer
-// path is ROADMAP work.) Exported so tests and experiments can construct
-// the bit-identical in-process reference.
+// PeerStage2Scheme is the statistics-free stage-2 scheme of the peer-shuffle
+// path's no-stats modes: Hash for equality predicates, CI otherwise. Both
+// are complete and duplicate-free without seeing a single intermediate tuple
+// — the property that lets the stage-2 plan be built and broadcast BEFORE
+// stage 1 runs. It remains the CSIO modes' fallback whenever statistics
+// cannot produce a plan (an empty intermediate). Exported so tests and
+// experiments can construct the bit-identical in-process reference.
 func PeerStage2Scheme(cond join.Condition, j int) (partition.Scheme, error) {
 	if _, ok := cond.(join.Equi); ok {
 		return partition.NewHash(j, nil)
@@ -94,9 +93,93 @@ func PeerStage2Scheme(cond join.Condition, j int) (partition.Scheme, error) {
 	return partition.NewCI(j), nil
 }
 
+// Stage2Mode selects how the peer-shuffle path partitions stage 2 (the
+// re-keyed intermediate against R3).
+type Stage2Mode int
+
+const (
+	// Stage2Auto picks the content-sensitive CSIO plan via distributed
+	// statistics on stage-aware runtimes — the scheme the paper's skew
+	// results are about — and the coordinator-relay CSIO re-plan elsewhere.
+	Stage2Auto Stage2Mode = iota
+	// Stage2Hash is the content-insensitive hash plan, broadcast before
+	// stage 1 runs; equality stage-2 predicates only.
+	Stage2Hash
+	// Stage2CI is the content-insensitive 1-Bucket plan, broadcast before
+	// stage 1 runs; any predicate.
+	Stage2CI
+	// Stage2CSIO forces the distributed-statistics CSIO plan.
+	Stage2CSIO
+)
+
+// String names the mode as the CLI flag spells it.
+func (m Stage2Mode) String() string {
+	switch m {
+	case Stage2Auto:
+		return "auto"
+	case Stage2Hash:
+		return "hash"
+	case Stage2CI:
+		return "ci"
+	case Stage2CSIO:
+		return "csio"
+	}
+	return fmt.Sprintf("Stage2Mode(%d)", int(m))
+}
+
+// ParseStage2Mode parses a -stage2-scheme flag value.
+func ParseStage2Mode(s string) (Stage2Mode, error) {
+	switch s {
+	case "auto":
+		return Stage2Auto, nil
+	case "hash":
+		return Stage2Hash, nil
+	case "ci":
+		return Stage2CI, nil
+	case "csio":
+		return Stage2CSIO, nil
+	}
+	return 0, fmt.Errorf("multiway: unknown stage-2 scheme %q (want auto, hash, ci or csio)", s)
+}
+
+// ResolveStage2 is the peer path's stage-2 selection logic: it returns the
+// pre-broadcast scheme for the content-insensitive modes, or needStats for
+// the content-sensitive ones (auto and csio), whose scheme only exists after
+// the distributed statistics land. Hash is rejected for non-equality
+// predicates — it would lose matches.
+func ResolveStage2(mode Stage2Mode, cond join.Condition, j int) (scheme partition.Scheme, needStats bool, err error) {
+	switch mode {
+	case Stage2Auto, Stage2CSIO:
+		return nil, true, nil
+	case Stage2Hash:
+		if _, ok := cond.(join.Equi); !ok {
+			return nil, false, fmt.Errorf("multiway: hash stage-2 scheme requires an equality predicate, got %T", cond)
+		}
+		s, err := partition.NewHash(j, nil)
+		return s, false, err
+	case Stage2CI:
+		return partition.NewCI(j), false, nil
+	}
+	return nil, false, fmt.Errorf("multiway: unknown stage-2 mode %v", mode)
+}
+
 // peerSeedDelta decorrelates the peer re-shuffle's routing streams from the
-// engine seed without another knob.
-const peerSeedDelta = 0x7f4a7c15
+// engine seed without another knob; statsSeedDelta does the same for the
+// workers' summary-sampling streams.
+const (
+	peerSeedDelta  = 0x7f4a7c15
+	statsSeedDelta = 0x2545f491
+)
+
+// StatsSampleCap and StatsBuckets size the per-worker statistics summaries
+// of the distributed CSIO stage-2 planning: each worker ships at most
+// StatsSampleCap sampled keys plus a StatsBuckets-bucket equi-depth
+// histogram of its local intermediate — a few KB per worker, independent of
+// the intermediate size.
+const (
+	StatsSampleCap = 4096
+	StatsBuckets   = 256
+)
 
 // encodeKeyPayload is the wire encoding of the intermediate tuples' payload
 // (the Mid rows' B keys): 8 fixed-width little-endian bytes. Shipping the
@@ -112,15 +195,28 @@ func encodeKeyPayload(dst []byte, k join.Key) []byte {
 }
 
 // ExecuteOver runs the chain join through rt. Stage-aware transports
-// (exec.StageRuntime, e.g. a netexec session) take the peer-shuffle path:
-// the coordinator broadcasts a serialized stage-2 plan with stage 1, each
-// worker re-shuffles its own matches directly to peer workers, and the
-// intermediate never transits the coordinator. Other transports take the
-// coordinator-relay path (ExecuteOverRelay), which remains the tracked
-// baseline.
+// (exec.StageRuntime, e.g. a netexec session) take the peer-shuffle path
+// with the auto stage-2 mode — a genuine CSIO stage-2 plan built from
+// distributed statistics, so the intermediate never transits the
+// coordinator even for the content-sensitive schemes the paper evaluates
+// under skew. Other transports take the coordinator-relay path
+// (ExecuteOverRelay), which remains the tracked baseline.
 func ExecuteOver(rt exec.Runtime, q Query, opts core.Options, cfg exec.Config) (*Result, error) {
+	return ExecuteOverStage2(rt, q, opts, cfg, Stage2Auto)
+}
+
+// ExecuteOverStage2 is ExecuteOver with an explicit stage-2 partitioning
+// mode for the peer-shuffle path. Non-auto modes require a stage-aware
+// runtime — the relay path always re-plans CSIO itself.
+func ExecuteOverStage2(rt exec.Runtime, q Query, opts core.Options, cfg exec.Config,
+	mode Stage2Mode) (*Result, error) {
+
 	if sr, ok := rt.(exec.StageRuntime); ok {
-		return executePeer(sr, q, opts, cfg)
+		return executePeer(sr, q, opts, cfg, mode)
+	}
+	if mode != Stage2Auto {
+		return nil, fmt.Errorf("multiway: stage-2 mode %v requires a stage-aware runtime (%T relays through the coordinator)",
+			mode, rt)
 	}
 	return ExecuteOverRelay(rt, q, opts, cfg)
 }
@@ -152,13 +248,18 @@ func midTuples(q Query) []exec.Tuple[join.Key] {
 
 // executePeer is the direct worker→worker path: stage 1 runs exactly as the
 // relay path (same plan, same shuffle, same per-worker blocks), but its
-// matches stay on the workers, re-shuffled among them by a content-
-// insensitive stage-2 plan the coordinator serialized and broadcast up
-// front. The coordinator only ever sees pair counts; Output and the
-// intermediate size are bit-identical to the relay and in-process paths
-// (stage-2 per-worker placement differs — the plan is statistics-free
-// rather than the relay's CSIO re-plan).
-func executePeer(rt exec.StageRuntime, q Query, opts core.Options, cfg exec.Config) (*Result, error) {
+// matches stay on the workers, re-shuffled among them by a stage-2 plan the
+// coordinator serialized and broadcast — up front for the content-
+// insensitive modes, after the distributed statistics exchange for the CSIO
+// modes (each worker summarizes its local matches, the coordinator merges
+// the summaries and plans a genuine equi-weight histogram over the
+// intermediate it never saw). The coordinator only ever sees pair counts
+// and summaries; Output and the intermediate size are bit-identical to the
+// relay and in-process paths (stage-2 per-worker placement differs — the
+// plan is built from sampled rather than exhaustive statistics).
+func executePeer(rt exec.StageRuntime, q Query, opts core.Options, cfg exec.Config,
+	mode Stage2Mode) (*Result, error) {
+
 	if err := validate(q, &opts); err != nil {
 		return nil, err
 	}
@@ -171,22 +272,44 @@ func executePeer(rt exec.StageRuntime, q Query, opts core.Options, cfg exec.Conf
 	plan1Dur := time.Since(plan1Start)
 
 	plan2Start := time.Now()
-	scheme2, err := PeerStage2Scheme(q.CondB, opts.J)
+	scheme2, needStats, err := ResolveStage2(mode, q.CondB, opts.J)
 	if err != nil {
-		return nil, fmt.Errorf("multiway: stage 2 plan: %w", err)
+		return nil, err
 	}
-	artifact := planio.Artifact{Scheme: scheme2, Seed: cfg.Seed + peerSeedDelta}
-	planBytes, err := planio.Encode(&artifact)
-	if err != nil {
-		return nil, fmt.Errorf("multiway: stage 2 plan: %w", err)
+	var sp exec.StagePlan
+	var plan2Dur time.Duration
+	if needStats {
+		sp = exec.StagePlan{
+			Cond:            q.CondB,
+			MaxIntermediate: MaxIntermediate,
+			MaxWorkers:      opts.J,
+			Stats: &exec.StatsSpec{Cap: StatsSampleCap, Buckets: StatsBuckets,
+				Seed: cfg.Seed + statsSeedDelta},
+			Replan: func(summaries []*stats.Summary) ([]byte, partition.Scheme, error) {
+				t0 := time.Now()
+				defer func() { plan2Dur = time.Since(t0) }()
+				s2, err := replanStage2(summaries, q, opts)
+				if err != nil {
+					return nil, nil, err
+				}
+				artifact := planio.Artifact{Scheme: s2, Seed: cfg.Seed + peerSeedDelta}
+				b, err := planio.Encode(&artifact)
+				return b, s2, err
+			},
+		}
+	} else {
+		artifact := planio.Artifact{Scheme: scheme2, Seed: cfg.Seed + peerSeedDelta}
+		planBytes, err := planio.Encode(&artifact)
+		if err != nil {
+			return nil, fmt.Errorf("multiway: stage 2 plan: %w", err)
+		}
+		sp = exec.StagePlan{Bytes: planBytes, Scheme: scheme2, Cond: q.CondB,
+			MaxIntermediate: MaxIntermediate}
+		plan2Dur = time.Since(plan2Start)
 	}
-	plan2Dur := time.Since(plan2Start)
 
 	res1, res2, err := exec.RunStagesOver(rt, exec.WrapKeys(q.R1), midTuples(q), q.CondA,
-		plan1.Scheme,
-		exec.StagePlan{Bytes: planBytes, Scheme: scheme2, Cond: q.CondB,
-			MaxIntermediate: MaxIntermediate},
-		q.R3, opts.Model, cfg, nil, encodeKeyPayload)
+		plan1.Scheme, sp, q.R3, opts.Model, cfg, nil, encodeKeyPayload)
 	if err != nil {
 		return nil, fmt.Errorf("multiway: peer pipeline: %w", err)
 	}
@@ -198,6 +321,38 @@ func executePeer(rt exec.StageRuntime, q Query, opts core.Options, cfg exec.Conf
 		Intermediate: res1.Output,
 		Output:       res2.Output,
 	}, nil
+}
+
+// replanStage2 is the coordinator half of the distributed statistics
+// exchange: fold the per-worker summaries (in worker order — the merge is
+// commutative but not exactly associative, so the fixed order keeps runs
+// reproducible) and build the CSIO stage-2 plan against R3. The fallback
+// rules, in order: an empty intermediate falls back to the statistics-free
+// PeerStage2Scheme (there is nothing to balance), and a high-selectivity
+// estimate falls back to CI inside PlanCSIOFromSummary exactly as the
+// in-process planner does (§VI-E).
+func replanStage2(summaries []*stats.Summary, q Query, opts core.Options) (partition.Scheme, error) {
+	var merged *stats.Summary
+	for i, s := range summaries {
+		if merged == nil {
+			merged = s
+			continue
+		}
+		var err error
+		if merged, err = stats.MergeSummaries(merged, s); err != nil {
+			return nil, fmt.Errorf("multiway: merging worker %d statistics: %w", i, err)
+		}
+	}
+	if merged == nil || merged.Count == 0 {
+		return PeerStage2Scheme(q.CondB, opts.J)
+	}
+	opts2 := opts
+	opts2.Seed = opts.Seed + 0x9e37
+	plan2, err := core.PlanCSIOFromSummary(merged, q.R3, q.CondB, opts2)
+	if err != nil {
+		return nil, fmt.Errorf("multiway: stage 2 plan: %w", err)
+	}
+	return plan2.Scheme, nil
 }
 
 // ExecuteOverRelay runs the chain join with the coordinator-relay strategy

@@ -1,0 +1,101 @@
+package multiway
+
+import (
+	"testing"
+
+	"ewh/internal/core"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+)
+
+func TestParseStage2Mode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Stage2Mode
+	}{
+		{"auto", Stage2Auto}, {"hash", Stage2Hash}, {"ci", Stage2CI}, {"csio", Stage2CSIO},
+	} {
+		got, err := ParseStage2Mode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseStage2Mode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if got.String() != tc.in {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	for _, bad := range []string{"", "CSIO", "hashx", "1bucket"} {
+		if _, err := ParseStage2Mode(bad); err == nil {
+			t.Errorf("ParseStage2Mode(%q) accepted", bad)
+		}
+	}
+}
+
+func TestResolveStage2Selection(t *testing.T) {
+	equi, band := join.Condition(join.Equi{}), join.Condition(join.NewBand(2))
+	cases := []struct {
+		name      string
+		mode      Stage2Mode
+		cond      join.Condition
+		wantName  string // "" when needStats or error
+		needStats bool
+		wantErr   bool
+	}{
+		{"auto is content-sensitive", Stage2Auto, equi, "", true, false},
+		{"auto band too", Stage2Auto, band, "", true, false},
+		{"csio forces stats", Stage2CSIO, band, "", true, false},
+		{"hash on equality", Stage2Hash, equi, "Hash", false, false},
+		{"hash rejects band", Stage2Hash, band, "", false, true},
+		{"ci on equality", Stage2CI, equi, "CI", false, false},
+		{"ci on band", Stage2CI, band, "CI", false, false},
+	}
+	for _, tc := range cases {
+		scheme, needStats, err := ResolveStage2(tc.mode, tc.cond, 4)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: no error", tc.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if needStats != tc.needStats {
+			t.Errorf("%s: needStats = %v, want %v", tc.name, needStats, tc.needStats)
+		}
+		if tc.needStats {
+			if scheme != nil {
+				t.Errorf("%s: stats mode returned a scheme %v", tc.name, scheme.Name())
+			}
+			continue
+		}
+		if scheme.Name() != tc.wantName {
+			t.Errorf("%s: scheme %q, want %q", tc.name, scheme.Name(), tc.wantName)
+		}
+		if scheme.Workers() != 4 {
+			t.Errorf("%s: %d workers, want 4", tc.name, scheme.Workers())
+		}
+	}
+	if _, _, err := ResolveStage2(Stage2Mode(99), equi, 4); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestExecuteOverStage2RejectsModeOnRelayRuntime(t *testing.T) {
+	// Explicit peer modes are meaningless on a runtime that can only relay
+	// through the coordinator; auto falls back to the relay path.
+	q := Query{
+		R1:    []join.Key{1, 2, 3},
+		Mid:   MidRelation{A: []join.Key{1, 2, 3}, B: []join.Key{4, 5, 6}},
+		R3:    []join.Key{4, 5, 6},
+		CondA: join.Equi{},
+		CondB: join.Equi{},
+	}
+	opts := core.Options{J: 2, Seed: 1}
+	if _, err := ExecuteOverStage2(exec.Local{}, q, opts, exec.Config{Seed: 2}, Stage2Hash); err == nil {
+		t.Fatal("hash mode accepted on a relay-only runtime")
+	}
+	if _, err := ExecuteOverStage2(exec.Local{}, q, opts, exec.Config{Seed: 2}, Stage2Auto); err != nil {
+		t.Fatalf("auto mode on a relay-only runtime: %v", err)
+	}
+}

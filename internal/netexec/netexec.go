@@ -90,11 +90,23 @@ type jobOpen struct {
 // worker address map; Self is this worker's own index in Peers (-1 when it
 // hosts no stage-2 worker), so self-contributions move in memory instead of
 // over a socket.
+//
+// A STATS-DEFERRED plan job sets WantStats and leaves Plan/Peers empty: the
+// worker joins, summarizes its matches (StatsCap/StatsBuckets/StatsSeed size
+// the summary; the per-sender sampling stream derives from StatsSeed and the
+// worker id), ships the summary in a frameV3Stats and waits for a
+// frameV3Plan2 carrying a second planSpec with the real Plan, Peers and
+// Self before routing. The same struct rides both frames.
 type planSpec struct {
 	Token uint64
 	Plan  []byte
 	Peers []string
 	Self  int
+
+	WantStats    bool
+	StatsCap     int
+	StatsBuckets int
+	StatsSeed    uint64
 }
 
 // peerJobOpen opens a stage-2 job whose relation 1 arrives from peer workers
@@ -148,10 +160,15 @@ type Worker struct {
 
 	// Peer mesh: outbound connections this worker dialed to stream its
 	// stage-1 matches to peers (lazily dialed, persistent), and inbound
-	// transfer state keyed by token (see peer.go).
+	// transfer state keyed by token (see peer.go). cancelRing records the
+	// most recently cancelled tokens so a cancellation survives even when
+	// the token table is full of live transfers and cannot hold a
+	// tombstone (guarded by peersMu; cancelNext is the next write slot).
 	peersMu    sync.Mutex
 	peers      map[string]*peerConn
 	peerStates map[uint64]*peerJobState
+	cancelRing [256]uint64
+	cancelNext uint64
 }
 
 // connState tracks one accepted connection for shutdown: active counts the

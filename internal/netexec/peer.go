@@ -39,13 +39,57 @@ var (
 	peerTokenCtr atomic.Uint64
 )
 
-func newPeerToken() uint64 { return peerTokenBase + peerTokenCtr.Add(1) }
+// newPeerToken never returns 0: zero marks an unused cancelRing slot, so a
+// zero token's cancellation could be missed under token-table pressure.
+func newPeerToken() uint64 {
+	if t := peerTokenBase + peerTokenCtr.Add(1); t != 0 {
+		return t
+	}
+	return peerTokenBase + peerTokenCtr.Add(1)
+}
 
 // peerSenderSeed derives sender s's deterministic routing stream from the
 // artifact seed: every holder of the plan can reproduce any sender's routing
 // decisions, which is what makes the assembled stage-2 blocks deterministic.
 func peerSenderSeed(artifactSeed uint64, sender int) uint64 {
 	return artifactSeed + 0x9e3779b97f4a7c15*uint64(sender+1)
+}
+
+// statsSenderSeed derives sender s's deterministic summary-sampling stream
+// from the broadcast statistics seed, decorrelated from the routing streams.
+func statsSenderSeed(statsSeed uint64, sender int) uint64 {
+	return statsSeed + 0x517cc1b727220a95*uint64(sender+1)
+}
+
+// peerTokenDead reports whether a transfer token is already cancelled or
+// failed — what lets a stats-deferred plan job honor a cancel that raced
+// ahead of its parking. Both cancellation records are consulted: the token
+// table's tombstone and the bounded cancellation ring, which survives even
+// when the table is wedged full of live transfers. (The ring can wrap under
+// extreme cancel pressure; the park's kill/hang-up wake-ups bound the
+// residual wait.)
+func (w *Worker) peerTokenDead(token uint64) bool {
+	w.peersMu.Lock()
+	st := w.peerStates[token]
+	ringHit := false
+	for _, tok := range w.cancelRing {
+		// Zero marks an unused ring slot; a genuine zero token still has its
+		// tombstone in the table.
+		if tok == token && token != 0 {
+			ringHit = true
+			break
+		}
+	}
+	w.peersMu.Unlock()
+	if ringHit {
+		return true
+	}
+	if st == nil {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.done && st.err != nil
 }
 
 // ---------- sender side ----------
@@ -312,26 +356,33 @@ func (w *Worker) peerState(token uint64) *peerJobState {
 	defer w.peersMu.Unlock()
 	st := w.peerStates[token]
 	if st == nil {
-		if len(w.peerStates) >= maxPeerStates {
-			for tok, old := range w.peerStates {
-				// Only FAILED states are evictable: they hold no buffers by
-				// invariant (failLocked released them). An assembled state
-				// still in the table has a stage-2 job about to consume it.
-				old.mu.Lock()
-				evict := old.done && old.err != nil
-				old.mu.Unlock()
-				if evict {
-					delete(w.peerStates, tok)
-				}
-			}
-			if len(w.peerStates) >= maxPeerStates {
-				return nil
-			}
+		if !w.evictFinishedLocked() {
+			return nil
 		}
 		st = newPeerJobState()
 		w.peerStates[token] = st
 	}
 	return st
+}
+
+// evictFinishedLocked makes room in the token table (peersMu held): when
+// full, it sweeps out FAILED states — the only evictable kind: they hold no
+// buffers by invariant (failLocked released them), while an assembled state
+// still in the table has a stage-2 job about to consume it. Reports whether
+// the table has room afterwards.
+func (w *Worker) evictFinishedLocked() bool {
+	if len(w.peerStates) < maxPeerStates {
+		return true
+	}
+	for tok, old := range w.peerStates {
+		old.mu.Lock()
+		evict := old.done && old.err != nil
+		old.mu.Unlock()
+		if evict {
+			delete(w.peerStates, tok)
+		}
+	}
+	return len(w.peerStates) < maxPeerStates
 }
 
 // bindPeerJob attaches a stage-2 job to its transfer state with the
@@ -374,8 +425,14 @@ func (w *Worker) bindPeerJob(token uint64, senderCounts []int64) (*peerJobState,
 // consumed them.
 func (w *Worker) dropPeerState(token uint64) {
 	w.peersMu.Lock()
+	// Record the cancellation in the bounded ring FIRST: a stats-parked plan
+	// job consults it (peerTokenDead) to honor a cancel that raced ahead of
+	// its parking, and unlike the tombstone below the ring cannot be
+	// squeezed out by a full table of live transfers.
+	w.cancelRing[w.cancelNext%uint64(len(w.cancelRing))] = token
+	w.cancelNext++
 	st := w.peerStates[token]
-	if st == nil && len(w.peerStates) < maxPeerStates {
+	if st == nil && w.evictFinishedLocked() {
 		st = newPeerJobState()
 		w.peerStates[token] = st
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -123,10 +124,12 @@ type sessReply struct {
 
 // jobHandler routes one sub-job's reply frames. onPairs runs inline in the
 // connection's read loop (one sub-job per worker per job, so pair delivery
-// is sequential per worker); done is buffered so the reader never blocks
-// on a departed waiter.
+// is sequential per worker); done and stats are buffered so the reader
+// never blocks on a departed waiter (stats carries at most one summary per
+// stage job).
 type jobHandler struct {
 	onPairs func([]exec.PairIdx)
+	stats   chan []byte
 	done    chan sessReply
 }
 
@@ -241,6 +244,26 @@ func (c *sessConn) readLoop() {
 				h.onPairs(pairs)
 			}
 			putPairsBuf(pairs)
+		case frameV3Stats:
+			h := c.handler(id)
+			if h == nil || h.stats == nil {
+				// No consumer (abandoned job, late duplicate): drain without
+				// buffering.
+				if _, err := io.CopyN(io.Discard, br, int64(n)); err != nil {
+					c.fail(fmt.Errorf("stats frame: %w", err))
+					return
+				}
+				continue
+			}
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				c.fail(fmt.Errorf("stats frame: %w", err))
+				return
+			}
+			select {
+			case h.stats <- payload:
+			default: // a second summary for one job is dropped, not fatal
+			}
 		case frameV3Metrics:
 			var m metrics
 			if err := readGobPayload(br, n, &m); err != nil {

@@ -3,6 +3,7 @@ package netexec
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -15,6 +16,8 @@ import (
 	"ewh/internal/join"
 	"ewh/internal/localjoin"
 	"ewh/internal/planio"
+	"ewh/internal/sample"
+	"ewh/internal/stats"
 )
 
 // This file is the worker side of the v3 session protocol: one read loop
@@ -92,11 +95,74 @@ func (j *sessJob) rel(tag byte) (*sessRel, error) {
 	return &j.rels[tag-1], nil
 }
 
+// plan2Waiter is one stats-deferred plan job parked between shipping its
+// summary and receiving the replanned artifact. ch is buffered; a nil
+// delivery means the transfer was cancelled.
+type plan2Waiter struct {
+	token uint64
+	ch    chan *planSpec
+}
+
+// plan2Table routes PLAN2 and cancel frames to the connection's parked plan
+// jobs. One table per session connection; entries are keyed by job id.
+type plan2Table struct {
+	mu sync.Mutex
+	m  map[uint32]*plan2Waiter
+}
+
+func newPlan2Table() *plan2Table {
+	return &plan2Table{m: make(map[uint32]*plan2Waiter)}
+}
+
+func (t *plan2Table) add(id uint32, token uint64) *plan2Waiter {
+	wt := &plan2Waiter{token: token, ch: make(chan *planSpec, 1)}
+	t.mu.Lock()
+	t.m[id] = wt
+	t.mu.Unlock()
+	return wt
+}
+
+func (t *plan2Table) remove(id uint32) {
+	t.mu.Lock()
+	delete(t.m, id)
+	t.mu.Unlock()
+}
+
+// deliver hands a PLAN2 to the job parked under id; unknown ids are dropped
+// (the job may have failed and replied already).
+func (t *plan2Table) deliver(id uint32, ps *planSpec) {
+	t.mu.Lock()
+	wt := t.m[id]
+	delete(t.m, id)
+	t.mu.Unlock()
+	if wt != nil {
+		wt.ch <- ps
+	}
+}
+
+// cancel wakes every waiter parked on the cancelled transfer token with a
+// nil plan.
+func (t *plan2Table) cancel(token uint64) {
+	t.mu.Lock()
+	var woken []*plan2Waiter
+	for id, wt := range t.m {
+		if wt.token == token {
+			woken = append(woken, wt)
+			delete(t.m, id)
+		}
+	}
+	t.mu.Unlock()
+	for _, wt := range woken {
+		wt.ch <- nil
+	}
+}
+
 // handleSession serves one v3 connection until the coordinator hangs up or
 // the worker shuts down.
 func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 	bw := bufio.NewWriterSize(conn, connBufSize)
 	var wmu sync.Mutex // serializes reply frames across concurrent job joins
+	pt := newPlan2Table()
 	jobs := make(map[uint32]*sessJob)
 	// connDone aborts peer-fed jobs still waiting on transfers when the
 	// coordinator hangs up — their reply has nowhere to go anyway.
@@ -198,12 +264,24 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			}
 			j.peerSt = st
 
+		case frameV3Plan2:
+			var ps planSpec
+			if err := readGobPayload(br, n, &ps); err != nil {
+				return
+			}
+			pt.deliver(id, &ps)
+
 		case frameV3PlanCancel:
 			var pc planCancel
 			if err := readGobPayload(br, n, &pc); err != nil {
 				return
 			}
+			// The tombstone dropPeerState leaves also covers a plan job that
+			// has not parked yet: its wait checks the token's state right
+			// after registering (see runPlanJob), so the cancel cannot be
+			// lost to that race.
 			w.dropPeerState(pc.Token)
+			pt.cancel(pc.Token)
 
 		case frameV3RelHead:
 			j := jobs[id]
@@ -297,7 +375,7 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			if j.peerFed {
 				go w.finishPeerSessionJob(j, bw, &wmu, cs, conn, connDone)
 			} else {
-				go w.finishSessionJob(j, bw, &wmu, cs, conn)
+				go w.finishSessionJob(j, bw, &wmu, cs, conn, connDone, pt)
 			}
 
 		case frameV3Abort:
@@ -458,10 +536,16 @@ func (j *sessJob) validateComplete() error {
 	return nil
 }
 
+// errPlanJobAbandoned marks a plan job whose stats wait ended with nothing
+// to reply to (worker killed, coordinator hung up): the job exits silently,
+// releasing its buffers, instead of writing a reply nobody reads.
+var errPlanJobAbandoned = errors.New("plan job abandoned")
+
 // finishSessionJob runs one drained job's join and replies. It runs in its
 // own goroutine so the connection's read loop keeps consuming subsequent
 // jobs; replies serialize on wmu.
-func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex, cs *connState, conn net.Conn) {
+func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex, cs *connState,
+	conn net.Conn, connDone <-chan struct{}, pt *plan2Table) {
 	defer func() {
 		if r := recover(); r != nil {
 			fmt.Fprintf(os.Stderr, "netexec: worker: recovered in session job %d from %s: %v\n%s",
@@ -488,10 +572,14 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 	r1, r2 := &j.rels[0], &j.rels[1]
 	if j.plan != nil {
 		// Stage-1 plan job: join, materialize the matched stage-2 keys,
-		// re-shuffle them by the broadcast plan and stream each share
-		// straight to its peer. Only the count vector returns.
+		// (for a stats-deferred plan: summarize them and await the
+		// replanned artifact,) re-shuffle them by the plan and stream each
+		// share straight to its peer. Only the count vector returns.
 		start := time.Now()
-		out, counts, err := w.runPlanJob(j, r1, r2)
+		out, counts, err := w.runPlanJob(j, r1, r2, bw, wmu, connDone, pt)
+		if errors.Is(err, errPlanJobAbandoned) {
+			return
+		}
 		if err != nil {
 			reply(metrics{Err: err.Error()})
 			return
@@ -535,19 +623,37 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 
 // runPlanJob executes a stage-1 plan job's join and peer re-shuffle: the
 // matches materialize as the stage-2 keys decoded from relation 2's payload
-// segment, the broadcast plan routes them (batch-routed through the shared
-// exec shuffle, deterministic per sender), and each stage-2 worker's share
-// streams directly to that peer over the mesh. It returns the match count
-// and the per-receiver count vector. Errors name the peer address.
-func (w *Worker) runPlanJob(j *sessJob, r1, r2 *sessRel) (int64, []int64, error) {
+// segment, the plan routes them (batch-routed through the shared exec
+// shuffle, deterministic per sender), and each stage-2 worker's share
+// streams directly to that peer over the mesh. A stats-deferred job
+// interposes the statistics exchange between materializing and routing:
+// summarize, ship the summary, park until the replanned artifact (or a
+// cancel, a kill, or the coordinator hanging up) arrives. It returns the
+// match count and the per-receiver count vector. Errors name the peer
+// address.
+func (w *Worker) runPlanJob(j *sessJob, r1, r2 *sessRel, bw *bufio.Writer, wmu *sync.Mutex,
+	connDone <-chan struct{}, pt *plan2Table) (int64, []int64, error) {
+
 	ps := j.plan
-	art, err := planio.Decode(ps.Plan)
-	if err != nil {
-		return 0, nil, fmt.Errorf("stage-2 plan: %w", err)
+	decodePlan := func() (*planio.Artifact, error) {
+		art, err := planio.Decode(ps.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("stage-2 plan: %w", err)
+		}
+		if j2 := art.Scheme.Workers(); j2 != len(ps.Peers) {
+			return nil, fmt.Errorf("stage-2 plan routes to %d workers, address map has %d", j2, len(ps.Peers))
+		}
+		return art, nil
 	}
-	j2 := art.Scheme.Workers()
-	if j2 != len(ps.Peers) {
-		return 0, nil, fmt.Errorf("stage-2 plan routes to %d workers, address map has %d", j2, len(ps.Peers))
+	// A pre-built plan validates BEFORE the join, so a malformed broadcast
+	// fails fast instead of after the whole stage-1 materialization; a
+	// stats-deferred plan only exists after the exchange below.
+	var art *planio.Artifact
+	var err error
+	if !ps.WantStats {
+		if art, err = decodePlan(); err != nil {
+			return 0, nil, err
+		}
 	}
 	if !r2.hasPay || r2.payBytes != 8*r2.n {
 		return 0, nil, fmt.Errorf("plan job needs 8-byte stage-2 keys as relation 2 payloads (%d bytes for %d tuples)",
@@ -569,8 +675,57 @@ func (w *Worker) runPlanJob(j *sessJob, r1, r2 *sessRel) (int64, []int64, error)
 			inter = append(inter, join.Key(binary.LittleEndian.Uint64(r2.pay[r2.off[p.I2]:])))
 		}
 	})
-
 	sender := j.workerID
+
+	if ps.WantStats {
+		sum := sample.Summarize(inter, ps.StatsCap, ps.StatsBuckets,
+			stats.NewRNG(statsSenderSeed(ps.StatsSeed, sender)))
+		enc, err := planio.EncodeSummary(sum)
+		if err != nil {
+			return 0, nil, fmt.Errorf("statistics summary: %w", err)
+		}
+		// Park BEFORE the summary leaves, then honor any tombstone a racing
+		// cancel may already have left: between those two steps every cancel
+		// ordering either wakes the waiter or is visible in the token state.
+		wt := pt.add(j.id, ps.Token)
+		if w.peerTokenDead(ps.Token) {
+			pt.remove(j.id)
+			return 0, nil, fmt.Errorf("stage-2 statistics plan cancelled by coordinator")
+		}
+		wmu.Lock()
+		werr := writeV3FrameHeader(bw, frameV3Stats, j.id, len(enc))
+		if werr == nil {
+			_, werr = bw.Write(enc)
+		}
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		wmu.Unlock()
+		if werr != nil {
+			pt.remove(j.id)
+			return 0, nil, errPlanJobAbandoned // connection dead; nothing to reply to
+		}
+		select {
+		case ps2 := <-wt.ch:
+			if ps2 == nil {
+				return 0, nil, fmt.Errorf("stage-2 statistics plan cancelled by coordinator")
+			}
+			ps.Plan, ps.Peers, ps.Self = ps2.Plan, ps2.Peers, ps2.Self
+		case <-w.kill:
+			pt.remove(j.id)
+			return 0, nil, errPlanJobAbandoned
+		case <-connDone:
+			pt.remove(j.id)
+			return 0, nil, errPlanJobAbandoned
+		}
+	}
+
+	if art == nil {
+		if art, err = decodePlan(); err != nil {
+			return 0, nil, err
+		}
+	}
+	j2 := art.Scheme.Workers()
 	ks := exec.ShuffleKeys(inter, art.Scheme, 1,
 		exec.Config{Seed: peerSenderSeed(art.Seed, sender), Mappers: 1})
 	defer ks.Release()

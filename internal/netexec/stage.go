@@ -16,15 +16,23 @@ import (
 // stage 2 opens as peer-fed jobs that only receive the driver-owned right
 // relation from the coordinator. The intermediate's sole coordinator-side
 // footprint is the per-sender count vectors riding the stage-1 metrics.
+//
+// A STATS-DEFERRED plan (content-sensitive stage-2 schemes) splits the
+// stage-1 exchange in two: phase A opens the jobs with a statistics request
+// instead of a plan, each worker joins, summarizes its local matches and
+// ships the summary back in a STATS frame; the coordinator hands the
+// summaries to the driver's Replan, which builds the real plan from the
+// merged statistics, and phase B broadcasts it in a PLAN2 frame — only then
+// do the workers route and stream to their peers. The summaries (a few KB
+// each) are the only statistics that ever transit the coordinator.
 
 // RunStages implements exec.StageRuntime over the persistent session.
 func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
 	wm1, wm2 []exec.WorkerMetrics) (int64, error) {
 
-	j1, j2 := first.Workers, next.Workers
-	if j1 > len(s.conns) || j2 > len(s.conns) {
-		return 0, fmt.Errorf("netexec: stage pipeline needs %d/%d workers, session has %d",
-			j1, j2, len(s.conns))
+	j1 := first.Workers
+	if j1 > len(s.conns) {
+		return 0, fmt.Errorf("netexec: stage pipeline needs %d workers, session has %d", j1, len(s.conns))
 	}
 	if first.Pairs != nil {
 		return 0, fmt.Errorf("netexec: a stage pipeline's first job cannot stream pairs")
@@ -39,29 +47,42 @@ func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
 	}
 
 	token := newPeerToken()
-	peers := s.Addrs()[:j2]
 	id1 := s.nextID.Add(1)
 	counts := make([][]int64, j1)
-	errs := make([]error, j1)
+	var j2 int
 	var wg sync.WaitGroup
-	for w := 0; w < j1; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			self := -1
-			if w < j2 {
-				self = w
-			}
-			ps := planSpec{Token: token, Plan: next.Plan, Peers: peers, Self: self}
-			counts[w], errs[w] = s.conns[w].runStageJob(id1, w, spec1, &ps, first, &wm1[w])
-		}(w)
-	}
-	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		// Some workers may already have streamed contributions to their
-		// peers; tell every stage-2 worker to discard the orphaned transfer.
-		s.cancelPlan(token, j2)
-		return 0, err
+	if next.Replan != nil {
+		j2, err = s.runDeferredStage1(id1, token, spec1, first, next, wm1, counts)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		j2 = next.Workers
+		if j2 > len(s.conns) {
+			return 0, fmt.Errorf("netexec: stage pipeline needs %d workers, session has %d",
+				j2, len(s.conns))
+		}
+		peers := s.Addrs()[:j2]
+		errs := make([]error, j1)
+		for w := 0; w < j1; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				self := -1
+				if w < j2 {
+					self = w
+				}
+				ps := planSpec{Token: token, Plan: next.Plan, Peers: peers, Self: self}
+				counts[w], errs[w] = s.conns[w].runStageJob(id1, w, spec1, &ps, first, &wm1[w])
+			}(w)
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			// Some workers may already have streamed contributions to their
+			// peers; tell every worker to discard the orphaned transfer.
+			s.cancelPlan(token)
+			return 0, err
+		}
 	}
 
 	// Transpose the per-sender vectors into per-receiver expectations — the
@@ -76,7 +97,7 @@ func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
 	if next.MaxIntermediate > 0 && intermediate > next.MaxIntermediate {
 		// Earliest point the total is known: the matches are materialized on
 		// the workers, but stage 2's re-shuffle and join never run.
-		s.cancelPlan(token, j2)
+		s.cancelPlan(token)
 		return 0, fmt.Errorf("netexec: stage 1 matched %d tuples, pipeline cap %d; restructure the chain",
 			intermediate, next.MaxIntermediate)
 	}
@@ -86,7 +107,7 @@ func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
 	}
 	for w, v := range counts {
 		if len(v) != j2 {
-			s.cancelPlan(token, j2)
+			s.cancelPlan(token)
 			return 0, fmt.Errorf("netexec: worker %d (%s) reported %d peer counts, plan has %d workers",
 				w, s.conns[w].addr, len(v), j2)
 		}
@@ -100,7 +121,7 @@ func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
 			total += c
 		}
 		if total > MaxRelationTuples {
-			s.cancelPlan(token, j2)
+			s.cancelPlan(token)
 			return 0, fmt.Errorf("netexec: stage-2 worker %d would receive %d tuples, wire limit %d",
 				p, total, MaxRelationTuples)
 		}
@@ -121,18 +142,94 @@ func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
 		// still holds its fully-delivered contributions; cancel so they are
 		// released rather than buffered until the worker restarts. Workers
 		// whose job consumed the transfer just tombstone the token.
-		s.cancelPlan(token, j2)
+		s.cancelPlan(token)
 		return 0, err
 	}
 	return intermediate, nil
 }
 
-// cancelPlan tells the stage-2 workers to discard buffered peer state for an
-// abandoned transfer. Best-effort: a worker we cannot reach will drop the
-// state when its connection dies anyway.
-func (s *Session) cancelPlan(token uint64, j2 int) {
-	for p := 0; p < j2; p++ {
-		c := s.conns[p]
+// runDeferredStage1 runs a stats-deferred plan's stage 1: phase A collects
+// every worker's statistics summary, the driver's Replan turns them into the
+// real stage-2 plan, and phase B broadcasts it and collects the count
+// vectors. Returns the replanned worker count.
+func (s *Session) runDeferredStage1(id1 uint32, token uint64, spec1 join.Spec,
+	first *exec.Job, next *exec.PlanJob, wm1 []exec.WorkerMetrics, counts [][]int64) (int, error) {
+
+	j1 := first.Workers
+	if next.Stats == nil {
+		return 0, fmt.Errorf("netexec: stats-deferred plan without a statistics spec")
+	}
+	handlers := make([]*jobHandler, j1)
+	sentPays := make([][2]int64, j1)
+	sums := make([][]byte, j1)
+	errs := make([]error, j1)
+	var wg sync.WaitGroup
+	for w := 0; w < j1; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ps := planSpec{Token: token, WantStats: true, StatsCap: next.Stats.Cap,
+				StatsBuckets: next.Stats.Buckets, StatsSeed: next.Stats.Seed}
+			sums[w], handlers[w], sentPays[w], errs[w] = s.conns[w].openStatsStageJob(id1, w, spec1, &ps, first)
+		}(w)
+	}
+	wg.Wait()
+	abandon := func(err error) (int, error) {
+		// Wake the workers still holding their matches for a plan that will
+		// never come; their (error) replies land after deregistration and
+		// are dropped by the read loops.
+		s.cancelPlan(token)
+		for w, h := range handlers {
+			if h != nil {
+				s.conns[w].deregister(id1)
+			}
+		}
+		return 0, err
+	}
+	if err := errors.Join(errs...); err != nil {
+		return abandon(err)
+	}
+
+	// Replan also enforces the pipeline cap off the summaries' exact counts
+	// (see exec.RunStagesOver), so a blown cap aborts HERE — before a single
+	// intermediate tuple moves — rather than after the re-shuffle as on the
+	// pre-built-plan path.
+	plan, j2, err := next.Replan(sums)
+	if err != nil {
+		return abandon(fmt.Errorf("netexec: stage-2 replanning: %w", err))
+	}
+	if j2 < 1 || j2 > len(s.conns) {
+		return abandon(fmt.Errorf("netexec: replanned stage needs %d workers, session has %d", j2, len(s.conns)))
+	}
+	if len(plan) == 0 {
+		return abandon(fmt.Errorf("netexec: replanning produced an empty plan"))
+	}
+
+	peers := s.Addrs()[:j2]
+	for w := 0; w < j1; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counts[w], errs[w] = s.conns[w].finishStatsStageJob(id1, w, token, plan, peers,
+				handlers[w], sentPays[w], &wm1[w])
+		}(w)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		s.cancelPlan(token)
+		return 0, err
+	}
+	return j2, nil
+}
+
+// cancelPlan tells every session worker to discard buffered peer state — and
+// wake any plan job still awaiting a PLAN2 — for an abandoned transfer.
+// Best-effort: a worker we cannot reach will drop the state when its
+// connection dies anyway. The broadcast goes to the whole session because an
+// abandoned transfer's state may live on stage-1 senders (stats waiters,
+// half-sent contributions) and stage-2 receivers alike.
+func (s *Session) cancelPlan(token uint64) {
+	for _, c := range s.conns {
 		c.wmu.Lock()
 		_ = writeV3GobFrame(c.bw, frameV3PlanCancel, 0, planCancel{Token: token})
 		_ = c.bw.Flush()
@@ -158,6 +255,13 @@ func (c *sessConn) runStageJob(id uint32, workerID int, spec join.Spec, ps *plan
 		return nil, wrap(err)
 	}
 	r := <-h.done
+	return c.stageReply(r, sentPay, m, wrap)
+}
+
+// stageReply validates one stage-1 sub-job's terminal metrics and fills m.
+func (c *sessConn) stageReply(r sessReply, sentPay [2]int64, m *exec.WorkerMetrics,
+	wrap func(error) error) ([]int64, error) {
+
 	if r.err != nil {
 		return nil, wrap(r.err)
 	}
@@ -172,6 +276,68 @@ func (c *sessConn) runStageJob(id uint32, workerID int, spec join.Spec, ps *plan
 	m.InputR2 = r.m.InputR2
 	m.Output = r.m.Output
 	return r.m.PeerCounts, nil
+}
+
+// openStatsStageJob runs phase A of a stats-deferred stage job: send the job
+// with a statistics request and wait for the worker's summary. The handler
+// stays registered for phase B; it is returned alongside the summary. A
+// worker that replies metrics instead of a summary failed its join.
+func (c *sessConn) openStatsStageJob(id uint32, workerID int, spec join.Spec, ps *planSpec,
+	job *exec.Job) ([]byte, *jobHandler, [2]int64, error) {
+
+	wrap := func(err error) error {
+		return fmt.Errorf("netexec: stats stage job %d on worker %d (%s): %w", id, workerID, c.addr, err)
+	}
+	h := &jobHandler{done: make(chan sessReply, 1), stats: make(chan []byte, 1)}
+	if err := c.register(id, h); err != nil {
+		return nil, nil, [2]int64{}, wrap(err)
+	}
+	sentPay, err := c.sendJob(id, workerID, spec, ps, job)
+	if err != nil {
+		c.deregister(id)
+		return nil, nil, [2]int64{}, wrap(err)
+	}
+	select {
+	case sum := <-h.stats:
+		return sum, h, sentPay, nil
+	case r := <-h.done:
+		c.deregister(id)
+		if r.err != nil {
+			return nil, nil, [2]int64{}, wrap(r.err)
+		}
+		if r.m.Err != "" {
+			return nil, nil, [2]int64{}, wrap(errors.New(r.m.Err))
+		}
+		return nil, nil, [2]int64{}, wrap(fmt.Errorf("worker replied metrics before shipping its statistics summary"))
+	}
+}
+
+// finishStatsStageJob runs phase B: deliver the replanned artifact and peer
+// map in a PLAN2 frame and wait for the job's terminal metrics (the count
+// vector), exactly as a pre-built plan job's reply.
+func (c *sessConn) finishStatsStageJob(id uint32, workerID int, token uint64, plan []byte,
+	peers []string, h *jobHandler, sentPay [2]int64, m *exec.WorkerMetrics) ([]int64, error) {
+
+	wrap := func(err error) error {
+		return fmt.Errorf("netexec: stats stage job %d on worker %d (%s): %w", id, workerID, c.addr, err)
+	}
+	defer c.deregister(id)
+	self := -1
+	if workerID < len(peers) {
+		self = workerID
+	}
+	ps := planSpec{Token: token, Plan: plan, Peers: peers, Self: self}
+	c.wmu.Lock()
+	err := writeV3GobFrame(c.bw, frameV3Plan2, id, ps)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		return nil, wrap(err)
+	}
+	r := <-h.done
+	return c.stageReply(r, sentPay, m, wrap)
 }
 
 // runPeerJob runs one stage-2 sub-job: the open names the transfer token and

@@ -1,0 +1,266 @@
+package netexec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ewh/internal/cost"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/partition"
+	"ewh/internal/planio"
+	"ewh/internal/stats"
+)
+
+// statsStagePlan builds a stats-deferred stage plan whose Replan runs
+// onReplan (nil: build a Hash plan) over the decoded summaries.
+func statsStagePlan(t *testing.T, cond join.Condition, j2 int, seed uint64,
+	onReplan func(sums []*stats.Summary) ([]byte, partition.Scheme, error)) exec.StagePlan {
+	t.Helper()
+	return exec.StagePlan{
+		Cond:       cond,
+		MaxWorkers: j2,
+		Stats:      &exec.StatsSpec{Cap: 512, Buckets: 32, Seed: seed},
+		Replan: func(sums []*stats.Summary) ([]byte, partition.Scheme, error) {
+			if onReplan != nil {
+				return onReplan(sums)
+			}
+			scheme, err := partition.NewHash(j2, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			b, err := planio.Encode(&planio.Artifact{Scheme: scheme, Seed: seed})
+			return b, scheme, err
+		},
+	}
+}
+
+func TestStatsStagePipelineMatchesReference(t *testing.T) {
+	// A stats-deferred pipeline end to end: the workers' summaries must
+	// account for exactly the stage-1 intermediate, and the join result must
+	// match the pre-built-plan pipeline bit for bit (same Hash scheme, same
+	// seeds — the statistics exchange must not perturb execution).
+	_, addrs := startWorkerSet(t, 3)
+	sess := dialSession(t, addrs)
+
+	r1 := randKeys(1500, 700, 300)
+	r2 := randKeys(1200, 700, 301)
+	r3 := randKeys(1000, 2500, 302)
+	scheme1, err := partition.NewHash(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := exec.Config{Seed: 21, Mappers: 2}
+	model := cost.Model{Wi: 1, Wo: 0.2}
+
+	var sumTotal int64
+	sp := statsStagePlan(t, join.Equi{}, 3, 77, func(sums []*stats.Summary) ([]byte, partition.Scheme, error) {
+		for _, s := range sums {
+			sumTotal += s.Count
+		}
+		scheme, err := partition.NewHash(3, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := planio.Encode(&planio.Artifact{Scheme: scheme, Seed: 77})
+		return b, scheme, err
+	})
+	res1, res2, err := exec.RunStagesOver(sess, exec.WrapKeys(r1), tuplesWithPayloadKeys(r2),
+		join.Equi{}, scheme1, sp, r3, model, cfg, nil, encodeKeyLE8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumTotal != res1.Output {
+		t.Fatalf("summaries account for %d intermediate tuples, stage 1 matched %d", sumTotal, res1.Output)
+	}
+
+	ref1, ref2, err := exec.RunStagesOver(sess, exec.WrapKeys(r1), tuplesWithPayloadKeys(r2),
+		join.Equi{}, scheme1, stagePlanFor(t, join.Equi{}, 3, 77), r3, model, cfg, nil, encodeKeyLE8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Output != ref1.Output || res2.Output != ref2.Output {
+		t.Fatalf("stats-deferred pipeline differs: (%d,%d) vs pre-built (%d,%d)",
+			res1.Output, res2.Output, ref1.Output, ref2.Output)
+	}
+	for w := range ref2.Workers {
+		if res2.Workers[w] != ref2.Workers[w] {
+			t.Fatalf("stage 2 worker %d metrics differ: stats %+v pre-built %+v",
+				w, res2.Workers[w], ref2.Workers[w])
+		}
+	}
+}
+
+func TestWorkerShutdownMidStatsCollection(t *testing.T) {
+	// Shutdown while a worker is parked between shipping its summary and
+	// receiving the replanned artifact: the drain must WAIT for the parked
+	// job (it is in flight), the pipeline must complete normally once the
+	// coordinator answers, and the shutdown must then finish. No goroutines
+	// may leak across the whole exchange.
+	baseline := runtime.NumGoroutine()
+	ws, addrs := startWorkerSet(t, 2)
+	// Stage-2 workers are the session's FIRST conns; dialing the to-be-
+	// drained worker last keeps it stage-1-only, so the pipeline never needs
+	// to open a NEW job on it (a draining worker politely refuses those —
+	// its in-flight jobs are what the drain guarantees).
+	sess := dialSession(t, []string{addrs[1], addrs[0]})
+
+	r1 := randKeys(800, 400, 310)
+	r2 := randKeys(800, 400, 311)
+	r3 := randKeys(600, 1500, 312)
+	scheme1, err := partition.NewHash(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := exec.Config{Seed: 31, Mappers: 1}
+	model := cost.Model{Wi: 1, Wo: 0.2}
+
+	replanEntered := make(chan struct{})
+	replanRelease := make(chan struct{})
+	sp := statsStagePlan(t, join.Equi{}, 1, 99, func([]*stats.Summary) ([]byte, partition.Scheme, error) {
+		close(replanEntered)
+		<-replanRelease
+		scheme, err := partition.NewHash(1, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := planio.Encode(&planio.Artifact{Scheme: scheme, Seed: 99})
+		return b, scheme, err
+	})
+
+	pipelineDone := make(chan error, 1)
+	go func() {
+		_, _, err := exec.RunStagesOver(sess, exec.WrapKeys(r1), tuplesWithPayloadKeys(r2),
+			join.Equi{}, scheme1, sp, r3, model, cfg, nil, encodeKeyLE8)
+		pipelineDone <- err
+	}()
+	<-replanEntered // every worker has summarized and is parked awaiting PLAN2
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- ws[0].Shutdown(ctx)
+	}()
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("shutdown completed while a stats job was parked: %v", err)
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	close(replanRelease)
+	if err := <-pipelineDone; err != nil {
+		t.Fatalf("pipeline across the draining worker: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown after the parked job drained: %v", err)
+	}
+
+	_ = sess.Close()
+	for _, w := range ws {
+		_ = w.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines leaked after mid-stats shutdown: baseline %d, now %d\n%s",
+		baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+func TestStatsPipelineCapAbortsBeforeReplan(t *testing.T) {
+	// The summaries carry exact match counts, so a blown MaxIntermediate
+	// must abort BEFORE replanning — no plan is ever built and no
+	// intermediate tuple moves worker→worker.
+	_, addrs := startWorkerSet(t, 2)
+	sess := dialSession(t, addrs)
+
+	r1 := randKeys(400, 100, 330)
+	r2 := randKeys(400, 100, 331)
+	scheme1, err := partition.NewHash(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replanned := false
+	sp := statsStagePlan(t, join.Equi{}, 2, 7, func([]*stats.Summary) ([]byte, partition.Scheme, error) {
+		replanned = true
+		return nil, nil, errors.New("must not be reached")
+	})
+	sp.MaxIntermediate = 1
+	_, _, err = exec.RunStagesOver(sess, exec.WrapKeys(r1), tuplesWithPayloadKeys(r2),
+		join.Equi{}, scheme1, sp, r1, cost.Model{Wi: 1, Wo: 0.2},
+		exec.Config{Seed: 3, Mappers: 1}, nil, encodeKeyLE8)
+	if err == nil || !strings.Contains(err.Error(), "pipeline cap") {
+		t.Fatalf("blown pipeline cap not surfaced: %v", err)
+	}
+	if replanned {
+		t.Fatal("replanning ran for a pipeline past its intermediate cap")
+	}
+}
+
+func TestStatsReplanErrorCancelsAndTombstones(t *testing.T) {
+	// A failed replanning must fail the pipeline with the cause, wake every
+	// parked worker, and leave the transfer token tombstoned on the workers
+	// (late or duplicate state for it is swallowed, not re-buffered). The
+	// workers must then drain instantly.
+	ws, addrs := startWorkerSet(t, 2)
+	sess := dialSession(t, addrs)
+
+	r1 := randKeys(600, 300, 320)
+	r2 := randKeys(600, 300, 321)
+	scheme1, err := partition.NewHash(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("replanning exploded")
+	sp := statsStagePlan(t, join.Equi{}, 2, 13, func([]*stats.Summary) ([]byte, partition.Scheme, error) {
+		return nil, nil, boom
+	})
+	_, _, err = exec.RunStagesOver(sess, exec.WrapKeys(r1), tuplesWithPayloadKeys(r2),
+		join.Equi{}, scheme1, sp, r1, cost.Model{Wi: 1, Wo: 0.2},
+		exec.Config{Seed: 3, Mappers: 1}, nil, encodeKeyLE8)
+	if err == nil || !strings.Contains(err.Error(), "replanning exploded") {
+		t.Fatalf("replan failure not surfaced: %v", err)
+	}
+
+	// The cancel broadcast tombstones the orphaned token on every worker.
+	deadline := time.Now().Add(3 * time.Second)
+	for _, w := range ws {
+		for {
+			w.peersMu.Lock()
+			tombstoned := false
+			for _, st := range w.peerStates {
+				st.mu.Lock()
+				if st.done && st.err != nil {
+					tombstoned = true
+				}
+				st.mu.Unlock()
+			}
+			w.peersMu.Unlock()
+			if tombstoned {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("cancelled transfer left no tombstone on a worker")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Nothing is parked anymore: the drain must be immediate.
+	for _, w := range ws {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := w.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown after cancelled stats exchange: %v", err)
+		}
+		cancel()
+	}
+}

@@ -71,6 +71,15 @@ const (
 	frameV3OpenPeerJob = 19 // coord→worker gob peerJobOpen: job whose relation 1 arrives from peers
 	frameV3PlanCancel  = 20 // coord→worker gob planCancel: discard buffered peer state for a token
 
+	// STATS/PLAN2 frames (stats-deferred plans): a plan job whose planSpec
+	// requests statistics joins as usual, summarizes its matches, ships the
+	// summary to the coordinator and holds its re-shuffle until the
+	// coordinator replans from the merged summaries and answers with the
+	// real artifact. Only the summaries — never the intermediate — transit
+	// the coordinator.
+	frameV3Stats = 21 // worker→coord raw planio-encoded statistics summary
+	frameV3Plan2 = 22 // coord→worker gob planSpec: the replanned stage-2 artifact + peer map
+
 	// Peer-mesh frames (worker→worker connections, protoVersionPeer). They
 	// use the v2-style [type u8][len u32] framing; the 64-bit transfer token
 	// rides in each payload, so peer transfers are immune to session job-id

@@ -1,0 +1,125 @@
+package planio
+
+import (
+	"bytes"
+	"testing"
+
+	"ewh/internal/join"
+	"ewh/internal/sample"
+	"ewh/internal/stats"
+)
+
+// randSummary builds a production-shaped summary from an RNG stream via the
+// worker-side builder, so the codec is fuzzed with exactly what workers ship.
+func randSummary(rng *stats.RNG) *stats.Summary {
+	n := int(rng.Int64n(4000))
+	domain := 1 + rng.Int64n(2000)
+	keys := make([]join.Key, n)
+	for i := range keys {
+		keys[i] = rng.Int64n(domain) - domain/2
+	}
+	return sample.Summarize(keys, 1+rng.Intn(512), 1+rng.Intn(64), rng.Split())
+}
+
+func encodeSummaryOrFatal(t testing.TB, s *stats.Summary) []byte {
+	t.Helper()
+	enc, err := EncodeSummary(s)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return enc
+}
+
+// checkSummaryRoundTrip asserts the codec's canonicality for one summary:
+// Encode∘Decode∘Encode is byte-exact and the decode reproduces every field.
+func checkSummaryRoundTrip(t testing.TB, s *stats.Summary) []byte {
+	t.Helper()
+	enc := encodeSummaryOrFatal(t, s)
+	dec, err := DecodeSummary(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.Count != s.Count || dec.Cap != s.Cap ||
+		len(dec.Keys) != len(s.Keys) || len(dec.Bounds) != len(s.Bounds) {
+		t.Fatalf("summary fields changed in round trip: %+v vs %+v", s, dec)
+	}
+	reenc := encodeSummaryOrFatal(t, dec)
+	if !bytes.Equal(enc, reenc) {
+		t.Fatalf("summary not byte-exact after round trip: %d vs %d bytes", len(enc), len(reenc))
+	}
+	return enc
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		checkSummaryRoundTrip(t, randSummary(stats.NewRNG(seed)))
+	}
+}
+
+func TestSummaryDecodeRejectsCorruption(t *testing.T) {
+	enc := encodeSummaryOrFatal(t, randSummary(stats.NewRNG(1)))
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     append([]byte("XXXX"), enc[4:]...),
+		"bad version":   append(append([]byte{}, enc[:4]...), append([]byte{9, 9}, enc[6:]...)...),
+		"truncated":     enc[:len(enc)-5],
+		"trailing junk": append(append([]byte{}, enc...), 7),
+	}
+	for name, data := range cases {
+		if _, err := DecodeSummary(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt summary", name)
+		}
+	}
+	if _, err := EncodeSummary(&stats.Summary{Count: 2, Cap: 4, Keys: []join.Key{3, 1},
+		Bounds: []join.Key{0, 5}}); err == nil {
+		t.Error("encode accepted a non-canonical (unsorted) summary")
+	}
+}
+
+// FuzzStatsSummaryRoundTrip drives the two distributed-statistics codec
+// invariants from fuzzer-chosen seeds: the MERGED summary of two
+// production-shaped worker summaries must round-trip byte-exactly
+// (Encode∘Decode∘Encode), and the merge must be canonical — merge(a,b) and
+// merge(b,a) produce identical encodings.
+func FuzzStatsSummaryRoundTrip(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed, seed*3+1)
+	}
+	f.Fuzz(func(t *testing.T, seedA, seedB uint64) {
+		a := randSummary(stats.NewRNG(seedA))
+		b := randSummary(stats.NewRNG(seedB))
+		ab, err := stats.MergeSummaries(a, b)
+		if err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		ba, err := stats.MergeSummaries(b, a)
+		if err != nil {
+			t.Fatalf("reverse merge: %v", err)
+		}
+		encAB := checkSummaryRoundTrip(t, ab)
+		encBA := checkSummaryRoundTrip(t, ba)
+		if !bytes.Equal(encAB, encBA) {
+			t.Fatalf("merge order changed the encoding: %d vs %d bytes", len(encAB), len(encBA))
+		}
+	})
+}
+
+// FuzzSummaryDecode throws arbitrary bytes at the summary decoder: it must
+// never panic, and anything it accepts must re-encode byte-exactly.
+func FuzzSummaryDecode(f *testing.F) {
+	f.Add(encodeSummaryOrFatal(f, randSummary(stats.NewRNG(0))))
+	f.Add(encodeSummaryOrFatal(f, &stats.Summary{Cap: 1}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSummary(data)
+		if err != nil {
+			return
+		}
+		reenc, err := EncodeSummary(s)
+		if err != nil {
+			t.Fatalf("re-encode of accepted summary failed: %v", err)
+		}
+		if !bytes.Equal(data, reenc) {
+			t.Fatalf("accepted summary not canonical: %d bytes in, %d out", len(data), len(reenc))
+		}
+	})
+}

@@ -36,10 +36,19 @@ type OutputSample struct {
 // The result is an exact uniform WR sample of the output (each output tuple
 // equi-probable), which joining uniform input samples cannot provide [8].
 func StreamSample(r1, r2 []join.Key, cond join.Condition, so, workers int, rng *stats.RNG) *OutputSample {
+	m2 := BuildMultiset(r2)
+	return StreamSampleWith(r1, m2, cond, so, workers, rng)
+}
+
+// StreamSampleWith is StreamSample over a prebuilt R2 multiset. Callers that
+// hold only a SAMPLE of R1 (the distributed statistics planner) get a sample
+// of r1sample ⋈ R2 with its exact size M — an approximately uniform output
+// sample of the full join when r1sample is itself uniform, with M scaling by
+// the sampling fraction.
+func StreamSampleWith(r1 []join.Key, m2 *KeyMultiset, cond join.Condition, so, workers int, rng *stats.RNG) *OutputSample {
 	if workers < 1 {
 		workers = 1
 	}
-	m2 := BuildMultiset(r2)
 	return streamSampleWithMultiset(r1, m2, cond, so, workers, rng)
 }
 

@@ -1,0 +1,46 @@
+package sample
+
+import (
+	"slices"
+
+	"ewh/internal/histogram"
+	"ewh/internal/join"
+	"ewh/internal/keysort"
+	"ewh/internal/stats"
+)
+
+// Summarize builds the mergeable statistics summary of one shard of keys —
+// the worker side of distributed statistics collection: an exact count, a
+// uniform without-replacement sample of at most cap keys (sorted, the
+// canonical form), and a buckets-bucket equi-depth histogram over the FULL
+// shard, which keeps quantile accuracy the capped sample cannot. The result
+// is deterministic for a given rng seed, so a re-run reproduces the same
+// summary bit for bit.
+func Summarize(keys []join.Key, cap, buckets int, rng *stats.RNG) *stats.Summary {
+	if cap < 1 {
+		cap = 1
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	if len(keys) == 0 {
+		return &stats.Summary{Cap: cap}
+	}
+	sorted := slices.Clone(keys)
+	keysort.Sort(sorted)
+	h, err := histogram.FromSorted(sorted, buckets)
+	if err != nil {
+		// Unreachable for non-empty input; keep the summary well-formed.
+		return &stats.Summary{Cap: cap}
+	}
+	// Reservoir sampling is order-oblivious, so drawing from the sorted clone
+	// is still uniform — and saves a second copy of the shard.
+	smp := FixedSize(sorted, cap, rng)
+	keysort.Sort(smp)
+	return &stats.Summary{
+		Count:  int64(len(keys)),
+		Cap:    cap,
+		Keys:   smp,
+		Bounds: slices.Clone(h.Boundaries()),
+	}
+}
