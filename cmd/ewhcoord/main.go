@@ -16,11 +16,17 @@
 // worker→worker re-shuffle of the stage-1 intermediate (-relay forces the
 // coordinator-relay baseline). -planin executes a plan artifact written by
 // ewhplan -planout, skipping the planning phase entirely (plan once,
-// execute many); -timeout arms dial and per-operation IO deadlines so a
-// hung worker fails a job instead of wedging the run.
+// execute many); -timeout arms dial and per-operation IO deadlines and
+// -job-timeout a per-job liveness deadline, so a hung worker fails a job
+// instead of wedging the run. -retries N turns a failed job into a bounded
+// recovery loop: the coordinator excludes the failed workers, re-plans over
+// the survivors (re-profiling the relations, or shrinking/CI-falling-back a
+// -planin artifact) and re-runs, backing off -retry-backoff doubling per
+// attempt.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +59,9 @@ func main() {
 		stage2     = flag.String("stage2-scheme", "auto", "with -multiway: peer-path stage-2 scheme (auto, hash, ci, csio; auto = CSIO via distributed statistics)")
 		planin     = flag.String("planin", "", "execute a plan artifact (ewhplan -planout) instead of planning: plan once, execute many")
 		timeout    = flag.Duration("timeout", 0, "dial and per-operation IO deadline on worker connections (0: none)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job liveness deadline: a worker silent this long fails the job instead of wedging it (0: none)")
+		retries    = flag.Int("retries", 0, "retry a job this many times on worker failure, replanning over the survivors (0: fail fast)")
+		backoff    = flag.Duration("retry-backoff", 50*time.Millisecond, "base delay before the first retry (doubles per attempt)")
 	)
 	flag.Parse()
 
@@ -60,9 +69,13 @@ func main() {
 	r2 := workload.Zipfian(*n, int64(*n), *z, *seed+1)
 	cond := join.NewBand(*beta)
 	model := cost.DefaultBand
-	timeouts := netexec.Timeouts{Dial: *timeout, IO: *timeout}
+	timeouts := netexec.Timeouts{Dial: *timeout, IO: *timeout, Job: *jobTimeout}
+	retry := exec.RetryPolicy{MaxAttempts: *retries + 1, BaseDelay: *backoff}
 
 	var scheme partition.Scheme
+	// planFor rebuilds the plan when recovery shrinks the fleet below the
+	// original worker count; at full strength it returns the original scheme.
+	var planFor func(jw int) (partition.Scheme, error)
 	execSeed := *seed + 2
 	if *planin != "" && *mway {
 		fatal(fmt.Errorf("-planin applies to the 2-way join only: the multiway pipeline plans each stage internally"))
@@ -78,6 +91,20 @@ func main() {
 		}
 		scheme = artifact.Scheme
 		execSeed = artifact.Seed + 2
+		// No relations were ever profiled here, so a shrink that needs
+		// fresh statistics (region plans with more regions than survivors)
+		// falls back to the content-insensitive CI plan (§VI-E).
+		planFor = func(jw int) (partition.Scheme, error) {
+			shrunk, err := planio.ShrinkToFleet(artifact, jw)
+			if errors.Is(err, planio.ErrNeedsReplan) {
+				fmt.Fprintf(os.Stderr, "ewhcoord: %v; falling back to the CI plan\n", err)
+				return partition.NewCI(jw), nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			return shrunk.Scheme, nil
+		}
 		fmt.Printf("plan artifact %s: %s with %d workers, seed %d (no planning phase)\n",
 			*planin, scheme.Name(), scheme.Workers(), artifact.Seed)
 	} else {
@@ -86,6 +113,18 @@ func main() {
 			fatal(err)
 		}
 		scheme = plan.Scheme
+		// The relations are in hand: a shrunken fleet gets a fresh
+		// content-sensitive plan sized to the survivors.
+		planFor = func(jw int) (partition.Scheme, error) {
+			if jw >= scheme.Workers() {
+				return scheme, nil
+			}
+			p, err := core.PlanCSIO(r1, r2, cond, core.Options{J: jw, Model: model, Seed: *seed})
+			if err != nil {
+				return nil, err
+			}
+			return p.Scheme, nil
+		}
 		fmt.Printf("plan: %s with %d regions, m=%d, stats %v\n",
 			plan.Scheme.Name(), plan.Scheme.Workers(), plan.M, plan.StatsDuration.Round(1e6))
 	}
@@ -122,13 +161,16 @@ func main() {
 		if *relay && mode != multiway.Stage2Auto {
 			fatal(fmt.Errorf("-relay re-plans stage 2 on the coordinator; -stage2-scheme %v applies to the peer path only", mode))
 		}
-		runMultiway(addrs, r1, r2, *n, *j, *seed, model, timeouts, *relay, mode)
+		runMultiway(addrs, r1, r2, *n, *j, *seed, model, timeouts, retry, *relay, mode)
 		return
 	}
 
 	if *dialPerJob {
 		if *timeout > 0 {
 			fmt.Fprintln(os.Stderr, "ewhcoord: -timeout applies to session connections only; the one-shot v2 transport ignores it")
+		}
+		if *retries > 0 {
+			fmt.Fprintln(os.Stderr, "ewhcoord: -retries applies to session connections only; the one-shot v2 transport fails fast")
 		}
 		start := time.Now()
 		var res *exec.Result
@@ -153,8 +195,8 @@ func main() {
 	start := time.Now()
 	var res *exec.Result
 	for i := 0; i < *jobs; i++ {
-		res, err = exec.RunOver(sess, r1, r2, cond, scheme, model,
-			exec.Config{Seed: execSeed})
+		res, err = exec.RunOverReplan(sess, r1, r2, cond, scheme.Workers(), planFor,
+			model, exec.Config{Seed: execSeed, Retry: retry})
 		if err != nil {
 			fatal(err)
 		}
@@ -172,7 +214,7 @@ func main() {
 // built from distributed statistics); -relay forces the coordinator-relay
 // baseline.
 func runMultiway(addrs []string, r1, r2 []join.Key, n, j int, seed uint64, model cost.Model,
-	timeouts netexec.Timeouts, relay bool, stage2 multiway.Stage2Mode) {
+	timeouts netexec.Timeouts, retry exec.RetryPolicy, relay bool, stage2 multiway.Stage2Mode) {
 
 	mid := multiway.MidRelation{
 		A: r2,
@@ -196,7 +238,7 @@ func runMultiway(addrs []string, r1, r2 []join.Key, n, j int, seed uint64, model
 		mode = "coordinator relay"
 	}
 	res, err := run(sess, q, core.Options{J: j, Model: model, Seed: seed},
-		exec.Config{Seed: seed + 2})
+		exec.Config{Seed: seed + 2, Retry: retry})
 	if err != nil {
 		fatal(err)
 	}

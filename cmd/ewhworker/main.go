@@ -4,7 +4,9 @@
 // reports its metrics.
 //
 // On SIGINT/SIGTERM the worker shuts down gracefully: it stops accepting,
-// drains every in-flight job (bounded by -drain), then exits 0.
+// drains every in-flight job (bounded by -drain), then exits 0. -fail-after
+// N crashes the worker abruptly after N completed jobs — the deterministic
+// fault-injection hook recovery demos and load tests kill workers with.
 //
 //	ewhworker -addr 127.0.0.1:7071
 package main
@@ -25,6 +27,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "address to listen on")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for in-flight jobs")
 	timeout := flag.Duration("timeout", 0, "dial and per-operation IO deadline on session and peer connections (0: none)")
+	failAfter := flag.Int("fail-after", 0, "crash abruptly after completing N jobs (fault-injection hook for recovery testing; 0: never)")
 	flag.Parse()
 
 	w, err := netexec.ListenWorker(*addr)
@@ -33,6 +36,10 @@ func main() {
 		os.Exit(1)
 	}
 	w.SetTimeouts(netexec.Timeouts{Dial: *timeout, IO: *timeout})
+	if *failAfter > 0 {
+		w.FailAfterJobs(*failAfter)
+		fmt.Fprintf(os.Stderr, "ewhworker: will crash after %d jobs\n", *failAfter)
+	}
 	fmt.Println("ewhworker listening on", w.Addr())
 
 	sigc := make(chan os.Signal, 1)

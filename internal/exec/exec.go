@@ -28,6 +28,9 @@ type Config struct {
 	// an 8-byte key plus minimal payload/bookkeeping, as the statistics
 	// tuples in the paper carry only join keys).
 	BytesPerTuple int
+	// Retry bounds fault recovery on fault-tolerant runtimes (see RunRetry);
+	// the zero value disables retries entirely.
+	Retry RetryPolicy
 }
 
 // DefaultBytesPerTuple is the modeled tuple width when Config leaves

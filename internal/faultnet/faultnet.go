@@ -1,0 +1,432 @@
+// Package faultnet injects deterministic network faults into the netexec
+// wire protocols for testing recovery paths. It wraps a worker's
+// net.Listener so every accepted connection passes through a scriptable
+// frame-aware tap: the tap sniffs the 6-byte protocol prelude, follows the
+// framing of whichever protocol version the connection speaks (v3 sessions,
+// v2 one-shots, v4 peer mesh; anything else is opaque), counts matching
+// frames per rule and fires each rule's action exactly once at a precise
+// frame boundary — kill after the N-th block, reset on the first stats
+// frame, stall mid-transfer, or run an arbitrary hook (e.g. Close a victim
+// worker at a stage boundary). Faults are therefore reproducible: the same
+// script against the same workload fails at the same frame every run,
+// which is what lets the crosscheck assert recovered output bit-identical
+// to a fault-free reference instead of sampling failure windows
+// probabilistically.
+//
+// A Script is shared by every connection its listener accepts: rule
+// counters are global across connections, so "the first inbound peer block,
+// whichever connection carries it" is expressible.
+package faultnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Mirror of the netexec wire protocol, kept in lockstep by a parity test in
+// netexec (the constants are unexported there; faultnet must stay
+// import-free of netexec so netexec tests can import faultnet).
+const (
+	// FrameAny matches every frame regardless of type.
+	FrameAny byte = 0
+
+	// v2 one-shot frames.
+	FrameHandshake byte = 1
+	FrameBlockV2   byte = 2
+	FrameEOSV2     byte = 3
+	FrameMetricsV2 byte = 4
+
+	// v3 session frames.
+	FrameOpenJob     byte = 10
+	FrameRelHead     byte = 11
+	FrameBlock       byte = 12
+	FramePay         byte = 13
+	FrameEOS         byte = 14
+	FramePairs       byte = 15
+	FrameMetrics     byte = 16
+	FrameAbort       byte = 17
+	FramePlan        byte = 18
+	FrameOpenPeerJob byte = 19
+	FramePlanCancel  byte = 20
+	FrameStats       byte = 21
+	FramePlan2       byte = 22
+
+	// v4 peer-mesh frames.
+	FramePeerHead  byte = 30
+	FramePeerBlock byte = 31
+)
+
+// Protocol versions as they appear in the wire prelude.
+const (
+	VersionOneShot = 2
+	VersionSession = 3
+	VersionPeer    = 4
+)
+
+// Dir selects which byte stream a rule watches, relative to the wrapped
+// endpoint (the worker, for a wrapped listener).
+type Dir int
+
+const (
+	// In matches frames the endpoint receives (coordinator→worker opens,
+	// blocks, plans; peer→worker contributions).
+	In Dir = iota
+	// Out matches frames the endpoint sends (worker→coordinator stats,
+	// pairs, metrics).
+	Out
+)
+
+func (d Dir) String() string {
+	if d == Out {
+		return "out"
+	}
+	return "in"
+}
+
+// Action is what a rule does when it fires.
+type Action int
+
+const (
+	// ActClose closes the connection (both sides observe a lost
+	// connection).
+	ActClose Action = iota
+	// ActReset closes with SO_LINGER=0, surfacing ECONNRESET at the peer
+	// where the transport supports it (falls back to a plain close).
+	ActReset
+	// ActStall blocks the matching I/O operation until the connection is
+	// closed — a wedged-but-alive peer, the failure mode deadlines exist
+	// for.
+	ActStall
+	// ActHook runs Fn in its own goroutine and lets the traffic continue —
+	// the drop-worker-at-stage-boundary primitive (Fn closes a Worker).
+	ActHook
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActClose:
+		return "close"
+	case ActReset:
+		return "reset"
+	case ActStall:
+		return "stall"
+	case ActHook:
+		return "hook"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Rule fires once, at the N-th frame matching (Dir, Frame) across all of
+// the script's connections.
+type Rule struct {
+	// Dir is the watched direction, relative to the wrapped endpoint.
+	Dir Dir
+	// Frame is the frame type to match; FrameAny matches all frames.
+	Frame byte
+	// N fires the rule on the N-th match (1-based); 0 means the first.
+	N int
+	// Action is the fault to inject.
+	Action Action
+	// Fn is the hook for ActHook; ignored otherwise.
+	Fn func()
+}
+
+// errInjected is what a faulted operation returns to its endpoint.
+var errInjected = errors.New("faultnet: injected fault")
+
+// scriptRule is a Rule plus its firing state.
+type scriptRule struct {
+	Rule
+	seen  int
+	fired bool
+}
+
+// Script holds the rules for one fault scenario. One Script serves every
+// connection of the listener it wraps; counters span connections.
+type Script struct {
+	mu    sync.Mutex
+	rules []*scriptRule
+}
+
+// NewScript builds a script from rules. A nil or empty script is a
+// transparent tap.
+func NewScript(rules ...Rule) *Script {
+	s := &Script{}
+	for _, r := range rules {
+		if r.N < 1 {
+			r.N = 1
+		}
+		s.rules = append(s.rules, &scriptRule{Rule: r})
+	}
+	return s
+}
+
+// Fired reports whether every rule has fired — the crosscheck's assertion
+// that the scenario actually injected its fault rather than passing
+// vacuously.
+func (s *Script) Fired() bool {
+	if s == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.rules {
+		if !r.fired {
+			return false
+		}
+	}
+	return true
+}
+
+// match records one observed frame and returns the rule to fire now, if
+// any. At most one rule fires per frame (scripts wanting compound faults
+// use ActHook).
+func (s *Script) match(dir Dir, frame byte) *scriptRule {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.rules {
+		if r.fired || r.Dir != dir || (r.Frame != FrameAny && r.Frame != frame) {
+			continue
+		}
+		r.seen++
+		if r.seen >= r.N {
+			r.fired = true
+			return r
+		}
+	}
+	return nil
+}
+
+// Listener wraps a net.Listener so every accepted connection is tapped by
+// the script.
+type Listener struct {
+	net.Listener
+	script *Script
+}
+
+// Wrap taps ln with script. Hand the result to netexec.ListenWorkerOn.
+func Wrap(ln net.Listener, script *Script) *Listener {
+	return &Listener{Listener: ln, script: script}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newConn(c, l.script), nil
+}
+
+// Conn is one tapped connection: a streaming frame parser per direction
+// feeds the script, and fired rules act on the underlying connection.
+type Conn struct {
+	net.Conn
+	script *Script
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	// version is the sniffed protocol version, shared by both directions:
+	// the prelude travels inbound only, but the endpoint's replies use the
+	// same protocol. 0 = not yet known.
+	version atomic.Uint32
+
+	rmu sync.Mutex
+	rt  tracker
+	wmu sync.Mutex
+	wt  tracker
+}
+
+func newConn(c net.Conn, script *Script) *Conn {
+	fc := &Conn{Conn: c, script: script, closed: make(chan struct{})}
+	fc.rt = tracker{conn: fc, dir: In, state: statePrelude}
+	fc.wt = tracker{conn: fc, dir: Out, state: stateAwaitVersion}
+	return fc
+}
+
+// Close implements net.Conn and also releases any stalled operations.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// reset closes the connection so the peer sees an RST where possible.
+func (c *Conn) reset() {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}
+
+// stall blocks until the connection is closed, then reports the injected
+// fault.
+func (c *Conn) stall() error {
+	<-c.closed
+	return errInjected
+}
+
+// apply executes a fired rule against the connection. It returns a non-nil
+// error when the current I/O operation must abort instead of delivering
+// its bytes.
+func (c *Conn) apply(r *scriptRule) error {
+	switch r.Action {
+	case ActClose:
+		_ = c.Close()
+		return errInjected
+	case ActReset:
+		c.reset()
+		return errInjected
+	case ActStall:
+		return c.stall()
+	case ActHook:
+		if r.Fn != nil {
+			go r.Fn()
+		}
+		return nil
+	}
+	return nil
+}
+
+// Read taps the inbound stream: bytes are parsed for frame boundaries
+// BEFORE delivery, so a rule firing on a frame kills the connection with
+// that frame (and the rest of the chunk) undelivered — a mid-stream death,
+// exactly as a crashed sender would leave the wire.
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.rmu.Lock()
+		ferr := c.rt.feed(p[:n])
+		c.rmu.Unlock()
+		if ferr != nil {
+			return 0, ferr
+		}
+	}
+	return n, err
+}
+
+// Write taps the outbound stream symmetrically: a rule firing on an
+// outbound frame suppresses the whole chunk.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	ferr := c.wt.feed(p)
+	c.wmu.Unlock()
+	if ferr != nil {
+		return 0, ferr
+	}
+	return c.Conn.Write(p)
+}
+
+// tracker states.
+const (
+	statePrelude      = iota // collecting the 6-byte magic+version prelude
+	stateAwaitVersion        // outbound: waiting for the inbound prelude's verdict
+	stateHeader              // collecting a frame header
+	statePayload             // skipping payload bytes
+	stateOpaque              // unframed traffic (v1 gob, unknown magic)
+)
+
+// preludeLen is magic "EWHB" + u16 version.
+const preludeLen = 6
+
+var wireMagic = [4]byte{'E', 'W', 'H', 'B'}
+
+// tracker is a one-direction streaming frame parser. It accumulates just
+// enough bytes (prelude or header) to know each frame's type and length,
+// reports every frame start to the script, and skips payloads without
+// copying.
+type tracker struct {
+	conn  *Conn
+	dir   Dir
+	state int
+	buf   [preludeLen + 3]byte // prelude (6) or header (≤9) accumulator
+	have  int
+	skip  int // payload bytes left to skip
+}
+
+// headerLen returns the frame header length for the connection's protocol
+// version: v3 sessions carry [type u8][job u32][len u32], v2 one-shots and
+// v4 peer links carry [type u8][len u32].
+func (t *tracker) headerLen() int {
+	if t.conn.version.Load() == VersionSession {
+		return 9
+	}
+	return 5
+}
+
+// feed advances the parser over one chunk. A non-nil return aborts the
+// endpoint's I/O operation (the fired rule killed or stalled the
+// connection).
+func (t *tracker) feed(p []byte) error {
+	for len(p) > 0 {
+		switch t.state {
+		case stateOpaque:
+			return nil
+		case stateAwaitVersion:
+			// The endpoint is writing. Replies only ever follow inbound
+			// traffic, so the inbound prelude has been parsed by now; an
+			// unknown version means unframed traffic either way.
+			switch t.conn.version.Load() {
+			case VersionSession, VersionOneShot, VersionPeer:
+				t.state = stateHeader
+			default:
+				t.state = stateOpaque
+				return nil
+			}
+		case statePrelude:
+			n := copy(t.buf[t.have:preludeLen], p)
+			t.have += n
+			p = p[n:]
+			if t.have < preludeLen {
+				return nil
+			}
+			t.have = 0
+			if [4]byte(t.buf[:4]) != wireMagic {
+				t.state = stateOpaque
+				return nil
+			}
+			v := binary.LittleEndian.Uint16(t.buf[4:6])
+			switch v {
+			case VersionSession, VersionOneShot, VersionPeer:
+				t.conn.version.Store(uint32(v))
+				t.state = stateHeader
+			default:
+				t.state = stateOpaque
+				return nil
+			}
+		case stateHeader:
+			hl := t.headerLen()
+			n := copy(t.buf[t.have:hl], p)
+			t.have += n
+			p = p[n:]
+			if t.have < hl {
+				return nil
+			}
+			t.have = 0
+			typ := t.buf[0]
+			t.skip = int(binary.LittleEndian.Uint32(t.buf[hl-4 : hl]))
+			t.state = statePayload
+			if r := t.conn.script.match(t.dir, typ); r != nil {
+				if err := t.conn.apply(r); err != nil {
+					return err
+				}
+			}
+		case statePayload:
+			if t.skip > len(p) {
+				t.skip -= len(p)
+				return nil
+			}
+			p = p[t.skip:]
+			t.skip = 0
+			t.state = stateHeader
+		}
+	}
+	return nil
+}

@@ -263,6 +263,35 @@ func executePeer(rt exec.StageRuntime, q Query, opts core.Options, cfg exec.Conf
 	if err := validate(q, &opts); err != nil {
 		return nil, err
 	}
+	// Each attempt is the complete two-stage pipeline for its fleet size:
+	// stage-1 plan, fresh transfer token, fresh statistics, replanned stage 2
+	// — so a retry after a worker death re-shuffles from the driver-retained
+	// relations under plans sized to the survivors, and the dead worker's
+	// in-flight transfers are already cancelled (the failing attempt's
+	// cancelPlan broadcast) before the new token's traffic starts. Nothing
+	// from a failed attempt escapes: the peer path returns only counts, and
+	// those are read only on success.
+	var res *Result
+	err := exec.RunRetry(rt, opts.J, cfg.Retry, func(srt exec.Runtime, j int) error {
+		sr, ok := srt.(exec.StageRuntime)
+		if !ok {
+			return fmt.Errorf("multiway: runtime %T lost stage awareness after recovery", srt)
+		}
+		o := opts
+		o.J = j
+		var aerr error
+		res, aerr = peerAttempt(sr, q, o, cfg, mode)
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// peerAttempt runs one complete peer-shuffle pipeline over opts.J workers.
+func peerAttempt(rt exec.StageRuntime, q Query, opts core.Options, cfg exec.Config,
+	mode Stage2Mode) (*Result, error) {
 
 	plan1Start := time.Now()
 	plan1, err := core.PlanCSIO(q.R1, q.Mid.A, q.CondA, opts)
@@ -369,33 +398,50 @@ func ExecuteOverRelay(rt exec.Runtime, q Query, opts core.Options, cfg exec.Conf
 		return nil, err
 	}
 
-	// Stage 1: R1 ⋈_A Mid, materializing the matched Mid rows' B keys.
-	plan1Start := time.Now()
-	plan1, err := core.PlanCSIO(q.R1, q.Mid.A, q.CondA, opts)
+	// Stage 1: R1 ⋈_A Mid, materializing the matched Mid rows' B keys. Each
+	// retry attempt replans for its fleet, re-shuffles from the caller's
+	// relations and resets the emission buffers — pairs a failed attempt
+	// already streamed back are discarded wholesale, which is what keeps the
+	// final intermediate exactly-once (the emit sink is attempt-local).
+	var plan1Scheme partition.Scheme
+	var plan1Dur time.Duration
+	var perWorker [][]join.Key
+	var res1 *exec.Result
+	err := exec.RunRetry(rt, opts.J, cfg.Retry, func(srt exec.Runtime, j int) error {
+		o := opts
+		o.J = j
+		plan1Start := time.Now()
+		plan1, perr := core.PlanCSIO(q.R1, q.Mid.A, q.CondA, o)
+		if perr != nil {
+			return fmt.Errorf("multiway: stage 1 plan: %w", perr)
+		}
+		plan1Scheme = plan1.Scheme
+		plan1Dur = time.Since(plan1Start)
+		perWorker = make([][]join.Key, plan1.Scheme.Workers())
+		var mu sync.Mutex
+		overflow := false
+		var aerr error
+		res1, aerr = exec.RunTuplesOver(srt, exec.WrapKeys(q.R1), midTuples(q), q.CondA,
+			plan1.Scheme, opts.Model, cfg, nil, encodeKeyPayload,
+			func(w int, _ exec.Tuple[struct{}], b exec.Tuple[join.Key]) {
+				perWorker[w] = append(perWorker[w], b.Payload)
+				if len(perWorker[w]) == MaxIntermediate {
+					mu.Lock()
+					overflow = true
+					mu.Unlock()
+				}
+			})
+		if aerr != nil {
+			return fmt.Errorf("multiway: stage 1: %w", aerr)
+		}
+		if overflow || res1.Output > MaxIntermediate {
+			return fmt.Errorf("multiway: stage 1 produced %d tuples (cap %d); restructure the chain",
+				res1.Output, MaxIntermediate)
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("multiway: stage 1 plan: %w", err)
-	}
-	plan1Dur := time.Since(plan1Start)
-
-	perWorker := make([][]join.Key, plan1.Scheme.Workers())
-	var mu sync.Mutex
-	overflow := false
-	res1, err := exec.RunTuplesOver(rt, exec.WrapKeys(q.R1), midTuples(q), q.CondA, plan1.Scheme, opts.Model, cfg,
-		nil, encodeKeyPayload,
-		func(w int, _ exec.Tuple[struct{}], b exec.Tuple[join.Key]) {
-			perWorker[w] = append(perWorker[w], b.Payload)
-			if len(perWorker[w]) == MaxIntermediate {
-				mu.Lock()
-				overflow = true
-				mu.Unlock()
-			}
-		})
-	if err != nil {
-		return nil, fmt.Errorf("multiway: stage 1: %w", err)
-	}
-	if overflow || res1.Output > MaxIntermediate {
-		return nil, fmt.Errorf("multiway: stage 1 produced %d tuples (cap %d); restructure the chain",
-			res1.Output, MaxIntermediate)
+		return nil, err
 	}
 
 	intermediate := make([]join.Key, 0, res1.Output)
@@ -405,7 +451,7 @@ func ExecuteOverRelay(rt exec.Runtime, q Query, opts core.Options, cfg exec.Conf
 
 	out := &Result{
 		Stages: []StageResult{{
-			Scheme:       plan1.Scheme.Name(),
+			Scheme:       plan1Scheme.Name(),
 			PlanDuration: plan1Dur,
 			Exec:         res1,
 		}},
@@ -418,22 +464,32 @@ func ExecuteOverRelay(rt exec.Runtime, q Query, opts core.Options, cfg exec.Conf
 
 	// Stage 2: intermediate ⋈_B R3 — a fresh equi-weight histogram over the
 	// materialized result, which may be arbitrarily skewed regardless of the
-	// base relations' distributions (the JPS cascade §IV-B warns about).
+	// base relations' distributions (the JPS cascade §IV-B warns about). The
+	// intermediate is driver-retained, so a retry only re-plans and
+	// re-shuffles this stage, not stage 1.
 	opts2 := opts
 	opts2.Seed = opts.Seed + 0x9e37
-	plan2Start := time.Now()
-	plan2, err := core.PlanCSIO(intermediate, q.R3, q.CondB, opts2)
-	if err != nil {
-		return nil, fmt.Errorf("multiway: stage 2 plan: %w", err)
-	}
-	plan2Dur := time.Since(plan2Start)
-	res2, err := exec.RunOver(rt, intermediate, q.R3, q.CondB, plan2.Scheme, opts.Model, cfg)
+	var plan2Scheme partition.Scheme
+	var plan2Dur time.Duration
+	res2, err := exec.RunOverReplan(rt, intermediate, q.R3, q.CondB, opts.J,
+		func(j int) (partition.Scheme, error) {
+			t0 := time.Now()
+			defer func() { plan2Dur += time.Since(t0) }()
+			o := opts2
+			o.J = j
+			plan2, perr := core.PlanCSIO(intermediate, q.R3, q.CondB, o)
+			if perr != nil {
+				return nil, fmt.Errorf("multiway: stage 2 plan: %w", perr)
+			}
+			plan2Scheme = plan2.Scheme
+			return plan2.Scheme, nil
+		}, opts.Model, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("multiway: stage 2: %w", err)
 	}
 
 	out.Stages = append(out.Stages, StageResult{
-		Scheme:       plan2.Scheme.Name(),
+		Scheme:       plan2Scheme.Name(),
 		PlanDuration: plan2Dur,
 		Exec:         res2,
 	})

@@ -34,6 +34,8 @@ import (
 	"time"
 
 	"ewh/internal/cost"
+	"sync/atomic"
+
 	"ewh/internal/exec"
 	"ewh/internal/join"
 	"ewh/internal/localjoin"
@@ -73,6 +75,12 @@ type metrics struct {
 	PayBytes1, PayBytes2 int64
 	PeerCounts           []int64
 	Err                  string
+
+	// FaultAddr names the PEER whose failure caused Err, when the job died
+	// streaming its matches to another worker rather than locally — the
+	// coordinator marks that address down instead of this (healthy) worker's.
+	// Gob-compatible addition: absent on old wires, decoded as "".
+	FaultAddr string
 }
 
 // jobOpen opens one numbered job on a v3 session connection. Counts travel
@@ -169,6 +177,13 @@ type Worker struct {
 	peerStates map[uint64]*peerJobState
 	cancelRing [256]uint64
 	cancelNext uint64
+
+	// failAfter > 0 schedules an abrupt self-Close after that many completed
+	// jobs (see FailAfterJobs); jobsDone counts completions toward it and
+	// failFired makes the kill fire exactly once.
+	failAfter atomic.Int64
+	jobsDone  atomic.Int64
+	failFired atomic.Bool
 }
 
 // connState tracks one accepted connection for shutdown: active counts the
@@ -192,6 +207,13 @@ func ListenWorker(addr string) (*Worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netexec: listen %s: %w", addr, err)
 	}
+	return ListenWorkerOn(ln), nil
+}
+
+// ListenWorkerOn starts a worker on an already-bound listener — the seam the
+// fault-injection harness uses to interpose a faultnet wrapper between the
+// wire and the worker without the worker knowing.
+func ListenWorkerOn(ln net.Listener) *Worker {
 	return &Worker{
 		ln:         ln,
 		closed:     make(chan struct{}),
@@ -199,7 +221,16 @@ func ListenWorker(addr string) (*Worker, error) {
 		conns:      make(map[*connState]struct{}),
 		peers:      make(map[string]*peerConn),
 		peerStates: make(map[uint64]*peerJobState),
-	}, nil
+	}
+}
+
+// FailAfterJobs schedules the worker to kill itself (abrupt Close, as a
+// crash would) after completing n jobs — a build-tag-free testing hook the
+// load-test harness and ewhworker's -fail-after flag use to take workers
+// down on a deterministic schedule. Zero or negative disables the hook.
+// Call before Serve.
+func (w *Worker) FailAfterJobs(n int) {
+	w.failAfter.Store(int64(n))
 }
 
 // Addr returns the worker's bound address.
@@ -331,7 +362,10 @@ func (w *Worker) beginJob(cs *connState) bool {
 }
 
 // endJob retires an in-flight job; the connection closes itself when the
-// worker is draining and this was its last job.
+// worker is draining and this was its last job. When a FailAfterJobs
+// schedule is armed and this completion reaches it, the worker kills itself
+// abruptly — from a goroutine, since Close waits on nothing but must not
+// run under the caller's locks.
 func (w *Worker) endJob(cs *connState) {
 	w.mu.Lock()
 	cs.active--
@@ -340,6 +374,10 @@ func (w *Worker) endJob(cs *connState) {
 	w.jobs.Done()
 	if closeNow {
 		_ = cs.conn.Close()
+	}
+	if n := w.failAfter.Load(); n > 0 && w.jobsDone.Add(1) >= n &&
+		w.failFired.CompareAndSwap(false, true) {
+		go func() { _ = w.Close() }()
 	}
 }
 

@@ -2,6 +2,7 @@ package netexec
 
 import (
 	"bufio"
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
@@ -146,7 +147,7 @@ func (pc *peerConn) sendContribution(t Timeouts, token uint64, sender int, keys 
 		return fmt.Errorf("peer %s: %w", pc.addr, pc.err)
 	}
 	if !pc.dialed {
-		conn, err := dialTCP(pc.addr, t)
+		conn, err := dialTCP(context.Background(), pc.addr, t)
 		if err != nil {
 			pc.err = err
 			return fmt.Errorf("peer %s: %w", pc.addr, err)

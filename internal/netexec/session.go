@@ -2,6 +2,7 @@ package netexec
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ewh/internal/exec"
 	"ewh/internal/join"
@@ -25,29 +27,47 @@ import (
 // interleave at job granularity on the send side (one job's frames are
 // contiguous per connection) and at frame granularity on the reply side.
 type Session struct {
-	conns  []*sessConn
-	nextID atomic.Uint32
+	conns []*sessConn
 
-	// relayedPairs counts the matched index pairs workers streamed back
-	// through this coordinator — the quantity the peer-shuffle path drives
-	// to zero for multiway intermediates. Exposed for the crosscheck's
+	// ids and relayed are pointers so a derived survivor view (Survivors)
+	// shares the parent's job-number space and pairs accounting: jobs issued
+	// on either multiplex over the same connections without id collisions.
+	ids *atomic.Uint32
+
+	// relayed counts the matched index pairs workers streamed back through
+	// this coordinator — the quantity the peer-shuffle path drives to zero
+	// for multiway intermediates. Exposed for the crosscheck's
 	// nothing-transits-the-coordinator assertion and the experiment tables.
-	relayedPairs atomic.Int64
+	relayed *atomic.Int64
 }
 
 // Dial connects to the workers and opens a session on each. The returned
 // Session serves jobs needing up to len(addrs) workers; Close hangs up.
 func Dial(addrs []string) (*Session, error) {
-	return DialWith(addrs, Timeouts{})
+	return DialContextWith(context.Background(), addrs, Timeouts{})
 }
 
 // DialWith is Dial with explicit dial/IO deadlines: connection establishment
 // is bounded by t.Dial and every in-flight frame transfer by t.IO, so a hung
 // worker fails its jobs instead of wedging the whole session (see Timeouts).
 func DialWith(addrs []string, t Timeouts) (*Session, error) {
-	s := &Session{}
+	return DialContextWith(context.Background(), addrs, t)
+}
+
+// DialContext is Dial bounded by ctx: cancelling the context aborts a dial
+// blocked in connection establishment (e.g. a full accept backlog, where no
+// wall-clock timeout is configured) instead of leaving the caller stuck in
+// the kernel handshake.
+func DialContext(ctx context.Context, addrs []string) (*Session, error) {
+	return DialContextWith(ctx, addrs, Timeouts{})
+}
+
+// DialContextWith combines DialContext and DialWith. The context bounds only
+// session establishment, not the jobs that follow.
+func DialContextWith(ctx context.Context, addrs []string, t Timeouts) (*Session, error) {
+	s := &Session{ids: new(atomic.Uint32), relayed: new(atomic.Int64)}
 	for _, addr := range addrs {
-		c, err := dialSessConn(addr, t, s)
+		c, err := dialSessConn(ctx, addr, t, s)
 		if err != nil {
 			_ = s.Close()
 			return nil, err
@@ -59,7 +79,7 @@ func DialWith(addrs []string, t Timeouts) (*Session, error) {
 
 // RelayedPairs reports the total matched index pairs this session's workers
 // have streamed back to the coordinator since Dial.
-func (s *Session) RelayedPairs() int64 { return s.relayedPairs.Load() }
+func (s *Session) RelayedPairs() int64 { return s.relayed.Load() }
 
 // Workers returns the session's worker count.
 func (s *Session) Workers() int { return len(s.conns) }
@@ -101,7 +121,7 @@ func (s *Session) RunJob(job *exec.Job, wm []exec.WorkerMetrics) error {
 	if err != nil {
 		return err
 	}
-	id := s.nextID.Add(1)
+	id := s.ids.Add(1)
 	errs := make([]error, job.Workers)
 	var wg sync.WaitGroup
 	for w := 0; w < job.Workers; w++ {
@@ -136,9 +156,15 @@ type jobHandler struct {
 // sessConn is one persistent worker connection: a writer serialized by wmu
 // and a reader goroutine demultiplexing reply frames to registered jobs.
 type sessConn struct {
-	addr string
-	conn net.Conn
-	sess *Session // owning session (pairs accounting)
+	addr     string
+	conn     net.Conn
+	sess     *Session // owning session (pairs accounting, fault attribution)
+	timeouts Timeouts
+
+	// down marks the worker excluded from future attempts: set when a
+	// transport fault is classified against this connection, or when a peer
+	// reports this worker's address as a failed transfer target.
+	down atomic.Bool
 
 	wmu sync.Mutex // serializes whole-job sends
 	bw  *bufio.Writer
@@ -148,28 +174,36 @@ type sessConn struct {
 	err     error // sticky: set once the connection is unusable
 }
 
-func dialSessConn(addr string, t Timeouts, sess *Session) (*sessConn, error) {
-	raw, err := dialTCP(addr, t)
+func dialSessConn(ctx context.Context, addr string, t Timeouts, sess *Session) (*sessConn, error) {
+	raw, err := dialTCP(ctx, addr, t)
 	if err != nil {
-		return nil, fmt.Errorf("netexec: dial %s: %w", addr, err)
+		return nil, &WorkerFault{Kind: FaultDial, Worker: -1, Addr: addr, Err: err, retry: true}
 	}
 	conn := newTimedConn(raw, t.IO)
 	c := &sessConn{
-		addr:    addr,
-		conn:    conn,
-		sess:    sess,
-		bw:      bufio.NewWriterSize(conn, connBufSize),
-		pending: make(map[uint32]*jobHandler),
+		addr:     addr,
+		conn:     conn,
+		sess:     sess,
+		timeouts: t,
+		bw:       bufio.NewWriterSize(conn, connBufSize),
+		pending:  make(map[uint32]*jobHandler),
 	}
 	var prelude [len(protoMagic) + 2]byte
 	copy(prelude[:], protoMagic[:])
 	binary.LittleEndian.PutUint16(prelude[len(protoMagic):], protoVersionSession)
 	if _, err := conn.Write(prelude[:]); err != nil {
 		_ = conn.Close()
-		return nil, fmt.Errorf("netexec: session handshake to %s: %w", addr, err)
+		return nil, &WorkerFault{Kind: FaultHandshake, Worker: -1, Addr: addr, Err: err, retry: true}
 	}
 	go c.readLoop()
 	return c, nil
+}
+
+// failedErr reports the connection's sticky failure, or nil while usable.
+func (c *sessConn) failedErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 func (c *sessConn) close() error {
@@ -239,7 +273,7 @@ func (c *sessConn) readLoop() {
 				c.fail(fmt.Errorf("pairs frame: %w", err))
 				return
 			}
-			c.sess.relayedPairs.Add(int64(len(pairs)))
+			c.sess.relayed.Add(int64(len(pairs)))
 			if h := c.handler(id); h != nil && h.onPairs != nil {
 				h.onPairs(pairs)
 			}
@@ -284,42 +318,67 @@ func (c *sessConn) readLoop() {
 	}
 }
 
+// awaitReply blocks until the sub-job's terminal reply, bounded by the
+// session's per-job liveness deadline when one is configured. A worker that
+// produces neither a reply nor a connection error within Timeouts.Job is
+// declared dead: the deadline catches failure modes the IO deadline cannot —
+// a worker that accepted the job and went silent without the TCP peer dying
+// (the coordinator is idle at a frame boundary, so no read deadline is
+// armed).
+func (c *sessConn) awaitReply(op string, id uint32, workerID int, h *jobHandler) (sessReply, error) {
+	if c.timeouts.Job <= 0 {
+		return <-h.done, nil
+	}
+	t := time.NewTimer(c.timeouts.Job)
+	defer t.Stop()
+	select {
+	case r := <-h.done:
+		return r, nil
+	case <-t.C:
+		return sessReply{}, c.livenessFault(op, id, workerID,
+			fmt.Errorf("no reply within liveness deadline %v", c.timeouts.Job))
+	}
+}
+
 // runJob executes one sub-job on this connection: send the job's frames,
 // then consume replies until the worker's metrics (pairs arrive via the
-// read loop). Every error names the worker address and job number.
+// read loop). Every failure is classified into a *WorkerFault naming the
+// worker address and job number.
 func (c *sessConn) runJob(id uint32, workerID int, spec join.Spec, job *exec.Job,
 	m *exec.WorkerMetrics) error {
 
-	wrap := func(err error) error {
-		return fmt.Errorf("netexec: job %d on worker %d (%s): %w", id, workerID, c.addr, err)
-	}
+	const op = "job"
 	h := &jobHandler{done: make(chan sessReply, 1)}
 	if job.Pairs != nil {
 		h.onPairs = func(pairs []exec.PairIdx) { job.Pairs(workerID, pairs) }
 	}
 	if err := c.register(id, h); err != nil {
-		return wrap(err)
+		return c.connFault(op, id, workerID, err)
 	}
 	defer c.deregister(id)
 	sentPay, err := c.sendJob(id, workerID, spec, nil, job)
 	if err != nil {
 		// The reader may deliver the underlying failure too; the buffered
 		// done channel absorbs it.
-		return wrap(err)
+		return c.connFault(op, id, workerID, err)
 	}
-	r := <-h.done
+	r, ferr := c.awaitReply(op, id, workerID, h)
+	if ferr != nil {
+		return ferr
+	}
 	if r.err != nil {
-		return wrap(r.err)
+		return c.connFault(op, id, workerID, r.err)
 	}
 	if r.m.Err != "" {
-		return wrap(errors.New(r.m.Err))
+		return c.workerFault(op, id, workerID, r.m)
 	}
 	// End-to-end payload assertion: the worker reports the payload bytes it
 	// decoded; any disagreement with what this side streamed means wire
 	// corruption that slipped past the worker's declaration checks.
 	if r.m.PayBytes1 != sentPay[0] || r.m.PayBytes2 != sentPay[1] {
-		return wrap(fmt.Errorf("worker decoded %d/%d payload bytes, coordinator sent %d/%d",
-			r.m.PayBytes1, r.m.PayBytes2, sentPay[0], sentPay[1]))
+		return c.protoFault(op, id, workerID,
+			fmt.Errorf("worker decoded %d/%d payload bytes, coordinator sent %d/%d",
+				r.m.PayBytes1, r.m.PayBytes2, sentPay[0], sentPay[1]))
 	}
 	m.InputR1 = r.m.InputR1
 	m.InputR2 = r.m.InputR2

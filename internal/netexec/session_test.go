@@ -19,9 +19,34 @@ import (
 	"ewh/internal/partition"
 )
 
+// leakCheck snapshots the goroutine count and asserts at cleanup — after
+// every later-registered cleanup (worker closes, session hangups) has run —
+// that the test's goroutines have exited. The +2 allowance absorbs runtime
+// helpers; the poll absorbs teardown races (a read loop observing its
+// closed connection). Every session/peer/fault test gets this via the
+// startWorkerSet/dialSession helpers, so no recovery path can leak parked
+// readers unnoticed.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= baseline+2 {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutines leaked: baseline %d, now %d\n%s",
+			baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+	})
+}
+
 // startWorkerSet starts n workers and returns them with their addresses.
 func startWorkerSet(t *testing.T, n int) ([]*Worker, []string) {
 	t.Helper()
+	leakCheck(t)
 	ws := make([]*Worker, n)
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {

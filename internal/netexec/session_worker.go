@@ -581,7 +581,15 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 			return
 		}
 		if err != nil {
-			reply(metrics{Err: err.Error()})
+			m := metrics{Err: err.Error()}
+			// A failed mesh transfer indicts the PEER, not this worker: lift
+			// the address out of the error so the coordinator excludes the
+			// right machine.
+			var pf *peerFaultError
+			if errors.As(err, &pf) {
+				m.FaultAddr = pf.addr
+			}
+			reply(m)
 			return
 		}
 		reply(metrics{
@@ -743,7 +751,8 @@ func (w *Worker) runPlanJob(j *sessJob, r1, r2 *sessRel, bw *bufio.Writer, wmu *
 			continue
 		}
 		if err := w.sendToPeer(ps.Peers[p], ps.Token, sender, blk); err != nil {
-			return 0, nil, fmt.Errorf("transfer %d: %w", ps.Token, err)
+			return 0, nil, fmt.Errorf("transfer %d: %w", ps.Token,
+				&peerFaultError{addr: ps.Peers[p], err: err})
 		}
 	}
 	return out, counts, nil

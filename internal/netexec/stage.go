@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ewh/internal/exec"
 	"ewh/internal/join"
@@ -47,7 +48,7 @@ func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
 	}
 
 	token := newPeerToken()
-	id1 := s.nextID.Add(1)
+	id1 := s.ids.Add(1)
 	counts := make([][]int64, j1)
 	var j2 int
 	var wg sync.WaitGroup
@@ -127,7 +128,7 @@ func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
 		}
 	}
 
-	id2 := s.nextID.Add(1)
+	id2 := s.ids.Add(1)
 	errs2 := make([]error, j2)
 	for p := 0; p < j2; p++ {
 		wg.Add(1)
@@ -242,35 +243,39 @@ func (s *Session) cancelPlan(token uint64) {
 func (c *sessConn) runStageJob(id uint32, workerID int, spec join.Spec, ps *planSpec,
 	job *exec.Job, m *exec.WorkerMetrics) ([]int64, error) {
 
-	wrap := func(err error) error {
-		return fmt.Errorf("netexec: stage job %d on worker %d (%s): %w", id, workerID, c.addr, err)
-	}
+	const op = "stage job"
 	h := &jobHandler{done: make(chan sessReply, 1)}
 	if err := c.register(id, h); err != nil {
-		return nil, wrap(err)
+		return nil, c.connFault(op, id, workerID, err)
 	}
 	defer c.deregister(id)
 	sentPay, err := c.sendJob(id, workerID, spec, ps, job)
 	if err != nil {
-		return nil, wrap(err)
+		return nil, c.connFault(op, id, workerID, err)
 	}
-	r := <-h.done
-	return c.stageReply(r, sentPay, m, wrap)
+	r, ferr := c.awaitReply(op, id, workerID, h)
+	if ferr != nil {
+		return nil, ferr
+	}
+	return c.stageReply(op, id, workerID, r, sentPay, m)
 }
 
 // stageReply validates one stage-1 sub-job's terminal metrics and fills m.
-func (c *sessConn) stageReply(r sessReply, sentPay [2]int64, m *exec.WorkerMetrics,
-	wrap func(error) error) ([]int64, error) {
+// A reply whose metrics name a peer fault address is attributed to that PEER
+// (the reporting worker is healthy; its transfer target died).
+func (c *sessConn) stageReply(op string, id uint32, workerID int, r sessReply,
+	sentPay [2]int64, m *exec.WorkerMetrics) ([]int64, error) {
 
 	if r.err != nil {
-		return nil, wrap(r.err)
+		return nil, c.connFault(op, id, workerID, r.err)
 	}
 	if r.m.Err != "" {
-		return nil, wrap(errors.New(r.m.Err))
+		return nil, c.workerFault(op, id, workerID, r.m)
 	}
 	if r.m.PayBytes1 != sentPay[0] || r.m.PayBytes2 != sentPay[1] {
-		return nil, wrap(fmt.Errorf("worker decoded %d/%d payload bytes, coordinator sent %d/%d",
-			r.m.PayBytes1, r.m.PayBytes2, sentPay[0], sentPay[1]))
+		return nil, c.protoFault(op, id, workerID,
+			fmt.Errorf("worker decoded %d/%d payload bytes, coordinator sent %d/%d",
+				r.m.PayBytes1, r.m.PayBytes2, sentPay[0], sentPay[1]))
 	}
 	m.InputR1 = r.m.InputR1
 	m.InputR2 = r.m.InputR2
@@ -285,17 +290,21 @@ func (c *sessConn) stageReply(r sessReply, sentPay [2]int64, m *exec.WorkerMetri
 func (c *sessConn) openStatsStageJob(id uint32, workerID int, spec join.Spec, ps *planSpec,
 	job *exec.Job) ([]byte, *jobHandler, [2]int64, error) {
 
-	wrap := func(err error) error {
-		return fmt.Errorf("netexec: stats stage job %d on worker %d (%s): %w", id, workerID, c.addr, err)
-	}
+	const op = "stats stage job"
 	h := &jobHandler{done: make(chan sessReply, 1), stats: make(chan []byte, 1)}
 	if err := c.register(id, h); err != nil {
-		return nil, nil, [2]int64{}, wrap(err)
+		return nil, nil, [2]int64{}, c.connFault(op, id, workerID, err)
 	}
 	sentPay, err := c.sendJob(id, workerID, spec, ps, job)
 	if err != nil {
 		c.deregister(id)
-		return nil, nil, [2]int64{}, wrap(err)
+		return nil, nil, [2]int64{}, c.connFault(op, id, workerID, err)
+	}
+	var deadline <-chan time.Time
+	if c.timeouts.Job > 0 {
+		t := time.NewTimer(c.timeouts.Job)
+		defer t.Stop()
+		deadline = t.C
 	}
 	select {
 	case sum := <-h.stats:
@@ -303,12 +312,16 @@ func (c *sessConn) openStatsStageJob(id uint32, workerID int, spec join.Spec, ps
 	case r := <-h.done:
 		c.deregister(id)
 		if r.err != nil {
-			return nil, nil, [2]int64{}, wrap(r.err)
+			return nil, nil, [2]int64{}, c.connFault(op, id, workerID, r.err)
 		}
 		if r.m.Err != "" {
-			return nil, nil, [2]int64{}, wrap(errors.New(r.m.Err))
+			return nil, nil, [2]int64{}, c.workerFault(op, id, workerID, r.m)
 		}
-		return nil, nil, [2]int64{}, wrap(fmt.Errorf("worker replied metrics before shipping its statistics summary"))
+		return nil, nil, [2]int64{}, c.protoFault(op, id, workerID,
+			fmt.Errorf("worker replied metrics before shipping its statistics summary"))
+	case <-deadline:
+		return nil, nil, [2]int64{}, c.livenessFault(op, id, workerID,
+			fmt.Errorf("no statistics summary within liveness deadline %v", c.timeouts.Job))
 	}
 }
 
@@ -318,9 +331,7 @@ func (c *sessConn) openStatsStageJob(id uint32, workerID int, spec join.Spec, ps
 func (c *sessConn) finishStatsStageJob(id uint32, workerID int, token uint64, plan []byte,
 	peers []string, h *jobHandler, sentPay [2]int64, m *exec.WorkerMetrics) ([]int64, error) {
 
-	wrap := func(err error) error {
-		return fmt.Errorf("netexec: stats stage job %d on worker %d (%s): %w", id, workerID, c.addr, err)
-	}
+	const op = "stats stage job"
 	defer c.deregister(id)
 	self := -1
 	if workerID < len(peers) {
@@ -334,10 +345,13 @@ func (c *sessConn) finishStatsStageJob(id uint32, workerID int, token uint64, pl
 	}
 	c.wmu.Unlock()
 	if err != nil {
-		return nil, wrap(err)
+		return nil, c.connFault(op, id, workerID, err)
 	}
-	r := <-h.done
-	return c.stageReply(r, sentPay, m, wrap)
+	r, ferr := c.awaitReply(op, id, workerID, h)
+	if ferr != nil {
+		return nil, ferr
+	}
+	return c.stageReply(op, id, workerID, r, sentPay, m)
 }
 
 // runPeerJob runs one stage-2 sub-job: the open names the transfer token and
@@ -346,30 +360,32 @@ func (c *sessConn) finishStatsStageJob(id uint32, workerID int, token uint64, pl
 func (c *sessConn) runPeerJob(id uint32, workerID int, spec join.Spec, token uint64,
 	senderCounts []int64, next *exec.PlanJob, m *exec.WorkerMetrics) error {
 
-	wrap := func(err error) error {
-		return fmt.Errorf("netexec: peer job %d on worker %d (%s): %w", id, workerID, c.addr, err)
-	}
+	const op = "peer job"
 	h := &jobHandler{done: make(chan sessReply, 1)}
 	if err := c.register(id, h); err != nil {
-		return wrap(err)
+		return c.connFault(op, id, workerID, err)
 	}
 	defer c.deregister(id)
 	if err := c.sendPeerJob(id, workerID, spec, token, senderCounts, next); err != nil {
-		return wrap(err)
+		return c.connFault(op, id, workerID, err)
 	}
-	r := <-h.done
+	r, ferr := c.awaitReply(op, id, workerID, h)
+	if ferr != nil {
+		return ferr
+	}
 	if r.err != nil {
-		return wrap(r.err)
+		return c.connFault(op, id, workerID, r.err)
 	}
 	if r.m.Err != "" {
-		return wrap(errors.New(r.m.Err))
+		return c.workerFault(op, id, workerID, r.m)
 	}
 	var expect int64
 	for _, sc := range senderCounts {
 		expect += sc
 	}
 	if r.m.InputR1 != expect {
-		return wrap(fmt.Errorf("worker joined %d peer tuples, senders reported %d", r.m.InputR1, expect))
+		return c.protoFault(op, id, workerID,
+			fmt.Errorf("worker joined %d peer tuples, senders reported %d", r.m.InputR1, expect))
 	}
 	m.InputR1 = r.m.InputR1
 	m.InputR2 = r.m.InputR2

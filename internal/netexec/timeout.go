@@ -1,6 +1,7 @@
 package netexec
 
 import (
+	"context"
 	"net"
 	"sync/atomic"
 	"time"
@@ -14,18 +15,29 @@ import (
 // frame boundaries are exempt — an idle persistent connection is legitimate
 // — so the deadline measures stalled transfers, not quiet sessions (and not
 // long-running worker joins, which produce no traffic while computing).
+//
+// Job is a per-sub-job liveness deadline: the total wall time from a
+// sub-job's dispatch to its terminal reply. It catches the failure mode the
+// other two cannot — a worker that accepted a job and went silent while its
+// TCP connection stays healthy — at the cost of bounding legitimate
+// computation, so it should be sized to the slowest expected job, not the
+// slowest expected frame. A worker exceeding it is declared dead and its
+// connection poisoned (see WorkerFault/FaultTimeout).
+//
 // The zero value disables all deadlines.
 type Timeouts struct {
 	Dial time.Duration
 	IO   time.Duration
+	Job  time.Duration
 }
 
-// dialTCP connects with the configured dial timeout (unbounded when zero).
-func dialTCP(addr string, t Timeouts) (net.Conn, error) {
-	if t.Dial > 0 {
-		return net.DialTimeout("tcp", addr, t.Dial)
-	}
-	return net.Dial("tcp", addr)
+// dialTCP connects with the configured dial timeout (unbounded when zero),
+// honoring ctx cancellation even while blocked in the kernel handshake —
+// net.Dialer.DialContext aborts the in-flight connect when ctx ends, where
+// the old net.DialTimeout path ignored the caller entirely.
+func dialTCP(ctx context.Context, addr string, t Timeouts) (net.Conn, error) {
+	d := net.Dialer{Timeout: t.Dial}
+	return d.DialContext(ctx, "tcp", addr)
 }
 
 // timedConn wraps a connection with Timeouts.IO semantics: writes always
