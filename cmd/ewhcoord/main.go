@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -62,6 +63,7 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job liveness deadline: a worker silent this long fails the job instead of wedging it (0: none)")
 		retries    = flag.Int("retries", 0, "retry a job this many times on worker failure, replanning over the survivors (0: fail fast)")
 		backoff    = flag.Duration("retry-backoff", 50*time.Millisecond, "base delay before the first retry (doubles per attempt)")
+		tenant     = flag.String("tenant", "", "tenant id declared in the session handshake: workers key admission control and resource budgets by it (empty: anonymous)")
 	)
 	flag.Parse()
 
@@ -161,7 +163,7 @@ func main() {
 		if *relay && mode != multiway.Stage2Auto {
 			fatal(fmt.Errorf("-relay re-plans stage 2 on the coordinator; -stage2-scheme %v applies to the peer path only", mode))
 		}
-		runMultiway(addrs, r1, r2, *n, *j, *seed, model, timeouts, retry, *relay, mode)
+		runMultiway(addrs, *tenant, r1, r2, *n, *j, *seed, model, timeouts, retry, *relay, mode)
 		return
 	}
 
@@ -187,7 +189,7 @@ func main() {
 		return
 	}
 
-	sess, err := netexec.DialWith(addrs, timeouts)
+	sess, err := netexec.DialTenant(context.Background(), *tenant, addrs, timeouts)
 	if err != nil {
 		fatal(err)
 	}
@@ -213,7 +215,7 @@ func main() {
 // the stage-2 scheme selected by -stage2-scheme (auto = a genuine CSIO plan
 // built from distributed statistics); -relay forces the coordinator-relay
 // baseline.
-func runMultiway(addrs []string, r1, r2 []join.Key, n, j int, seed uint64, model cost.Model,
+func runMultiway(addrs []string, tenant string, r1, r2 []join.Key, n, j int, seed uint64, model cost.Model,
 	timeouts netexec.Timeouts, retry exec.RetryPolicy, relay bool, stage2 multiway.Stage2Mode) {
 
 	mid := multiway.MidRelation{
@@ -224,7 +226,7 @@ func runMultiway(addrs []string, r1, r2 []join.Key, n, j int, seed uint64, model
 	q := multiway.Query{R1: r1, Mid: mid, R3: r3,
 		CondA: join.NewBand(1), CondB: join.Equi{}}
 
-	sess, err := netexec.DialWith(addrs, timeouts)
+	sess, err := netexec.DialTenant(context.Background(), tenant, addrs, timeouts)
 	if err != nil {
 		fatal(err)
 	}

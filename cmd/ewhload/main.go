@@ -1,0 +1,204 @@
+// Command ewhload is the multi-tenant load-test harness CI gates on: many
+// concurrent tenant coordinators drive thousands of small joins over ONE
+// shared worker fleet with admission control and per-tenant budgets, and the
+// run fails on any policy violation — an output mismatch against the
+// in-process engine, an untyped job failure, a tenant starved below half its
+// fair share while a hog saturates the pool, a quota breach that did not
+// surface as a typed rejection, or a goroutine leak after teardown.
+//
+// With no -workers flag it spawns its own fleet on loopback (real sockets,
+// in-process workers) configured with the admission/budget flags; -workers
+// drives an externally-launched ewhworker fleet instead, whose policy is
+// whatever those processes were started with.
+//
+//	ewhload -fleet 4 -tenants 8 -jobs 500 -fairness 2s -quota -out report.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"ewh/internal/loadtest"
+	"ewh/internal/netexec"
+)
+
+// quotaTenant is the tenant the spawned fleet budgets tightly so the quota
+// probe's over-sized join must bounce off a typed ErrQuota.
+const quotaTenant = "quota-probe"
+
+func main() {
+	var (
+		workers   = flag.String("workers", "", "comma-separated external worker addresses (empty: spawn -fleet workers in-process)")
+		fleetN    = flag.Int("fleet", 4, "workers to spawn when -workers is empty")
+		tenants   = flag.Int("tenants", 8, "concurrent tenant coordinators")
+		jobs      = flag.Int("jobs", 500, "jobs per tenant in the throughput phase")
+		conc      = flag.Int("concurrency", 2, "concurrent in-flight jobs per tenant")
+		rows      = flag.Int("rows", 2000, "rows per relation per join")
+		distinct  = flag.Int("distinct", 8, "distinct workloads jobs cycle through")
+		spotEvery = flag.Int("spot-every", 50, "deep-compare per-worker metrics every Nth job (0: outputs only)")
+		seed      = flag.Uint64("seed", 42, "workload seed")
+		fairness  = flag.Duration("fairness", 0, "fairness phase wall window: a hog saturates the pool while regular tenants assert >=50% of fair share; run with -max-inflight 1 so the execution slot is contended (0: skip)")
+		hogSess   = flag.Int("hog-sessions", 0, "hog tenant's session count in the fairness phase (0: 2x tenants)")
+		fairRows  = flag.Int("fairness-rows", 0, "rows per relation in the fairness phase (0: -rows)")
+		quota     = flag.Bool("quota", false, "run the quota probe (spawned fleets budget tenant "+quotaTenant+" tightly; external fleets must do the same)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "session dial and IO deadline")
+
+		inflight  = flag.Int("max-inflight", 8, "spawned fleet: concurrent join executions per worker (0: unlimited)")
+		maxQueue  = flag.Int("max-queue", 256, "spawned fleet: per-tenant queued jobs before typed rejection (0: unbounded)")
+		queueWait = flag.Duration("queue-deadline", 20*time.Second, "spawned fleet: max queue wait before typed rejection (0: forever)")
+
+		out = flag.String("out", "", "write the JSON report here (CI uploads it as an artifact)")
+	)
+	flag.Parse()
+
+	baseline := runtime.NumGoroutine()
+
+	cfg := loadtest.Config{
+		Tenants:           *tenants,
+		JobsPerTenant:     *jobs,
+		Concurrency:       *conc,
+		Rows:              *rows,
+		DistinctWorkloads: *distinct,
+		SpotCheckEvery:    *spotEvery,
+		Seed:              *seed,
+		Timeouts:          netexec.Timeouts{Dial: *timeout, IO: *timeout},
+		FairnessWindow:    *fairness,
+		HogSessions:       *hogSess,
+		FairnessRows:      *fairRows,
+	}
+	if *quota {
+		cfg.QuotaTenant = quotaTenant
+	}
+
+	var fleet *loadtest.Fleet
+	if *workers == "" {
+		var err error
+		fleet, err = loadtest.SpawnFleet(loadtest.FleetConfig{
+			Workers: *fleetN,
+			Admission: netexec.AdmissionConfig{
+				MaxInFlight: *inflight, MaxQueue: *maxQueue, QueueDeadline: *queueWait},
+			PerTenant: map[string]netexec.TenantPolicy{
+				quotaTenant: {MaxBytes: 1024},
+			},
+			Timeouts: netexec.Timeouts{Dial: *timeout, IO: *timeout},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Addrs = fleet.Addrs
+		fmt.Printf("spawned fleet: %d workers, max-inflight %d, max-queue %d, queue-deadline %v\n",
+			*fleetN, *inflight, *maxQueue, *queueWait)
+	} else {
+		cfg.Addrs = strings.Split(*workers, ",")
+	}
+
+	rep, err := loadtest.Run(cfg)
+	if err != nil {
+		if fleet != nil {
+			fleet.Close()
+		}
+		fatal(err)
+	}
+
+	if fleet != nil {
+		for i, w := range fleet.Workers {
+			s := w.AdmissionStats()
+			fmt.Printf("worker %d admission: fastpath %d dispatched %d rejected %d granted %v\n",
+				i, s.FastPath, s.Dispatched, s.Rejected, s.Granted)
+		}
+	}
+
+	if fleet != nil {
+		if err := fleet.Shutdown(30 * time.Second); err != nil {
+			fatal(fmt.Errorf("fleet shutdown: %w", err))
+		}
+	}
+
+	// After every session closed and the fleet drained, the process must be
+	// back to its baseline goroutine count (readLoops, admitters, peer
+	// servers all gone) — a leak here wedges a long-lived shared service.
+	leak := checkGoroutines(baseline, 10*time.Second)
+
+	printSummary(rep, leak)
+
+	if *out != "" {
+		wrapped := struct {
+			*loadtest.Report
+			GoroutineLeak string `json:"goroutine_leak,omitempty"`
+		}{rep, leak}
+		data, err := json.MarshalIndent(wrapped, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	viol := rep.Violations()
+	if leak != "" {
+		if viol != "" {
+			viol += "; "
+		}
+		viol += leak
+	}
+	if viol != "" {
+		fmt.Fprintln(os.Stderr, "ewhload: POLICY VIOLATION:", viol)
+		os.Exit(1)
+	}
+	fmt.Println("ewhload: PASS")
+}
+
+// checkGoroutines polls until the goroutine count settles back to the
+// pre-spawn baseline (plus a little runtime slack) or the deadline passes.
+func checkGoroutines(baseline int, wait time.Duration) string {
+	const slack = 4
+	deadline := time.Now().Add(wait)
+	n := runtime.NumGoroutine()
+	for n > baseline+slack && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > baseline+slack {
+		return fmt.Sprintf("goroutine leak: %d alive after teardown (baseline %d)", n, baseline)
+	}
+	return ""
+}
+
+func printSummary(rep *loadtest.Report, leak string) {
+	fmt.Printf("throughput: %d tenants x %d jobs over %d workers: %d completed, %d rejected (typed), %d mismatches, %d failures in %.0fms (%.0f jobs/s)\n",
+		rep.Tenants, rep.JobsPerTenant, rep.Workers,
+		rep.Completed, rep.Rejected, rep.Mismatches, rep.Failures, rep.WallMs, rep.JobsPerSec)
+	fmt.Printf("latency: p50 %.1fms p99 %.1fms\n", rep.P50Ms, rep.P99Ms)
+	for _, t := range rep.PerTenant {
+		fmt.Printf("  %s: %4d completed %3d rejected  p50 %6.1fms  p99 %6.1fms\n",
+			t.Tenant, t.Completed, t.Rejected, t.P50Ms, t.P99Ms)
+	}
+	if f := rep.Fairness; f != nil {
+		fmt.Printf("fairness: hog (%d sessions) %d vs normals %v over %.0fms; fair share %.0f, slowest tenant at %.0f%% of it\n",
+			f.HogSessions, f.HogCompleted, f.Normal, f.WindowMs, f.FairShare, 100*f.MinShareRatio)
+	}
+	if q := rep.Quota; q != nil {
+		if q.TypedRejection {
+			fmt.Println("quota probe: over-budget join rejected with typed ErrQuota")
+		} else {
+			fmt.Printf("quota probe: FAILED: %s\n", q.Err)
+		}
+	}
+	for _, e := range rep.Errors {
+		fmt.Println("  error:", e)
+	}
+	if leak != "" {
+		fmt.Println("  " + leak)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ewhload:", err)
+	os.Exit(1)
+}

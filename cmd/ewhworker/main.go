@@ -28,6 +28,11 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for in-flight jobs")
 	timeout := flag.Duration("timeout", 0, "dial and per-operation IO deadline on session and peer connections (0: none)")
 	failAfter := flag.Int("fail-after", 0, "crash abruptly after completing N jobs (fault-injection hook for recovery testing; 0: never)")
+	maxInFlight := flag.Int("max-inflight", 0, "admission control: concurrent join executions (0: unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: per-tenant queued jobs before typed rejection (0: unbounded)")
+	queueDeadline := flag.Duration("queue-deadline", 0, "admission control: max queue wait before typed rejection (0: wait forever)")
+	tenantBytes := flag.Int64("tenant-max-bytes", 0, "default per-tenant buffered relation byte budget (0: unlimited)")
+	tenantInter := flag.Int64("tenant-max-intermediate", 0, "default per-tenant stage-1 intermediate tuple budget per plan job (0: unlimited)")
 	flag.Parse()
 
 	w, err := netexec.ListenWorker(*addr)
@@ -36,6 +41,14 @@ func main() {
 		os.Exit(1)
 	}
 	w.SetTimeouts(netexec.Timeouts{Dial: *timeout, IO: *timeout})
+	if *maxInFlight > 0 {
+		w.SetAdmission(netexec.AdmissionConfig{
+			MaxInFlight: *maxInFlight, MaxQueue: *maxQueue, QueueDeadline: *queueDeadline})
+	}
+	if *tenantBytes > 0 || *tenantInter > 0 {
+		w.SetDefaultTenantPolicy(netexec.TenantPolicy{
+			MaxBytes: *tenantBytes, MaxIntermediate: *tenantInter})
+	}
 	if *failAfter > 0 {
 		w.FailAfterJobs(*failAfter)
 		fmt.Fprintf(os.Stderr, "ewhworker: will crash after %d jobs\n", *failAfter)

@@ -58,6 +58,27 @@ type Timeouts = netexec.Timeouts
 // DialWith is Dial with explicit dial/IO deadlines.
 func DialWith(addrs []string, t Timeouts) (*Cluster, error) { return netexec.DialWith(addrs, t) }
 
+// WorkerPool is the coordinator-side handle on a SHARED worker fleet: any
+// number of concurrent coordinators draw tenant sessions from one fixed set
+// of worker addresses, and the workers enforce per-tenant admission control,
+// weighted fair scheduling and resource budgets. See netexec.Pool.
+type WorkerPool = netexec.Pool
+
+// NewWorkerPool wraps a worker fleet's addresses as a shared pool; sessions
+// dialed through it carry a tenant identity in the v3 handshake.
+func NewWorkerPool(addrs []string, t Timeouts) (*WorkerPool, error) {
+	return netexec.NewPool(addrs, t)
+}
+
+// ErrAdmission marks a job a worker refused under admission control (queue
+// full or queue deadline exceeded): errors.Is(err, ErrAdmission). The worker
+// is healthy — shed load or back off rather than retry hot.
+var ErrAdmission = netexec.ErrAdmission
+
+// ErrQuota marks a job that exceeded its tenant's worker-side resource
+// budget: errors.Is(err, ErrQuota). Deterministic, never retried.
+var ErrQuota = netexec.ErrQuota
+
 // PlanArtifact is a serializable partitioning plan: the scheme, its routing
 // seed, and an optional heterogeneous-cluster assignment. Artifacts
 // round-trip byte-exactly through EncodePlanArtifact/DecodePlanArtifact, so

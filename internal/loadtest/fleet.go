@@ -1,0 +1,74 @@
+package loadtest
+
+import (
+	"context"
+	"time"
+
+	"ewh/internal/netexec"
+)
+
+// Fleet is a locally-spawned shared worker fleet: real TCP listeners on
+// loopback, one Worker process-equivalent each, with a common admission and
+// tenant-policy configuration. It is what cmd/ewhload and the loadtest
+// suite drive when no external -workers fleet is given.
+type Fleet struct {
+	Workers []*netexec.Worker
+	Addrs   []string
+}
+
+// FleetConfig configures every worker of a spawned fleet identically —
+// admission control and tenant budgets are per-worker state, so a uniform
+// fleet is the service configuration one deployment would roll out.
+type FleetConfig struct {
+	Workers   int
+	Admission netexec.AdmissionConfig
+	Default   netexec.TenantPolicy
+	// PerTenant overrides the default policy for specific tenants (e.g. a
+	// tight MaxBytes budget for the quota probe's tenant).
+	PerTenant map[string]netexec.TenantPolicy
+	Timeouts  netexec.Timeouts
+}
+
+// SpawnFleet starts the fleet on loopback; Close (or Shutdown) releases it.
+func SpawnFleet(cfg FleetConfig) (*Fleet, error) {
+	f := &Fleet{}
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := netexec.ListenWorker("127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.SetTimeouts(cfg.Timeouts)
+		if cfg.Admission.MaxInFlight > 0 {
+			w.SetAdmission(cfg.Admission)
+		}
+		w.SetDefaultTenantPolicy(cfg.Default)
+		for tenant, p := range cfg.PerTenant {
+			w.SetTenantPolicy(tenant, p)
+		}
+		go func() { _ = w.Serve() }()
+		f.Workers = append(f.Workers, w)
+		f.Addrs = append(f.Addrs, w.Addr())
+	}
+	return f, nil
+}
+
+// Close kills every worker abruptly.
+func (f *Fleet) Close() {
+	for _, w := range f.Workers {
+		_ = w.Close()
+	}
+}
+
+// Shutdown drains every worker gracefully, bounded by d.
+func (f *Fleet) Shutdown(d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	var first error
+	for _, w := range f.Workers {
+		if err := w.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,535 @@
+// Package loadtest drives the multi-tenant service shape end to end:
+// many concurrent coordinator goroutines, each its own tenant session,
+// running thousands of small joins over ONE shared socket-level worker
+// fleet with admission control and per-tenant budgets enforced
+// worker-side. It measures throughput and latency percentiles, counts
+// typed rejections, spot-checks outputs bit-identical against the
+// in-process engine, and (optionally) runs a fairness phase — a hog
+// tenant saturating the pool while modest tenants assert their fair
+// share — and a quota probe asserting budget violations surface as typed
+// ErrQuota rejections, never as memory growth or a wedged worker.
+//
+// cmd/ewhload is the CLI wrapper CI runs; the package is a library so
+// tests can drive the same phases in-process.
+package loadtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ewh/internal/cost"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/netexec"
+	"ewh/internal/partition"
+	"ewh/internal/workload"
+)
+
+// Config shapes one load-test run against an already-listening fleet.
+type Config struct {
+	// Addrs is the shared worker fleet every tenant's session dials.
+	Addrs []string
+	// Tenants is the number of concurrent tenant coordinators.
+	Tenants int
+	// JobsPerTenant is each tenant's job count in the throughput phase.
+	JobsPerTenant int
+	// Concurrency is each tenant's concurrent in-flight jobs (>= 1).
+	Concurrency int
+	// Rows per relation per join (small joins; the load is in the count).
+	Rows int
+	// DistinctWorkloads cycles jobs through this many distinct input pairs
+	// (expected outputs are precomputed per pair on the in-process engine).
+	DistinctWorkloads int
+	// SpotCheckEvery deep-compares every Nth job's per-worker metrics
+	// against the in-process run (0: outputs only).
+	SpotCheckEvery int
+	// Seed derives every workload deterministically.
+	Seed uint64
+	// Timeouts apply to every tenant session.
+	Timeouts netexec.Timeouts
+
+	// FairnessWindow > 0 runs the fairness phase for this wall duration:
+	// a hog tenant holding HogSessions sessions and the regular tenants
+	// (one deep-pipelined session each) drive jobs through ONE shared
+	// worker's execution slot (1-worker scheme), and per-tenant completions
+	// in the window are compared against the equal-weight fair share. The
+	// phase asserts the system-level floor — no tenant starves below half
+	// its fair share while the hog saturates the pool; the admitter-level
+	// dispatch policy itself is pinned by netexec's unit tests. Meaningful
+	// only when the fleet runs MaxInFlight 1, so the slot is contended.
+	FairnessWindow time.Duration
+	// HogSessions is the hog tenant's session count (default: 2×Tenants).
+	// Sessions, not pipeline depth, are the hog's aggression: each
+	// connection contributes at most one admission waiter at a time (job
+	// sends are contiguous per connection), so staggered sessions keep the
+	// hog's queue at the contended worker permanently non-empty.
+	HogSessions int
+	// FairnessConcurrency is each regular tenant's in-flight job count in
+	// the fairness phase (default 12): a deep pipeline keeps a standing
+	// backlog of pre-sent jobs in the socket so the worker re-queues the
+	// tenant the instant a grant frees its read loop.
+	FairnessConcurrency int
+	// FairnessRows sizes the fairness phase's relations (default: Rows):
+	// large enough that each job's slot hold sustains admission contention,
+	// small enough that the coordinator-side turnaround stays cheap.
+	FairnessRows int
+
+	// QuotaTenant, when non-empty, runs the quota probe: a session under
+	// this tenant (whose worker-side MaxBytes budget the fleet configured
+	// tight) submits an over-budget join and must observe a typed ErrQuota.
+	QuotaTenant string
+	// QuotaRows sizes the probe's relations (default: 4×Rows).
+	QuotaRows int
+}
+
+func (c *Config) defaults() {
+	if c.Tenants <= 0 {
+		c.Tenants = 1
+	}
+	if c.JobsPerTenant <= 0 {
+		c.JobsPerTenant = 1
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 1
+	}
+	if c.Rows <= 0 {
+		c.Rows = 2000
+	}
+	if c.DistinctWorkloads <= 0 {
+		c.DistinctWorkloads = 8
+	}
+	if c.HogSessions <= 0 {
+		c.HogSessions = 2 * c.Tenants
+	}
+	if c.FairnessConcurrency <= 0 {
+		c.FairnessConcurrency = 12
+	}
+	if c.FairnessRows <= 0 {
+		c.FairnessRows = c.Rows
+	}
+	if c.QuotaRows <= 0 {
+		c.QuotaRows = 4 * c.Rows
+	}
+}
+
+// TenantResult is one tenant's throughput-phase outcome.
+type TenantResult struct {
+	Tenant    string
+	Completed int64
+	Rejected  int64
+	P50Ms     float64
+	P99Ms     float64
+	MaxMs     float64
+}
+
+// FairnessReport is the fairness phase's outcome. FairShare is the
+// per-tenant completion count a perfectly fair pool would give each of the
+// Tenants+1 equal-weight tenants (hog included); MinShareRatio is the
+// slowest regular tenant's completions over that share.
+type FairnessReport struct {
+	WindowMs      float64
+	HogSessions   int
+	HogCompleted  int64
+	Normal        []int64
+	FairShare     float64
+	MinShareRatio float64
+}
+
+// QuotaReport is the quota probe's outcome.
+type QuotaReport struct {
+	TypedRejection bool
+	Err            string
+}
+
+// Report is the full run's outcome. Failures counts jobs that ended in
+// anything other than success or a typed admission rejection — any nonzero
+// value is a policy violation, as is any Mismatches.
+type Report struct {
+	Workers       int             `json:"workers"`
+	Tenants       int             `json:"tenants"`
+	JobsPerTenant int             `json:"jobs_per_tenant"`
+	Completed     int64           `json:"completed"`
+	Rejected      int64           `json:"rejected"`
+	Mismatches    int64           `json:"mismatches"`
+	Failures      int64           `json:"failures"`
+	WallMs        float64         `json:"wall_ms"`
+	JobsPerSec    float64         `json:"jobs_per_sec"`
+	P50Ms         float64         `json:"p50_ms"`
+	P99Ms         float64         `json:"p99_ms"`
+	PerTenant     []TenantResult  `json:"per_tenant"`
+	Fairness      *FairnessReport `json:"fairness,omitempty"`
+	Quota         *QuotaReport    `json:"quota,omitempty"`
+	Errors        []string        `json:"errors,omitempty"`
+}
+
+// Violations summarizes why a run is a policy failure ("" when clean).
+func (r *Report) Violations() string {
+	var v []string
+	if r.Mismatches > 0 {
+		v = append(v, fmt.Sprintf("%d output mismatches", r.Mismatches))
+	}
+	if r.Failures > 0 {
+		v = append(v, fmt.Sprintf("%d untyped job failures", r.Failures))
+	}
+	if r.Completed == 0 {
+		v = append(v, "no job completed")
+	}
+	if r.Fairness != nil && r.Fairness.MinShareRatio < 0.5 {
+		v = append(v, fmt.Sprintf("slowest tenant at %.0f%% of fair share (floor 50%%)",
+			100*r.Fairness.MinShareRatio))
+	}
+	if r.Quota != nil && !r.Quota.TypedRejection {
+		v = append(v, "quota probe did not observe a typed ErrQuota rejection")
+	}
+	if len(v) == 0 {
+		return ""
+	}
+	return fmt.Sprint(v)
+}
+
+// workloadSet is the precomputed job inputs and their expected in-process
+// results, shared by every tenant (inputs are read-only under the shuffle).
+type workloadSet struct {
+	r1, r2   [][]join.Key
+	expected []*exec.Result
+	cond     join.Condition
+	scheme   partition.Scheme
+	seed     uint64
+}
+
+func buildWorkloads(cfg *Config, rows, workers int, seedOff uint64, cond join.Condition) *workloadSet {
+	ws := &workloadSet{
+		cond:   cond,
+		scheme: partition.NewCI(workers),
+		seed:   cfg.Seed + seedOff + 1000,
+	}
+	for k := 0; k < cfg.DistinctWorkloads; k++ {
+		r1 := workload.Zipfian(rows, int64(rows), 0.5, cfg.Seed+seedOff+uint64(2*k))
+		r2 := workload.Zipfian(rows, int64(rows), 0.5, cfg.Seed+seedOff+uint64(2*k+1))
+		ws.r1 = append(ws.r1, r1)
+		ws.r2 = append(ws.r2, r2)
+		ws.expected = append(ws.expected,
+			exec.Run(r1, r2, ws.cond, ws.scheme, cost.DefaultBand, exec.Config{Seed: ws.seed}))
+	}
+	return ws
+}
+
+// runOne executes workload k over the session and classifies the outcome.
+// deep additionally compares the per-worker metric vectors — with the same
+// Config the session's per-worker blocks are bit-identical to the
+// in-process engine's, so any divergence is a crossed stream.
+func (ws *workloadSet) runOne(sess *netexec.Session, k int, deep bool) (mismatch bool, err error) {
+	res, err := exec.RunOver(sess, ws.r1[k], ws.r2[k], ws.cond, ws.scheme,
+		cost.DefaultBand, exec.Config{Seed: ws.seed})
+	if err != nil {
+		return false, err
+	}
+	want := ws.expected[k]
+	if res.Output != want.Output {
+		return true, nil
+	}
+	if deep {
+		for w := range want.Workers {
+			a, b := res.Workers[w], want.Workers[w]
+			if a.InputR1 != b.InputR1 || a.InputR2 != b.InputR2 || a.Output != b.Output {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// Run executes the configured phases against the fleet and reports. The
+// returned error covers harness-level failures only (sessions that cannot
+// dial); policy violations land in the Report.
+func Run(cfg Config) (*Report, error) {
+	cfg.defaults()
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("loadtest: no worker addresses")
+	}
+	ws := buildWorkloads(&cfg, cfg.Rows, len(cfg.Addrs), 0, join.Equi{})
+	pool, err := netexec.NewPool(cfg.Addrs, cfg.Timeouts)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+
+	rep := &Report{Workers: len(cfg.Addrs), Tenants: cfg.Tenants, JobsPerTenant: cfg.JobsPerTenant}
+	if err := runThroughput(&cfg, ws, pool, rep); err != nil {
+		return nil, err
+	}
+	if cfg.FairnessWindow > 0 {
+		// A 1-worker scheme funnels every fairness job through ONE worker's
+		// admitter, so per-tenant completions reflect that worker's admission
+		// behavior rather than shuffle spread across the fleet.
+		fairWS := buildWorkloads(&cfg, cfg.FairnessRows, 1, 500, join.Equi{})
+		if err := runFairness(&cfg, fairWS, pool, rep); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.QuotaTenant != "" {
+		if err := runQuotaProbe(&cfg, pool, rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// tenantName is the stable id of tenant i.
+func tenantName(i int) string { return fmt.Sprintf("tenant-%02d", i) }
+
+// runThroughput is the main phase: every tenant runs its jobs at bounded
+// concurrency, latencies and rejections recorded per tenant.
+func runThroughput(cfg *Config, ws *workloadSet, pool *netexec.Pool, rep *Report) error {
+	type tenantState struct {
+		sess      *netexec.Session
+		completed atomic.Int64
+		rejected  atomic.Int64
+		mu        sync.Mutex
+		lat       []time.Duration
+	}
+	states := make([]*tenantState, cfg.Tenants)
+	for i := range states {
+		sess, err := pool.Session(context.Background(), tenantName(i))
+		if err != nil {
+			return fmt.Errorf("loadtest: tenant %d session: %w", i, err)
+		}
+		states[i] = &tenantState{sess: sess}
+	}
+	defer func() {
+		for _, st := range states {
+			_ = st.sess.Close()
+		}
+	}()
+
+	var mismatches, failures atomic.Int64
+	errCh := make(chan string, 64)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ti, st := range states {
+		next := new(atomic.Int64)
+		for c := 0; c < cfg.Concurrency; c++ {
+			wg.Add(1)
+			go func(ti int, st *tenantState) {
+				defer wg.Done()
+				for {
+					jobIdx := int(next.Add(1)) - 1
+					if jobIdx >= cfg.JobsPerTenant {
+						return
+					}
+					k := (ti + jobIdx) % cfg.DistinctWorkloads
+					deep := cfg.SpotCheckEvery > 0 && jobIdx%cfg.SpotCheckEvery == 0
+					t0 := time.Now()
+					mismatch, err := ws.runOne(st.sess, k, deep)
+					d := time.Since(t0)
+					switch {
+					case err == nil && !mismatch:
+						st.completed.Add(1)
+						st.mu.Lock()
+						st.lat = append(st.lat, d)
+						st.mu.Unlock()
+					case err == nil && mismatch:
+						mismatches.Add(1)
+					case errors.Is(err, netexec.ErrAdmission):
+						st.rejected.Add(1)
+					default:
+						failures.Add(1)
+						select {
+						case errCh <- fmt.Sprintf("tenant %d job %d: %v", ti, jobIdx, err):
+						default:
+						}
+					}
+				}
+			}(ti, st)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	for e := range errCh {
+		if len(rep.Errors) < 16 {
+			rep.Errors = append(rep.Errors, e)
+		}
+	}
+
+	var all []time.Duration
+	for i, st := range states {
+		st.mu.Lock()
+		lat := st.lat
+		st.mu.Unlock()
+		p50, p99, max := percentiles(lat)
+		rep.PerTenant = append(rep.PerTenant, TenantResult{
+			Tenant:    tenantName(i),
+			Completed: st.completed.Load(),
+			Rejected:  st.rejected.Load(),
+			P50Ms:     ms(p50), P99Ms: ms(p99), MaxMs: ms(max),
+		})
+		rep.Completed += st.completed.Load()
+		rep.Rejected += st.rejected.Load()
+		all = append(all, lat...)
+	}
+	rep.Mismatches = mismatches.Load()
+	rep.Failures = failures.Load()
+	rep.WallMs = ms(wall)
+	if wall > 0 {
+		rep.JobsPerSec = float64(rep.Completed) / wall.Seconds()
+	}
+	p50, p99, _ := percentiles(all)
+	rep.P50Ms, rep.P99Ms = ms(p50), ms(p99)
+	return nil
+}
+
+// runFairness pits a hog tenant holding HogSessions concurrent sessions
+// against the regular tenants (one deep-pipelined session each), all
+// contending for one shared worker's execution slot, and records each
+// tenant's completions within the window. The assertion downstream is the
+// system-level floor from the acceptance criteria — the slowest regular
+// tenant keeps at least half its fair share while the hog saturates the
+// pool. It is deliberately NOT a scheduler-policy discriminator: on a
+// small host the coordinators and workers share CPU, so end-to-end shares
+// blend scheduling with runtime effects; the dispatch policy itself
+// (weighted fair, hog capped at one tenant's share) is pinned
+// deterministically by the admitter unit tests in netexec.
+func runFairness(cfg *Config, ws *workloadSet, pool *netexec.Pool, rep *Report) error {
+	stopAt := time.Now().Add(cfg.FairnessWindow)
+	stopped := func() bool { return time.Now().After(stopAt) }
+
+	// runSessions opens `sessions` sessions under one tenant identity, each
+	// driving `concurrency` in-flight jobs until the window closes.
+	runSessions := func(tenant string, sessions, concurrency int, completed *atomic.Int64) (func(), error) {
+		var open []*netexec.Session
+		var wg sync.WaitGroup
+		cleanup := func() {
+			wg.Wait()
+			for _, s := range open {
+				_ = s.Close()
+			}
+		}
+		for si := 0; si < sessions; si++ {
+			sess, err := pool.Session(context.Background(), tenant)
+			if err != nil {
+				cleanup()
+				return nil, fmt.Errorf("loadtest: fairness session %s: %w", tenant, err)
+			}
+			open = append(open, sess)
+			for c := 0; c < concurrency; c++ {
+				wg.Add(1)
+				go func(sess *netexec.Session, c int) {
+					defer wg.Done()
+					for i := 0; !stopped(); i++ {
+						k := (c + i) % cfg.DistinctWorkloads
+						if mismatch, err := ws.runOne(sess, k, false); err == nil && !mismatch {
+							completed.Add(1)
+						}
+						// Admission rejections and mismatches are counted by the
+						// throughput phase; here only the completion rate matters.
+					}
+				}(sess, c)
+			}
+		}
+		return cleanup, nil
+	}
+
+	var hog atomic.Int64
+	normals := make([]atomic.Int64, cfg.Tenants)
+	var waits []func()
+	// The hog's aggression is its SESSION count: staggered across
+	// HogSessions connections its queue at the contended worker never
+	// empties, even at pipeline depth 1 — more depth would only burn
+	// coordinator CPU this harness shares with the tenants under test. The
+	// normals need the opposite: one session pipelining FairnessConcurrency
+	// jobs deep, so a standing backlog of pre-sent jobs sits in the socket
+	// and the worker re-queues the tenant the instant a grant frees its read
+	// loop. Both sides genuinely demand more than their fair share for the
+	// whole window, which is what makes the achieved shares a test of the
+	// admitter's dispatch policy rather than of request timing.
+	hogWait, err := runSessions("hog", cfg.HogSessions, 1, &hog)
+	if err != nil {
+		return err
+	}
+	waits = append(waits, hogWait)
+	for i := 0; i < cfg.Tenants; i++ {
+		w, err := runSessions(tenantName(i), 1, cfg.FairnessConcurrency, &normals[i])
+		if err != nil {
+			for _, wait := range waits {
+				wait()
+			}
+			return err
+		}
+		waits = append(waits, w)
+	}
+	for _, wait := range waits {
+		wait()
+	}
+
+	fr := &FairnessReport{
+		WindowMs:     ms(cfg.FairnessWindow),
+		HogSessions:  cfg.HogSessions,
+		HogCompleted: hog.Load(),
+	}
+	total := fr.HogCompleted
+	for i := range normals {
+		n := normals[i].Load()
+		fr.Normal = append(fr.Normal, n)
+		total += n
+	}
+	// Every tenant (hog included) has weight 1, so the fair share is an
+	// equal split across Tenants+1.
+	fr.FairShare = float64(total) / float64(cfg.Tenants+1)
+	minN := fr.Normal[0]
+	for _, n := range fr.Normal[1:] {
+		if n < minN {
+			minN = n
+		}
+	}
+	if fr.FairShare > 0 {
+		fr.MinShareRatio = float64(minN) / fr.FairShare
+	}
+	rep.Fairness = fr
+	return nil
+}
+
+// runQuotaProbe submits one join sized over the probe tenant's worker-side
+// byte budget and records whether the refusal was a typed ErrQuota.
+func runQuotaProbe(cfg *Config, pool *netexec.Pool, rep *Report) error {
+	sess, err := pool.Session(context.Background(), cfg.QuotaTenant)
+	if err != nil {
+		return fmt.Errorf("loadtest: quota session: %w", err)
+	}
+	defer sess.Close()
+	r1 := workload.Zipfian(cfg.QuotaRows, int64(cfg.QuotaRows), 0.5, cfg.Seed+9001)
+	r2 := workload.Zipfian(cfg.QuotaRows, int64(cfg.QuotaRows), 0.5, cfg.Seed+9002)
+	_, err = exec.RunOver(sess, r1, r2, join.Equi{}, partition.NewCI(len(cfg.Addrs)),
+		cost.DefaultBand, exec.Config{Seed: cfg.Seed + 9003})
+	q := &QuotaReport{}
+	switch {
+	case err == nil:
+		q.Err = "over-budget job succeeded (budget not enforced)"
+	case errors.Is(err, netexec.ErrQuota):
+		q.TypedRejection = true
+	default:
+		q.Err = err.Error()
+	}
+	rep.Quota = q
+	return nil
+}
+
+func percentiles(lat []time.Duration) (p50, p99, max time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return at(0.50), at(0.99), s[len(s)-1]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

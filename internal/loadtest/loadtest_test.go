@@ -1,0 +1,61 @@
+package loadtest
+
+import (
+	"testing"
+	"time"
+
+	"ewh/internal/netexec"
+)
+
+// TestShortProfile drives every phase of the harness in-process against a
+// spawned 2-worker fleet: throughput with spot checks, the fairness window,
+// and the quota probe. Assertions stick to the deterministic policy
+// guarantees (no mismatches, no untyped failures, typed quota rejection,
+// fairness accounting populated); the fairness FLOOR is asserted by the CI
+// load-test job, whose wall window is long enough to be statistically stable.
+func TestShortProfile(t *testing.T) {
+	fleet, err := SpawnFleet(FleetConfig{
+		Workers:   2,
+		Admission: netexec.AdmissionConfig{MaxInFlight: 1, MaxQueue: 64, QueueDeadline: 10 * time.Second},
+		PerTenant: map[string]netexec.TenantPolicy{"quota-probe": {MaxBytes: 1024}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	rep, err := Run(Config{
+		Addrs:          fleet.Addrs,
+		Tenants:        3,
+		JobsPerTenant:  10,
+		Concurrency:    2,
+		Rows:           400,
+		SpotCheckEvery: 3,
+		Seed:           7,
+		FairnessWindow: 400 * time.Millisecond,
+		QuotaTenant:    "quota-probe",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mismatches != 0 || rep.Failures != 0 {
+		t.Fatalf("policy violations: %d mismatches, %d failures (%v)",
+			rep.Mismatches, rep.Failures, rep.Errors)
+	}
+	if rep.Completed != 30 {
+		t.Fatalf("completed %d of 30 jobs", rep.Completed)
+	}
+	if rep.Quota == nil || !rep.Quota.TypedRejection {
+		t.Fatalf("quota probe: %+v", rep.Quota)
+	}
+	f := rep.Fairness
+	if f == nil || len(f.Normal) != 3 || f.HogCompleted == 0 {
+		t.Fatalf("fairness report: %+v", f)
+	}
+	t.Logf("fairness in %0.fms window: hog %d, normals %v, min share %.0f%%",
+		f.WindowMs, f.HogCompleted, f.Normal, 100*f.MinShareRatio)
+
+	if err := fleet.Shutdown(20 * time.Second); err != nil {
+		t.Fatalf("fleet shutdown: %v", err)
+	}
+}

@@ -47,6 +47,15 @@ const (
 	// peer-mesh transfer targeting it failed. Addr names the peer, which the
 	// session marks down so recovery excludes the right machine.
 	FaultPeer
+	// FaultAdmission is a typed worker refusal under admission control: the
+	// tenant's queue was full or the job waited past the queue deadline.
+	// The worker is healthy and must NOT be excluded or retried hot —
+	// errors.Is(fault, ErrAdmission) holds.
+	FaultAdmission
+	// FaultQuota is a typed per-tenant resource-budget rejection (buffered
+	// bytes or intermediate cap). Deterministic for the offered load, never
+	// retried — errors.Is(fault, ErrQuota) holds.
+	FaultQuota
 )
 
 // String names the kind for error text and logs.
@@ -64,6 +73,10 @@ func (k FaultKind) String() string {
 		return "worker job error"
 	case FaultPeer:
 		return "peer fault"
+	case FaultAdmission:
+		return "admission rejected"
+	case FaultQuota:
+		return "quota exceeded"
 	}
 	return "unknown"
 }
@@ -201,8 +214,19 @@ func (c *sessConn) livenessFault(op string, id uint32, workerID int, err error) 
 
 // workerFault classifies an explicit worker-side job error reply. A reply
 // naming a peer fault address indicts the PEER — the session marks that
-// worker down so recovery excludes the machine that actually died.
+// worker down so recovery excludes the machine that actually died. A reply
+// carrying a rejection code becomes a typed admission/quota fault that
+// matches ErrAdmission/ErrQuota via errors.Is and is never retried: the
+// worker is healthy, the rejection is policy.
 func (c *sessConn) workerFault(op string, id uint32, workerID int, m *metrics) *WorkerFault {
+	switch m.Code {
+	case codeAdmission:
+		return &WorkerFault{Kind: FaultAdmission, Worker: workerID, Addr: c.addr, Job: id,
+			Err: fmt.Errorf("%w: %s", ErrAdmission, m.Err), op: op}
+	case codeQuota:
+		return &WorkerFault{Kind: FaultQuota, Worker: workerID, Addr: c.addr, Job: id,
+			Err: fmt.Errorf("%w: %s", ErrQuota, m.Err), op: op}
+	}
 	if m.FaultAddr != "" {
 		if c.sess != nil {
 			c.sess.markDown(m.FaultAddr)
@@ -264,6 +288,6 @@ func (s *Session) Survivors() (exec.Runtime, int, error) {
 	if len(live) == 0 {
 		return nil, 0, errors.New("netexec: no surviving workers")
 	}
-	d := &Session{conns: live, ids: s.ids, relayed: s.relayed}
+	d := &Session{conns: live, ids: s.ids, relayed: s.relayed, tenant: s.tenant}
 	return d, len(live), nil
 }

@@ -1,0 +1,348 @@
+package netexec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ewh/internal/core"
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/multiway"
+	"ewh/internal/partition"
+)
+
+// startTenantWorkerSet starts n workers with admission control and tenant
+// policies configured before Serve.
+func startTenantWorkerSet(t *testing.T, n int, adm AdmissionConfig, policies map[string]TenantPolicy) ([]*Worker, []string) {
+	t.Helper()
+	leakCheck(t)
+	ws := make([]*Worker, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		w, err := ListenWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.SetAdmission(adm)
+		for tn, p := range policies {
+			w.SetTenantPolicy(tn, p)
+		}
+		ws[i] = w
+		addrs[i] = w.Addr()
+		go func() { _ = w.Serve() }()
+		t.Cleanup(func() { _ = w.Close() })
+	}
+	return ws, addrs
+}
+
+// TestSessionTypedQuotaRejection drives a budgeted tenant's over-sized join
+// over real sockets and asserts the refusal surfaces as errors.Is ErrQuota,
+// the reservation is credited back, and an unbudgeted tenant is unaffected.
+func TestSessionTypedQuotaRejection(t *testing.T) {
+	ws, addrs := startTenantWorkerSet(t, 1, AdmissionConfig{},
+		map[string]TenantPolicy{"small": {MaxBytes: 1024}})
+	r1 := randKeys(500, 250, 80) // 4000 key bytes, far over the 1KiB budget
+	r2 := randKeys(500, 250, 81)
+	scheme := partition.NewCI(1)
+
+	small, err := DialTenant(context.Background(), "small", addrs, Timeouts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer small.Close()
+	_, err = exec.RunOver(small, r1, r2, join.Equi{}, scheme, model, exec.Config{Seed: 82})
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-budget join: got %v, want ErrQuota", err)
+	}
+	if used := ws[0].tenants.usedBytes("small"); used != 0 {
+		t.Fatalf("rejected job left %d bytes reserved", used)
+	}
+	// The same join under an unbudgeted tenant runs to the correct answer.
+	free, err := DialTenant(context.Background(), "free", addrs, Timeouts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer free.Close()
+	want := exec.Run(r1, r2, join.Equi{}, scheme, model, exec.Config{Seed: 82})
+	got, err := exec.RunOver(free, r1, r2, join.Equi{}, scheme, model, exec.Config{Seed: 82})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Output != want.Output {
+		t.Fatalf("output %d, want %d", got.Output, want.Output)
+	}
+}
+
+// TestSessionTypedAdmissionRejection fills a worker's only execution slot
+// (a pair-streaming job whose consumer stalls, so the worker blocks mid-send
+// while holding the slot) and its one queue seat, then asserts the next job
+// bounces immediately with errors.Is ErrAdmission — and that the queued job
+// still completes once the slot frees.
+func TestSessionTypedAdmissionRejection(t *testing.T) {
+	ws, addrs := startTenantWorkerSet(t, 1,
+		AdmissionConfig{MaxInFlight: 1, MaxQueue: 1}, nil)
+	scheme := partition.NewCI(1)
+	cond := join.NewBand(64) // dense domain: ~129 partners per key, a multi-MB pair stream
+	r1 := randKeys(4000, 2000, 90)
+	r2 := randKeys(4000, 2000, 91)
+	t1, t2 := exec.WrapKeys(r1), exec.WrapKeys(r2)
+	want := exec.Run(r1, r2, cond, scheme, model, exec.Config{Seed: 92})
+
+	hog, err := DialTenant(context.Background(), "hog", addrs, Timeouts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hog.Close()
+
+	// The hog's emit stalls on the first pair: its read loop stops draining,
+	// the worker's pair stream backs up the socket, and the slot stays held
+	// until the gate opens.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	hogDone := make(chan error, 1)
+	go func() {
+		var streamed int64
+		res, err := exec.RunTuplesOver(hog, t1, t2, cond, scheme, model,
+			exec.Config{Seed: 92}, nil, nil,
+			func(w int, a, b exec.Tuple[struct{}]) {
+				if streamed == 0 {
+					close(started)
+					<-gate
+				}
+				streamed++
+			})
+		if err == nil && (streamed != want.Output || res.Output != want.Output) {
+			err = fmt.Errorf("hog streamed %d pairs, result %d, want %d", streamed, res.Output, want.Output)
+		}
+		hogDone <- err
+	}()
+	<-started
+
+	// Second tenant queues behind the held slot (the one queue seat)...
+	q1, err := DialTenant(context.Background(), "queued", addrs, Timeouts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q1.Close()
+	queuedDone := make(chan error, 1)
+	go func() {
+		_, err := exec.RunOver(q1, r1, r2, join.Equi{}, scheme, model, exec.Config{Seed: 93})
+		queuedDone <- err
+	}()
+	for ws[0].AdmissionStats().Waiting < 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// ...so a second job of the same tenant finds the queue full and is
+	// refused with a typed rejection, without waiting.
+	q2, err := DialTenant(context.Background(), "queued", addrs, Timeouts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	if _, err := exec.RunOver(q2, r1, r2, join.Equi{}, scheme, model, exec.Config{Seed: 94}); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("job over full queue: got %v, want ErrAdmission", err)
+	}
+	if s := ws[0].AdmissionStats(); s.Rejected != 1 {
+		t.Fatalf("stats.Rejected = %d, want 1", s.Rejected)
+	}
+
+	close(gate)
+	if err := <-hogDone; err != nil {
+		t.Fatalf("hog job: %v", err)
+	}
+	if err := <-queuedDone; err != nil {
+		t.Fatalf("queued job after slot freed: %v", err)
+	}
+}
+
+// TestAnonymousSessionUnderAdmission checks the compatibility guarantee: a
+// coordinator that sends no hello is the anonymous tenant and runs normally
+// through an admission-controlled worker.
+func TestAnonymousSessionUnderAdmission(t *testing.T) {
+	ws, addrs := startTenantWorkerSet(t, 1, AdmissionConfig{MaxInFlight: 1}, nil)
+	r1 := randKeys(1000, 500, 95)
+	r2 := randKeys(1000, 500, 96)
+	scheme := partition.NewCI(1)
+	sess := dialSession(t, addrs)
+	want := exec.Run(r1, r2, join.Equi{}, scheme, model, exec.Config{Seed: 97})
+	got, err := exec.RunOver(sess, r1, r2, join.Equi{}, scheme, model, exec.Config{Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Output != want.Output {
+		t.Fatalf("output %d, want %d", got.Output, want.Output)
+	}
+	if s := ws[0].AdmissionStats(); s.Granted[""] == 0 {
+		t.Fatalf("anonymous jobs not accounted under tenant \"\": %v", s.Granted)
+	}
+}
+
+// TestPoolConcurrentSessionsBitIdentical is the multi-coordinator isolation
+// check: two tenants' Sessions over the SAME admission-controlled fleet run
+// interleaved jobs concurrently, and every job's full per-worker metric
+// vector must be bit-identical to the serial in-process run — no crossed
+// streams, no contamination from the neighbor's load.
+func TestPoolConcurrentSessionsBitIdentical(t *testing.T) {
+	_, addrs := startTenantWorkerSet(t, 4,
+		AdmissionConfig{MaxInFlight: 2, MaxQueue: 64}, nil)
+	pool, err := NewPool(addrs, Timeouts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	scheme := partition.NewCI(4)
+
+	// Distinct workloads per tenant, precomputed expectations.
+	type wl struct {
+		r1, r2 []join.Key
+		cfg    exec.Config
+		want   *exec.Result
+	}
+	const jobs = 12
+	build := func(seed uint64) []wl {
+		out := make([]wl, jobs)
+		for i := range out {
+			s := seed + uint64(i)*10
+			r1 := randKeys(1500, 700, s)
+			r2 := randKeys(1500, 700, s+1)
+			cfg := exec.Config{Seed: s + 2}
+			out[i] = wl{r1, r2, cfg, exec.Run(r1, r2, join.Equi{}, scheme, model, cfg)}
+		}
+		return out
+	}
+	tenants := map[string][]wl{"alpha": build(1000), "beta": build(2000)}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*jobs)
+	for tn, wls := range tenants {
+		sess, err := pool.Session(context.Background(), tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		wg.Add(1)
+		go func(tn string, sess *Session, wls []wl) {
+			defer wg.Done()
+			for i, w := range wls {
+				var got *exec.Result
+				var err error
+				if i%3 == 2 {
+					// Every third job goes through the pair-STREAMING path, so
+					// both tenants' pairs frames interleave on the shared
+					// workers; a crossed stream would corrupt the counts.
+					// Emit fires concurrently from each worker conn's read
+					// loop, hence the atomic.
+					var streamed atomic.Int64
+					got, err = exec.RunTuplesOver(sess, exec.WrapKeys(w.r1), exec.WrapKeys(w.r2),
+						join.Equi{}, scheme, model, w.cfg, nil, nil,
+						func(int, exec.Tuple[struct{}], exec.Tuple[struct{}]) { streamed.Add(1) })
+					if err == nil && streamed.Load() != w.want.Output {
+						errs <- fmt.Errorf("%s job %d: streamed %d pairs, want %d", tn, i, streamed.Load(), w.want.Output)
+						return
+					}
+				} else {
+					got, err = exec.RunOver(sess, w.r1, w.r2, join.Equi{}, scheme, model, w.cfg)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("%s job %d: %v", tn, i, err)
+					return
+				}
+				for wi := range w.want.Workers {
+					if got.Workers[wi] != w.want.Workers[wi] {
+						errs <- fmt.Errorf("%s job %d worker %d: %+v, want %+v",
+							tn, i, wi, got.Workers[wi], w.want.Workers[wi])
+						return
+					}
+				}
+				if got.Output != w.want.Output {
+					errs <- fmt.Errorf("%s job %d: output %d, want %d", tn, i, got.Output, w.want.Output)
+				}
+			}
+		}(tn, sess, wls)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := pool.OpenSessions(); len(n) != 2 {
+		t.Fatalf("open sessions %v, want alpha and beta", n)
+	}
+}
+
+// TestPoolConcurrentMultiwayPeerIsolated runs two tenants' multiway
+// pipelines concurrently over the same admission-controlled fleet: stage-1
+// intermediates re-shuffle worker→worker under per-coordinator peer tokens,
+// so this is the cross-coordinator token-collision guarantee under real
+// interleaving. Each pipeline must match its in-process run exactly with
+// zero pairs relayed through either coordinator.
+func TestPoolConcurrentMultiwayPeerIsolated(t *testing.T) {
+	_, addrs := startTenantWorkerSet(t, 5,
+		AdmissionConfig{MaxInFlight: 2, MaxQueue: 64}, nil)
+	pool, err := NewPool(addrs, Timeouts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	build := func(seed uint64) (multiway.Query, core.Options, exec.Config) {
+		q := multiway.Query{
+			R1: randKeys(600, 150, seed+1),
+			Mid: multiway.MidRelation{
+				A: randKeys(600, 150, seed+2),
+				B: randKeys(600, 150, seed+3),
+			},
+			R3:    randKeys(600, 150, seed+4),
+			CondA: join.NewBand(1),
+			CondB: join.Equi{},
+		}
+		return q, core.Options{J: 5, Model: model, Seed: seed + 5}, exec.Config{Seed: seed + 6}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for _, tn := range []string{"alpha", "beta"} {
+		sess, err := pool.Session(context.Background(), tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		wg.Add(1)
+		go func(tn string, sess *Session) {
+			defer wg.Done()
+			for round := uint64(0); round < 3; round++ {
+				seed := round*100 + uint64(len(tn)) // distinct per tenant and round
+				q, opts, cfg := build(seed)
+				local, err := multiway.ExecuteOver(exec.Local{}, q, opts, cfg)
+				if err != nil {
+					errs <- fmt.Errorf("%s round %d local: %v", tn, round, err)
+					return
+				}
+				dist, err := multiway.ExecuteOver(sess, q, opts, cfg)
+				if err != nil {
+					errs <- fmt.Errorf("%s round %d: %v", tn, round, err)
+					return
+				}
+				if dist.Output != local.Output || dist.Intermediate != local.Intermediate {
+					errs <- fmt.Errorf("%s round %d: out=%d mid=%d, want out=%d mid=%d",
+						tn, round, dist.Output, dist.Intermediate, local.Output, local.Intermediate)
+					return
+				}
+			}
+			if n := sess.RelayedPairs(); n != 0 {
+				errs <- fmt.Errorf("%s: %d pairs relayed through the coordinator", tn, n)
+			}
+		}(tn, sess)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -81,6 +81,12 @@ type metrics struct {
 	// coordinator marks that address down instead of this (healthy) worker's.
 	// Gob-compatible addition: absent on old wires, decoded as "".
 	FaultAddr string
+
+	// Code types the failure in Err for machine handling: codeAdmission or
+	// codeQuota mark multi-tenant policy rejections the coordinator must
+	// surface as ErrAdmission/ErrQuota rather than worker faults.
+	// Gob-compatible addition: absent on old wires, decoded as 0.
+	Code int
 }
 
 // jobOpen opens one numbered job on a v3 session connection. Counts travel
@@ -184,6 +190,12 @@ type Worker struct {
 	failAfter atomic.Int64
 	jobsDone  atomic.Int64
 	failFired atomic.Bool
+
+	// Multi-tenant policy (see tenant.go): admit gates concurrent join
+	// execution with weighted-fair queuing (nil: disabled), tenants tracks
+	// per-tenant budgets and live byte usage.
+	admit   *admitter
+	tenants *tenantTable
 }
 
 // connState tracks one accepted connection for shutdown: active counts the
@@ -221,6 +233,7 @@ func ListenWorkerOn(ln net.Listener) *Worker {
 		conns:      make(map[*connState]struct{}),
 		peers:      make(map[string]*peerConn),
 		peerStates: make(map[uint64]*peerJobState),
+		tenants:    newTenantTable(),
 	}
 }
 

@@ -39,6 +39,16 @@ type Session struct {
 	// for multiway intermediates. Exposed for the crosscheck's
 	// nothing-transits-the-coordinator assertion and the experiment tables.
 	relayed *atomic.Int64
+
+	// tenant is the id this session declared in its HELLO frames — the key
+	// workers use for admission queuing and quota accounting. "" (no hello
+	// sent) is the anonymous tenant.
+	tenant string
+
+	// onClose, when set (by Pool), runs once when the session closes so the
+	// issuing pool can drop it from its tracking table. Set before the
+	// session escapes the dialing goroutine, never mutated after.
+	onClose func()
 }
 
 // Dial connects to the workers and opens a session on each. The returned
@@ -65,7 +75,19 @@ func DialContext(ctx context.Context, addrs []string) (*Session, error) {
 // DialContextWith combines DialContext and DialWith. The context bounds only
 // session establishment, not the jobs that follow.
 func DialContextWith(ctx context.Context, addrs []string, t Timeouts) (*Session, error) {
-	s := &Session{ids: new(atomic.Uint32), relayed: new(atomic.Int64)}
+	return DialTenant(ctx, "", addrs, t)
+}
+
+// DialTenant is DialContextWith declaring a tenant identity: each session
+// connection sends a HELLO frame naming the tenant right after the protocol
+// prelude, and the workers key admission queuing and resource budgets by it.
+// An empty tenant sends no hello (the anonymous tenant — byte-identical to
+// the pre-multi-tenant wire).
+func DialTenant(ctx context.Context, tenant string, addrs []string, t Timeouts) (*Session, error) {
+	if len(tenant) > maxTenantLen {
+		return nil, fmt.Errorf("netexec: tenant id %d bytes long, limit %d", len(tenant), maxTenantLen)
+	}
+	s := &Session{ids: new(atomic.Uint32), relayed: new(atomic.Int64), tenant: tenant}
 	for _, addr := range addrs {
 		c, err := dialSessConn(ctx, addr, t, s)
 		if err != nil {
@@ -76,6 +98,10 @@ func DialContextWith(ctx context.Context, addrs []string, t Timeouts) (*Session,
 	}
 	return s, nil
 }
+
+// Tenant reports the id this session declared at dial time ("" when
+// anonymous).
+func (s *Session) Tenant() string { return s.tenant }
 
 // RelayedPairs reports the total matched index pairs this session's workers
 // have streamed back to the coordinator since Dial.
@@ -104,6 +130,9 @@ func (s *Session) Close() error {
 		if err := c.close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	if s.onClose != nil {
+		s.onClose()
 	}
 	return first
 }
@@ -194,6 +223,19 @@ func dialSessConn(ctx context.Context, addr string, t Timeouts, sess *Session) (
 	if _, err := conn.Write(prelude[:]); err != nil {
 		_ = conn.Close()
 		return nil, &WorkerFault{Kind: FaultHandshake, Worker: -1, Addr: addr, Err: err, retry: true}
+	}
+	if sess != nil && sess.tenant != "" {
+		// Declare tenancy before any job. The hello rides the shared buffered
+		// writer and flushes immediately — the worker must know the tenant
+		// before it sees the first job open.
+		err := writeV3GobFrame(c.bw, frameV3Hello, 0, sessionHello{Tenant: sess.tenant})
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		if err != nil {
+			_ = conn.Close()
+			return nil, &WorkerFault{Kind: FaultHandshake, Worker: -1, Addr: addr, Err: err, retry: true}
+		}
 	}
 	go c.readLoop()
 	return c, nil

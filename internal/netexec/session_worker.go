@@ -54,6 +54,16 @@ type sessJob struct {
 	err       error
 	rels      [2]sessRel
 
+	// w and tenant key the job's quota accounting; charged is the byte
+	// reservation release() credits back (see tenant.go).
+	w       *Worker
+	tenant  string
+	charged int64
+	// releaseSlot returns the job's admission slot (idempotent); nil when the
+	// job was never admitted (rejected at open, or no admission configured —
+	// admitJob's noop covers the latter before it is stored here).
+	releaseSlot func()
+
 	// plan, when set, marks a stage-1 plan job: the join's matches are
 	// materialized worker-side, re-shuffled by the broadcast plan and
 	// streamed to peers instead of returning as pairs.
@@ -85,6 +95,20 @@ func (j *sessJob) release() {
 			r.pay = nil
 		}
 	}
+	if j.charged > 0 {
+		j.w.creditTenant(j.tenant, j.charged)
+		j.charged = 0
+	}
+}
+
+// charge reserves n buffered bytes against the job's tenant budget; release
+// credits the whole reservation back.
+func (j *sessJob) charge(n int64) error {
+	if err := j.w.chargeTenant(j.tenant, n); err != nil {
+		return err
+	}
+	j.charged += n
+	return nil
 }
 
 // rel resolves a relation tag from a frame; 1 and 2 are valid.
@@ -164,15 +188,24 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 	var wmu sync.Mutex // serializes reply frames across concurrent job joins
 	pt := newPlan2Table()
 	jobs := make(map[uint32]*sessJob)
+	// tenant is the session's identity for admission and quota accounting,
+	// declared by an optional HELLO before the first job; "" is anonymous.
+	tenant := ""
+	helloSeen := false
+	sawJob := false
 	// connDone aborts peer-fed jobs still waiting on transfers when the
 	// coordinator hangs up — their reply has nowhere to go anyway.
 	connDone := make(chan struct{})
 	defer close(connDone)
 	defer func() {
 		// Connection gone with jobs still streaming in: nothing to reply to,
-		// just recycle their buffers and retire their drain accounting.
+		// just recycle their buffers, give back their admission slots and
+		// retire their drain accounting.
 		for _, j := range jobs {
 			j.release()
+			if j.releaseSlot != nil {
+				j.releaseSlot()
+			}
 			if j.counted {
 				w.endJob(cs)
 			}
@@ -187,11 +220,29 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 		}
 		armConn(conn)
 		switch typ {
+		case frameV3Hello:
+			// Tenancy is declared once, before any job; a late or duplicate
+			// hello (or an oversized tenant id) is connection-fatal — the
+			// accounting key cannot change under in-flight jobs.
+			if helloSeen || sawJob {
+				return
+			}
+			var sh sessionHello
+			if err := readGobPayload(br, n, &sh); err != nil {
+				return
+			}
+			if len(sh.Tenant) > maxTenantLen {
+				return
+			}
+			tenant = sh.Tenant
+			helloSeen = true
+
 		case frameV3OpenJob:
 			if jobs[id] != nil {
 				return // job number reuse is connection-fatal
 			}
-			j := &sessJob{id: id}
+			sawJob = true
+			j := &sessJob{id: id, w: w, tenant: tenant}
 			jobs[id] = j
 			j.counted = w.beginJob(cs)
 			var jo jobOpen
@@ -210,6 +261,27 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			j.cond = cond
 			j.workerID = jo.WorkerID
 			j.wantPairs = jo.WantPairs
+			// Admission happens HERE, before the job's data frames are read:
+			// an un-admitted job buffers nothing worker-side — its frames stay
+			// in the kernel socket buffer, TCP backpressure stalls the
+			// coordinator's (whole-job, contiguous) send, and a saturating
+			// tenant is throttled to the rate the fair scheduler dispatches it.
+			// Blocking this read loop is deadlock-free: sends are contiguous
+			// per job on a connection, so every earlier job here is fully
+			// received, and slot holders only ever do finite compute (plan jobs
+			// release before their stats park; peer-fed jobs admit only after
+			// their transfer assembled). A rejection fails just this job — its
+			// frames drain via the j.err path and the reply carries the typed
+			// code.
+			releaseSlot, aerr := w.admitJob(tenant, w.kill, connDone)
+			if aerr != nil {
+				if errors.Is(aerr, errAdmitAbandoned) {
+					return // worker killed: the connection is going down anyway
+				}
+				j.fail(aerr)
+				continue
+			}
+			j.releaseSlot = releaseSlot
 
 		case frameV3Plan:
 			j := jobs[id]
@@ -238,7 +310,8 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			if jobs[id] != nil {
 				return
 			}
-			j := &sessJob{id: id, peerFed: true}
+			sawJob = true
+			j := &sessJob{id: id, peerFed: true, w: w, tenant: tenant}
 			jobs[id] = j
 			j.counted = w.beginJob(cs)
 			var po peerJobOpen
@@ -257,6 +330,18 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			j.cond = cond
 			j.workerID = po.WorkerID
 			j.token = po.Token
+			// The peer transfer's assembled block is buffered on this worker
+			// on the tenant's behalf: charge it before binding allocates.
+			var peerTuples int64
+			for _, c := range po.SenderCounts {
+				if c > 0 {
+					peerTuples += c
+				}
+			}
+			if err := j.charge(8 * peerTuples); err != nil {
+				j.fail(err)
+				continue
+			}
 			st, err := w.bindPeerJob(po.Token, po.SenderCounts)
 			if err != nil {
 				j.fail(err)
@@ -316,6 +401,14 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			}
 			if payBytes > MaxRelationPayloadBytes {
 				j.fail(fmt.Errorf("payload bytes %d outside [0, %d]", payBytes, MaxRelationPayloadBytes))
+				continue
+			}
+			// Charge the tenant for the receive buffers BEFORE allocating
+			// them: a rejected job buffers nothing (its data frames drain via
+			// the j.err path), so an over-budget tenant degrades to typed
+			// rejections instead of memory growth.
+			if err := j.charge(8*count + payBytes); err != nil {
+				j.fail(err)
 				continue
 			}
 			r.declared = true
@@ -388,6 +481,9 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			if j := jobs[id]; j != nil {
 				delete(jobs, id)
 				j.release()
+				if j.releaseSlot != nil {
+					j.releaseSlot()
+				}
 				if j.peerFed {
 					w.dropPeerState(j.token)
 				}
@@ -553,6 +649,13 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 		}
 	}()
 	defer j.release()
+	// The admission slot was acquired at job open (see handleSession); a job
+	// rejected there carries j.err and no slot.
+	releaseSlot := j.releaseSlot
+	if releaseSlot == nil {
+		releaseSlot = func() {}
+	}
+	defer releaseSlot()
 	if j.counted {
 		defer w.endJob(cs)
 	}
@@ -566,7 +669,7 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 		j.err = j.validateComplete()
 	}
 	if j.err != nil {
-		reply(metrics{Err: j.err.Error()})
+		reply(metrics{Err: j.err.Error(), Code: rejectCode(j.err)})
 		return
 	}
 	r1, r2 := &j.rels[0], &j.rels[1]
@@ -576,12 +679,12 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 		// replanned artifact,) re-shuffle them by the plan and stream each
 		// share straight to its peer. Only the count vector returns.
 		start := time.Now()
-		out, counts, err := w.runPlanJob(j, r1, r2, bw, wmu, connDone, pt)
+		out, counts, err := w.runPlanJob(j, r1, r2, bw, wmu, connDone, pt, releaseSlot)
 		if errors.Is(err, errPlanJobAbandoned) {
 			return
 		}
 		if err != nil {
-			m := metrics{Err: err.Error()}
+			m := metrics{Err: err.Error(), Code: rejectCode(err)}
 			// A failed mesh transfer indicts the PEER, not this worker: lift
 			// the address out of the error so the coordinator excludes the
 			// right machine.
@@ -640,7 +743,7 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 // match count and the per-receiver count vector. Errors name the peer
 // address.
 func (w *Worker) runPlanJob(j *sessJob, r1, r2 *sessRel, bw *bufio.Writer, wmu *sync.Mutex,
-	connDone <-chan struct{}, pt *plan2Table) (int64, []int64, error) {
+	connDone <-chan struct{}, pt *plan2Table, releaseSlot func()) (int64, []int64, error) {
 
 	ps := j.plan
 	decodePlan := func() (*planio.Artifact, error) {
@@ -683,6 +786,13 @@ func (w *Worker) runPlanJob(j *sessJob, r1, r2 *sessRel, bw *bufio.Writer, wmu *
 			inter = append(inter, join.Key(binary.LittleEndian.Uint64(r2.pay[r2.off[p.I2]:])))
 		}
 	})
+	// Per-tenant intermediate quota: the stage-1 match materialization is the
+	// one allocation the relation heads could not announce, so it is checked
+	// against the tenant's budget the moment its size is known.
+	if lim := w.tenantMaxIntermediate(j.tenant); lim > 0 && int64(len(inter)) > lim {
+		return 0, nil, quotaErrf("tenant %q stage-1 intermediate holds %d tuples, budget %d",
+			j.tenant, len(inter), lim)
+	}
 	sender := j.workerID
 
 	if ps.WantStats {
@@ -713,6 +823,14 @@ func (w *Worker) runPlanJob(j *sessJob, r1, r2 *sessRel, bw *bufio.Writer, wmu *
 			pt.remove(j.id)
 			return 0, nil, errPlanJobAbandoned // connection dead; nothing to reply to
 		}
+		// Release the execution slot across the park: the compute is done and
+		// the wait is on the COORDINATOR (merging every worker's summary), so
+		// holding a slot here could let one query's parked fleet starve the
+		// jobs whose stats the coordinator is still waiting for. The release
+		// is once-guarded, so the caller's deferred release stays a no-op; the
+		// post-park re-shuffle runs unslotted (routing + socket writes, not
+		// join compute).
+		releaseSlot()
 		select {
 		case ps2 := <-wt.ch:
 			if ps2 == nil {
@@ -799,7 +917,7 @@ func (w *Worker) finishPeerSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mu
 		if j.peerSt != nil {
 			w.dropPeerState(j.token)
 		}
-		reply(metrics{Err: j.err.Error()})
+		reply(metrics{Err: j.err.Error(), Code: rejectCode(j.err)})
 		return
 	}
 	st := j.peerSt
@@ -812,6 +930,20 @@ func (w *Worker) finishPeerSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mu
 		w.dropPeerState(j.token)
 		return
 	}
+	// Admission: acquire only once the transfer is fully assembled — a
+	// peer-fed job waiting in the admission queue must not hold a slot while
+	// its relation 1 still depends on stage-1 jobs that may be queued behind
+	// it on OTHER workers (the classic cross-worker pipeline deadlock).
+	releaseSlot, aerr := w.admitJob(j.tenant, w.kill, connDone)
+	if aerr != nil {
+		w.dropPeerState(j.token)
+		if errors.Is(aerr, errAdmitAbandoned) {
+			return
+		}
+		reply(metrics{Err: aerr.Error(), Code: rejectCode(aerr)})
+		return
+	}
+	defer releaseSlot()
 	st.mu.Lock()
 	flat, stErr := st.flat, st.err
 	st.flat = nil // the job owns it now

@@ -80,6 +80,15 @@ const (
 	frameV3Stats = 21 // worker→coord raw planio-encoded statistics summary
 	frameV3Plan2 = 22 // coord→worker gob planSpec: the replanned stage-2 artifact + peer map
 
+	// HELLO frame (multi-tenant sessions): an optional gob sessionHello sent
+	// once, immediately after the v3 prelude and before any job, declaring
+	// the coordinator's tenant id for worker-side admission control and
+	// quota accounting. A session that opens jobs without a hello is the
+	// anonymous tenant "" — byte-identical to the pre-multi-tenant protocol,
+	// so old coordinators interoperate with new workers and vice versa (a
+	// hello's job field is 0 and old workers never receive one).
+	frameV3Hello = 23 // coord→worker gob sessionHello
+
 	// Peer-mesh frames (worker→worker connections, protoVersionPeer). They
 	// use the v2-style [type u8][len u32] framing; the 64-bit transfer token
 	// rides in each payload, so peer transfers are immune to session job-id
