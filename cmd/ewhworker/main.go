@@ -33,6 +33,8 @@ func main() {
 	queueDeadline := flag.Duration("queue-deadline", 0, "admission control: max queue wait before typed rejection (0: wait forever)")
 	tenantBytes := flag.Int64("tenant-max-bytes", 0, "default per-tenant buffered relation byte budget (0: unlimited)")
 	tenantInter := flag.Int64("tenant-max-intermediate", 0, "default per-tenant stage-1 intermediate tuple budget per plan job (0: unlimited)")
+	weights := netexec.TenantWeights{}
+	flag.Var(weights, "tenant-weight", "tenant scheduling weight as name=w (repeatable); weighted tenants keep the default tenant budgets")
 	flag.Parse()
 
 	w, err := netexec.ListenWorker(*addr)
@@ -45,10 +47,11 @@ func main() {
 		w.SetAdmission(netexec.AdmissionConfig{
 			MaxInFlight: *maxInFlight, MaxQueue: *maxQueue, QueueDeadline: *queueDeadline})
 	}
+	base := netexec.TenantPolicy{MaxBytes: *tenantBytes, MaxIntermediate: *tenantInter}
 	if *tenantBytes > 0 || *tenantInter > 0 {
-		w.SetDefaultTenantPolicy(netexec.TenantPolicy{
-			MaxBytes: *tenantBytes, MaxIntermediate: *tenantInter})
+		w.SetDefaultTenantPolicy(base)
 	}
+	weights.Apply(w, base)
 	if *failAfter > 0 {
 		w.FailAfterJobs(*failAfter)
 		fmt.Fprintf(os.Stderr, "ewhworker: will crash after %d jobs\n", *failAfter)

@@ -328,6 +328,13 @@ func ExecBench(cfg Config) (*ExecBenchReport, error) {
 	if err := runMwayRow("netexec-peer-multiway-csio", peerMode(multiway.Stage2CSIO)); err != nil {
 		return nil, err
 	}
+	// The fully pipelined configuration: Auto picks the stats-deferred CSIO
+	// replan, and the session overlaps the stage-2 peer opens and R3
+	// chunk-streaming with stage 1 — the row that prices the end-to-end
+	// dataflow with every barrier removed.
+	if err := runMwayRow("netexec-peer-multiway-pipelined", peerMode(multiway.Stage2Auto)); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 

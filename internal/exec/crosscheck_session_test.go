@@ -450,3 +450,58 @@ func TestCrossCheckSessionMultiwayPeer(t *testing.T) {
 		}
 	}
 }
+
+func TestCrossCheckOverlappedStage2(t *testing.T) {
+	// Stage-overlapped dispatch: the coordinator opens the stage-2 peer jobs
+	// and streams their right relation WHILE stage 1 is still running — the
+	// exact peer counts bind late over PEERBIND once stage 1 settles. Across
+	// worker counts, seeds and both the pre-built Hash plan and the
+	// stats-deferred Auto replan: the session's overlap counter must move
+	// (the pipelining actually engaged, it is not a silent fallback to the
+	// sequential open), the output must stay pair-identical to the
+	// in-process engine, and not one pair may transit the coordinator.
+	for _, workers := range []int{2, 4} {
+		sess := dialLoopbackSession(t, workers)
+		for seed := uint64(1100); seed < 1103; seed++ {
+			rng := stats.NewRNG(seed)
+			n := 500 + int(rng.Int64n(500))
+			domain := int64(200 + rng.Int64n(400))
+			q := multiway.Query{
+				R1: workload.Zipfian(n, domain, 0.9, seed+1),
+				Mid: multiway.MidRelation{
+					A: workload.Zipfian(n, domain, 0.9, seed+2),
+					B: workload.Zipfian(n, domain, 1.1, seed+3),
+				},
+				R3:    workload.Zipfian(n, domain, 0.9, seed+4),
+				CondA: join.NewBand(1),
+				CondB: join.Equi{},
+			}
+			opts := core.Options{J: workers, Model: netModel, Seed: seed + 5}
+			cfg := exec.Config{Seed: seed + 6, Mappers: 2}
+
+			local, err := multiway.Execute(q, opts, cfg)
+			if err != nil {
+				t.Fatalf("J=%d seed %d: local: %v", workers, seed, err)
+			}
+			for _, mode := range []multiway.Stage2Mode{multiway.Stage2Hash, multiway.Stage2Auto} {
+				id := fmt.Sprintf("J=%d seed %d mode=%v", workers, seed, mode)
+				relayedBefore := sess.RelayedPairs()
+				overlapBefore := sess.OverlappedStage2()
+				res, err := multiway.ExecuteOverStage2(sess, q, opts, cfg, mode)
+				if err != nil {
+					t.Fatalf("%s: %v", id, err)
+				}
+				if res.Output != local.Output || res.Intermediate != local.Intermediate {
+					t.Fatalf("%s: results differ: peer (out=%d mid=%d) local (out=%d mid=%d)",
+						id, res.Output, res.Intermediate, local.Output, local.Intermediate)
+				}
+				if relayed := sess.RelayedPairs() - relayedBefore; relayed != 0 {
+					t.Fatalf("%s: %d pairs transited the coordinator", id, relayed)
+				}
+				if d := sess.OverlappedStage2() - overlapBefore; d <= 0 {
+					t.Errorf("%s: no stage-2 stream overlapped stage 1 (counter moved %d)", id, d)
+				}
+			}
+		}
+	}
+}

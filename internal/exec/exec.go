@@ -133,20 +133,42 @@ func RunOver(rt Runtime, r1, r2 []join.Key, cond join.Condition,
 	start := time.Now()
 	j := scheme.Workers()
 	f1, f2 := newRelFuture(), newRelFuture()
-	shufflePairAsync(r1, r1, r2, r2, scheme, cfg, GetKeyBuffer, GetKeyBuffer,
-		func(s shuffled[join.Key]) { f1.resolve(RelData{Keys: &KeyShuffle{s}}) },
-		func(s shuffled[join.Key]) { f2.resolve(RelData{Keys: &KeyShuffle{s}}) })
+	if streamsChunks(rt) {
+		// Chunk-consuming transports skip the flat scatter entirely: both
+		// relations resolve immediately as chunk streams and the transport
+		// frames sub-blocks onto sockets as the mappers emit them.
+		cs1, cs2 := ShufflePairChunked(r1, r2, scheme, cfg)
+		f1.resolve(RelData{Chunks: cs1})
+		f2.resolve(RelData{Chunks: cs2})
+	} else {
+		shufflePairAsync(r1, r1, r2, r2, scheme, cfg, GetKeyBuffer, GetKeyBuffer,
+			func(s shuffled[join.Key]) { f1.resolve(RelData{Keys: &KeyShuffle{s}}) },
+			func(s shuffled[join.Key]) { f2.resolve(RelData{Keys: &KeyShuffle{s}}) })
+	}
 
 	job := &Job{Cond: cond, Workers: j, R1: f1, R2: f2}
 	res := &Result{Scheme: scheme.Name() + rt.Label(), Workers: make([]WorkerMetrics, j)}
 	err := rt.RunJob(job, res.Workers)
-	f1.Wait().Keys.Release()
-	f2.Wait().Keys.Release()
+	releaseRelData(f1.Wait())
+	releaseRelData(f2.Wait())
 	if err != nil {
 		return nil, err
 	}
 	finishResult(res, model, start, cfg.BytesPerTuple)
 	return res, nil
+}
+
+// releaseRelData recycles whichever representation the relation resolved to.
+// For chunk streams this drains whatever the transport left unconsumed — a
+// no-op after clean runs, the leak stopper after failed ones (the producer
+// never blocks, so the drain always terminates).
+func releaseRelData(d RelData) {
+	if d.Keys != nil {
+		d.Keys.Release()
+	}
+	if d.Chunks != nil {
+		d.Chunks.Drain()
+	}
 }
 
 // finishResult derives the modeled per-worker Work and the run-level

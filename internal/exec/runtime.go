@@ -52,13 +52,20 @@ type PayloadEncoder[P any] func(dst []byte, p P) []byte
 
 // RelData is one shuffled relation as a Runtime consumes it.
 type RelData struct {
-	// Keys holds the per-worker contiguous key blocks.
+	// Keys holds the per-worker contiguous key blocks. Nil when the relation
+	// streams as chunks instead (Chunks non-nil).
 	Keys *KeyShuffle
 	// Payloads, when non-nil, returns worker w's encoded payload block.
 	// Only wire transports call it — in-process emission reads the original
 	// tuple buffers — so the encoding cost is paid exactly when bytes
 	// actually cross a socket.
 	Payloads func(w int) PayloadBlock
+	// Chunks, when non-nil (and Keys nil), streams the relation's routed
+	// sub-blocks as mappers finish, so a transport frames bytes onto sockets
+	// before the whole relation has scattered. Only handed to runtimes that
+	// declare chunk support (ChunkStreamer); drivers fall back to the flat
+	// shuffle otherwise. Chunked relations are always bare-key.
+	Chunks *ChunkStream
 }
 
 // RelFuture hands a Runtime one relation as soon as its shuffle completes.
@@ -91,6 +98,22 @@ func ResolvedRelFuture(d RelData) *RelFuture {
 	f := newRelFuture()
 	f.resolve(d)
 	return f
+}
+
+// ChunkStreamer is an optional Runtime extension: a transport that returns
+// true consumes RelData.Chunks relations (framing each routed sub-block the
+// moment it arrives) and the drivers hand it chunk streams for bare-key
+// relations instead of waiting out the flat scatter. The in-process runtime
+// does not implement it — a local join gains nothing from chunking and the
+// flat buffer feeds the reduce directly.
+type ChunkStreamer interface {
+	StreamsChunks() bool
+}
+
+// streamsChunks reports whether rt opted into chunked relations.
+func streamsChunks(rt Runtime) bool {
+	cs, ok := rt.(ChunkStreamer)
+	return ok && cs.StreamsChunks()
 }
 
 // Job is one planned join handed to a Runtime: the predicate, the (still

@@ -221,6 +221,183 @@ func ShuffleKeys(keys []join.Key, scheme partition.Scheme, rel int, cfg Config) 
 	return &KeyShuffle{s}
 }
 
+// KeyChunk is one mapper's routed sub-block for one worker: the tuples
+// mapper Mapper routed to that worker, in route-emission order. Keys is a
+// pooled buffer owned by the receiver (return with PutKeyBuffer once
+// consumed). Concatenating one worker's chunks in ascending Mapper order
+// reproduces, byte for byte, the worker's contiguous slice of the flat
+// two-pass shuffle — which is what keeps chunk-streaming transports
+// bit-identical to the in-process engine.
+type KeyChunk struct {
+	Mapper int
+	Keys   []join.Key
+}
+
+// ChunkStream delivers one relation's routed sub-blocks per worker as the
+// mappers finish routing, instead of after a whole-relation scatter barrier.
+// Each worker's channel carries at most one chunk per mapper (empty
+// sub-blocks are skipped) and is closed once every mapper has contributed,
+// so `for c := range cs.Worker(w)` terminates. The channels are buffered to
+// the mapper count: the producer NEVER blocks on a slow or absent consumer,
+// which is what makes every error path drainable without deadlock.
+type ChunkStream struct {
+	workers int
+	mappers int
+	ch      []chan KeyChunk
+}
+
+func newChunkStream(workers, mappers int) *ChunkStream {
+	cs := &ChunkStream{workers: workers, mappers: mappers, ch: make([]chan KeyChunk, workers)}
+	for w := range cs.ch {
+		cs.ch[w] = make(chan KeyChunk, mappers)
+	}
+	return cs
+}
+
+// Workers returns the receiver-side parallelism (the scheme's worker count).
+func (cs *ChunkStream) Workers() int { return cs.workers }
+
+// Mappers returns the producer-side parallelism — the maximum number of
+// chunks any worker's channel will deliver.
+func (cs *ChunkStream) Mappers() int { return cs.mappers }
+
+// Worker returns worker w's chunk channel. The consumer owns each received
+// chunk's buffer.
+func (cs *ChunkStream) Worker(w int) <-chan KeyChunk { return cs.ch[w] }
+
+// Drain consumes and recycles every undelivered chunk — the cleanup path
+// when a consumer abandons the stream partway. Safe to call concurrently
+// with (or after) normal consumption: each chunk is received exactly once,
+// whoever gets it.
+func (cs *ChunkStream) Drain() {
+	for w := 0; w < cs.workers; w++ {
+		for c := range cs.ch[w] {
+			PutKeyBuffer(c.Keys)
+		}
+	}
+}
+
+// ShuffleKeysChunked routes one bare-key relation exactly as ShuffleKeys
+// (identical RNG streams, identical routes) but skips the global flat
+// scatter: each mapper scatters its shard locally into per-worker
+// exact-sized pooled buffers the moment its routing pass completes, and
+// emits them on the stream. A transport that frames chunks onto sockets as
+// they arrive overlaps the relation's scatter with its own writes — the
+// whole-relation barrier the two-pass shuffle imposes is gone, at the same
+// total scatter cost.
+func ShuffleKeysChunked(keys []join.Key, scheme partition.Scheme, rel int, cfg Config) *ChunkStream {
+	cfg.defaults()
+	master := stats.NewRNG(cfg.Seed)
+	rngs := make([]*stats.RNG, cfg.Mappers)
+	for i := range rngs {
+		rngs[i] = master.Split()
+	}
+	return chunkedRelation(keys, scheme, rel, cfg, rngs)
+}
+
+// chunkScatter is scatter against per-worker local buffers instead of
+// disjoint ranges of one flat buffer: the same route replay, the same
+// emission order per worker, so a worker's chunks concatenate to exactly
+// what the flat scatter would have put in its range.
+func chunkScatter(bufs [][]join.Key, p []int, items []join.Key, b *partition.RouteBatch) {
+	routes := b.Routes
+	switch {
+	case b.Fanout == 1:
+		items = items[:len(routes)]
+		for ti, w := range routes {
+			bufs[w][p[w]] = items[ti]
+			p[w]++
+		}
+	case b.Fanout > 1:
+		f := b.Fanout
+		for ri, ti := 0, 0; ri < len(routes); ri, ti = ri+f, ti+1 {
+			item := items[ti]
+			for _, w := range routes[ri : ri+f] {
+				bufs[w][p[w]] = item
+				p[w]++
+			}
+		}
+	default:
+		ri := 0
+		for ti, n := range b.Lens {
+			item := items[ti]
+			for _, w := range routes[ri : ri+int(n)] {
+				bufs[w][p[w]] = item
+				p[w]++
+			}
+			ri += int(n)
+		}
+	}
+}
+
+// ShufflePairChunked is ShufflePair's streaming form for chunk-consuming
+// transports: both relations route with the SAME deterministic RNG streams
+// as shufflePairAsync (all relation-1 mapper streams split before relation
+// 2's), but each resolves to a ChunkStream instead of a flat KeyShuffle.
+func ShufflePairChunked(r1, r2 []join.Key, scheme partition.Scheme, cfg Config) (*ChunkStream, *ChunkStream) {
+	cfg.defaults()
+	master := stats.NewRNG(cfg.Seed)
+	rngs1 := make([]*stats.RNG, cfg.Mappers)
+	for i := range rngs1 {
+		rngs1[i] = master.Split()
+	}
+	rngs2 := make([]*stats.RNG, cfg.Mappers)
+	for i := range rngs2 {
+		rngs2[i] = master.Split()
+	}
+	cs1 := chunkedRelation(r1, scheme, 1, cfg, rngs1)
+	cs2 := chunkedRelation(r2, scheme, 2, cfg, rngs2)
+	return cs1, cs2
+}
+
+// chunkedRelation is ShuffleKeysChunked's core with caller-supplied RNG
+// streams (so paired relations split from one master, matching the flat
+// pair shuffle).
+func chunkedRelation(keys []join.Key, scheme partition.Scheme, rel int, cfg Config, rngs []*stats.RNG) *ChunkStream {
+	j := scheme.Workers()
+	route := func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
+		partition.RouteBatchR1(scheme, keys, rng, b)
+	}
+	if rel == 2 {
+		route = func(keys []join.Key, rng *stats.RNG, b *partition.RouteBatch) {
+			partition.RouteBatchR2(scheme, keys, rng, b)
+		}
+	}
+	cs := newChunkStream(j, cfg.Mappers)
+	go func() {
+		batches := getBatches(cfg.Mappers)
+		var wg sync.WaitGroup
+		for mi := 0; mi < cfg.Mappers; mi++ {
+			wg.Add(1)
+			go func(mi int) {
+				defer wg.Done()
+				lo, hi := shard(len(keys), cfg.Mappers, mi)
+				b := &batches[mi]
+				b.Reset(j, hi-lo)
+				route(keys[lo:hi], rngs[mi], b)
+				bufs := make([][]join.Key, j)
+				for w := 0; w < j; w++ {
+					if b.Counts[w] > 0 {
+						bufs[w] = GetKeyBuffer(b.Counts[w])
+					}
+				}
+				chunkScatter(bufs, make([]int, j), keys[lo:hi], b)
+				for w := 0; w < j; w++ {
+					if bufs[w] != nil {
+						cs.ch[w] <- KeyChunk{Mapper: mi, Keys: bufs[w]}
+					}
+				}
+			}(mi)
+		}
+		wg.Wait()
+		putBatches(batches)
+		for w := 0; w < j; w++ {
+			close(cs.ch[w])
+		}
+	}()
+	return cs
+}
+
 // scatter places one mapper's shard into the flat buffer following the
 // routes recorded in pass 1. p is the mapper's per-worker write cursor set;
 // items is the shard (indexed from 0).

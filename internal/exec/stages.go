@@ -39,6 +39,12 @@ type StatsSpec struct {
 	// Seed is the base summary-sampling seed; workers derive deterministic
 	// per-sender streams from it.
 	Seed uint64
+	// Adaptive lets each worker shrink its sample below Cap when its local
+	// match count is small (see sample.AdaptiveCap): a worker holding a few
+	// thousand matches ships a few hundred sample keys instead of the full
+	// Cap, trimming summary bytes and merge work without losing resolution
+	// where it matters. Cap remains the hard ceiling either way.
+	Adaptive bool
 }
 
 // PlanJob hands a transport a downstream join stage as a plan rather than
@@ -193,6 +199,13 @@ func RunStagesOver[P1, P2 any](rt StageRuntime, r1 []Tuple[P1], r2 []Tuple[P2],
 	var r3Started atomic.Bool
 	startR3 := func(s partition.Scheme) {
 		r3Started.Store(true)
+		if streamsChunks(rt) {
+			// Chunk-consuming transports get r3 as a stream: the first routed
+			// sub-blocks hit stage-2 sockets while later mappers still route —
+			// and, for pre-built plans, while stage 1 is still running.
+			f3.resolve(RelData{Chunks: ShuffleKeysChunked(r3, s, 2, cfg3)})
+			return
+		}
 		go func() {
 			ks := ShuffleKeys(r3, s, 2, cfg3)
 			f3.resolve(RelData{Keys: ks})
@@ -259,9 +272,7 @@ func RunStagesOver[P1, P2 any](rt StageRuntime, r1 []Tuple[P1], r2 []Tuple[P2],
 	if !r3Started.Load() {
 		f3.resolve(RelData{})
 	}
-	if d := f3.Wait(); d.Keys != nil {
-		d.Keys.Release()
-	}
+	releaseRelData(f3.Wait())
 	PutKeyBuffer(k1)
 	PutKeyBuffer(k2)
 	putTupleSlice(s1.flat)

@@ -111,6 +111,14 @@ func TestRecoveryBitIdenticalAcrossBoundaries(t *testing.T) {
 			return faultnet.Rule{Dir: faultnet.In, Frame: faultnet.FramePeerBlock,
 				Action: faultnet.ActHook, Fn: kill}
 		}},
+		{"chunk-boundary", multiway.Stage2Hash, func(kill func()) faultnet.Rule {
+			// The worker dies at a sub-block chunk boundary: it has decoded
+			// the first mapper's chunk of a streamed relation but the second
+			// chunk and the exact-count tail never arrive, so recovery must
+			// discard the half-streamed relation and replan onto survivors.
+			return faultnet.Rule{Dir: faultnet.In, Frame: faultnet.FrameChunk,
+				N: 2, Action: faultnet.ActHook, Fn: kill}
+		}},
 	}
 
 	for _, sc := range scenarios {

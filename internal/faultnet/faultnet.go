@@ -55,9 +55,17 @@ const (
 	FrameStats       byte = 21
 	FramePlan2       byte = 22
 
+	// v3 chunked-relation scatter frames (sub-block streaming).
+	FrameChunkHead byte = 25
+	FrameChunk     byte = 26
+	FrameChunkTail byte = 27
+	// v3 late peer-count bind (stage-overlapped dispatch).
+	FramePeerBind byte = 28
+
 	// v4 peer-mesh frames.
 	FramePeerHead  byte = 30
 	FramePeerBlock byte = 31
+	FramePeerPay   byte = 32
 )
 
 // Protocol versions as they appear in the wire prelude.

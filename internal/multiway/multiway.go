@@ -313,7 +313,7 @@ func peerAttempt(rt exec.StageRuntime, q Query, opts core.Options, cfg exec.Conf
 			MaxIntermediate: MaxIntermediate,
 			MaxWorkers:      opts.J,
 			Stats: &exec.StatsSpec{Cap: StatsSampleCap, Buckets: StatsBuckets,
-				Seed: cfg.Seed + statsSeedDelta},
+				Seed: cfg.Seed + statsSeedDelta, Adaptive: true},
 			Replan: func(summaries []*stats.Summary) ([]byte, partition.Scheme, error) {
 				t0 := time.Now()
 				defer func() { plan2Dur = time.Since(t0) }()

@@ -288,6 +288,7 @@ func (s *Session) Survivors() (exec.Runtime, int, error) {
 	if len(live) == 0 {
 		return nil, 0, errors.New("netexec: no surviving workers")
 	}
-	d := &Session{conns: live, ids: s.ids, relayed: s.relayed, tenant: s.tenant}
+	d := &Session{conns: live, ids: s.ids, relayed: s.relayed,
+		overlapped: s.overlapped, tenant: s.tenant}
 	return d, len(live), nil
 }

@@ -326,8 +326,13 @@ func TestFaultnetFrameParity(t *testing.T) {
 		{"plan cancel", frameV3PlanCancel, faultnet.FramePlanCancel},
 		{"stats", frameV3Stats, faultnet.FrameStats},
 		{"plan2", frameV3Plan2, faultnet.FramePlan2},
+		{"chunk head", frameV3ChunkHead, faultnet.FrameChunkHead},
+		{"chunk", frameV3Chunk, faultnet.FrameChunk},
+		{"chunk tail", frameV3ChunkTail, faultnet.FrameChunkTail},
+		{"peer bind", frameV3PeerBind, faultnet.FramePeerBind},
 		{"peer head", framePeerHead, faultnet.FramePeerHead},
 		{"peer block", framePeerBlock, faultnet.FramePeerBlock},
+		{"peer pay", framePeerPay, faultnet.FramePeerPay},
 	}
 	for _, p := range pairs {
 		if p.mine != p.mirrored {

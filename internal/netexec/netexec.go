@@ -121,6 +121,10 @@ type planSpec struct {
 	StatsCap     int
 	StatsBuckets int
 	StatsSeed    uint64
+	// StatsAdaptive lets the worker shrink its sample cap below StatsCap
+	// when its local match count is small (sample.AdaptiveCap); StatsCap
+	// stays the hard ceiling.
+	StatsAdaptive bool
 }
 
 // peerJobOpen opens a stage-2 job whose relation 1 arrives from peer workers
@@ -128,9 +132,27 @@ type planSpec struct {
 // sender s routed to this worker (reported by the stage-1 metrics), so the
 // receiver assembles a deterministic sender-ordered block and knows exactly
 // when the peer transfer is complete.
+//
+// CountsDeferred is the stage-overlapped variant: the coordinator opens the
+// job (and streams the right relation) WHILE stage 1 still runs, before any
+// count exists. SenderCounts is empty; the exact counts follow in a
+// frameV3PeerBind once every stage-1 metrics frame has landed, and the
+// worker parks on the transfer token exactly as it already does for slow
+// peer transfers. Pre-bind buffering stays capped by the per-transfer
+// declared-count ceiling; the tenant charge for the assembled block moves to
+// assembly time, where its size is first known.
 type peerJobOpen struct {
-	WorkerID     int
-	Cond         join.Spec
+	WorkerID       int
+	Cond           join.Spec
+	Token          uint64
+	SenderCounts   []int64
+	CountsDeferred bool
+}
+
+// peerBind delivers a counts-deferred peer job's exact per-sender counts.
+// It is keyed by transfer token rather than job id: the job's EOS retired
+// the id from the connection's demux table long before stage 1 finished.
+type peerBind struct {
 	Token        uint64
 	SenderCounts []int64
 }

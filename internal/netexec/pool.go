@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -89,6 +92,57 @@ func (p *Pool) OpenSessions() map[string]int {
 		out[tenant]++
 	}
 	return out
+}
+
+// TenantWeights is the fleet-configuration form of weighted tenants: a
+// repeatable "name=weight" mapping that Apply installs on a worker as
+// per-tenant policies. It implements flag.Value, so a worker CLI and any
+// fleet tooling share one syntax. The pool itself deliberately holds no
+// policy — the workers must enforce fairness against EVERY coordinator,
+// including ones that bypass a pool — which is why this helper configures
+// Worker processes rather than sessions.
+type TenantWeights map[string]int
+
+// String renders the mapping in flag syntax, tenants sorted.
+func (tw TenantWeights) String() string {
+	if len(tw) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(tw))
+	for name, wgt := range tw {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, wgt))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Set parses one "name=weight" entry (weight a positive integer); repeated
+// flags accumulate, the last entry per tenant winning.
+func (tw TenantWeights) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("tenant weight %q: want name=weight", s)
+	}
+	if len(name) > maxTenantLen {
+		return fmt.Errorf("tenant weight %q: name exceeds %d bytes", s, maxTenantLen)
+	}
+	wgt, err := strconv.Atoi(val)
+	if err != nil || wgt < 1 {
+		return fmt.Errorf("tenant weight %q: want a positive integer weight", s)
+	}
+	tw[name] = wgt
+	return nil
+}
+
+// Apply installs the weights on a worker as per-tenant policies, carrying
+// base's budgets so a weighted tenant keeps the fleet's default quotas.
+// Call before Serve, like SetTenantPolicy.
+func (tw TenantWeights) Apply(w *Worker, base TenantPolicy) {
+	for name, wgt := range tw {
+		p := base
+		p.Weight = wgt
+		w.SetTenantPolicy(name, p)
+	}
 }
 
 // Close hangs up every session still open through the pool and refuses new

@@ -40,6 +40,12 @@ type Session struct {
 	// nothing-transits-the-coordinator assertion and the experiment tables.
 	relayed *atomic.Int64
 
+	// overlapped counts stage-2 peer sub-jobs whose right relation started
+	// streaming BEFORE stage 1's metrics had landed — the observable the
+	// stage-overlapped dispatch crosschecks assert on. Shared by survivor
+	// views like ids/relayed.
+	overlapped *atomic.Int64
+
 	// tenant is the id this session declared in its HELLO frames — the key
 	// workers use for admission queuing and quota accounting. "" (no hello
 	// sent) is the anonymous tenant.
@@ -87,7 +93,8 @@ func DialTenant(ctx context.Context, tenant string, addrs []string, t Timeouts) 
 	if len(tenant) > maxTenantLen {
 		return nil, fmt.Errorf("netexec: tenant id %d bytes long, limit %d", len(tenant), maxTenantLen)
 	}
-	s := &Session{ids: new(atomic.Uint32), relayed: new(atomic.Int64), tenant: tenant}
+	s := &Session{ids: new(atomic.Uint32), relayed: new(atomic.Int64),
+		overlapped: new(atomic.Int64), tenant: tenant}
 	for _, addr := range addrs {
 		c, err := dialSessConn(ctx, addr, t, s)
 		if err != nil {
@@ -106,6 +113,16 @@ func (s *Session) Tenant() string { return s.tenant }
 // RelayedPairs reports the total matched index pairs this session's workers
 // have streamed back to the coordinator since Dial.
 func (s *Session) RelayedPairs() int64 { return s.relayed.Load() }
+
+// OverlappedStage2 reports how many stage-2 peer sub-jobs started streaming
+// their right relation while stage 1 was still running — the pipelining the
+// stage-overlapped dispatch buys over the old open-after-stage-1 sequence.
+func (s *Session) OverlappedStage2() int64 { return s.overlapped.Load() }
+
+// StreamsChunks implements exec.ChunkStreamer: the session consumes chunked
+// relations, framing each routed sub-block onto the socket the moment a
+// mapper emits it instead of waiting out the whole flat scatter.
+func (s *Session) StreamsChunks() bool { return true }
 
 // Workers returns the session's worker count.
 func (s *Session) Workers() int { return len(s.conns) }
@@ -478,8 +495,12 @@ func (c *sessConn) sendJob(id uint32, workerID int, spec join.Spec, ps *planSpec
 
 // sendRelation streams one relation's head, key blocks and (optional)
 // payload blocks, returning the payload bytes shipped so runJob can assert
-// the worker's decode count against them.
+// the worker's decode count against them. Chunk-streamed relations take the
+// pipelined path instead: sub-blocks frame out as mappers emit them.
 func (c *sessConn) sendRelation(id uint32, rel int8, rd exec.RelData, workerID int) (int64, error) {
+	if rd.Chunks != nil {
+		return 0, c.sendRelationChunked(id, rel, rd.Chunks, workerID)
+	}
 	keys := rd.Keys.Worker(workerID)
 	if len(keys) > MaxRelationTuples {
 		return 0, fmt.Errorf("relation %d holds %d tuples, wire limit %d", rel, len(keys), MaxRelationTuples)
@@ -516,4 +537,43 @@ func (c *sessConn) sendRelation(id uint32, rel int8, rd exec.RelData, workerID i
 		}
 	}
 	return int64(len(pb.Flat)), nil
+}
+
+// sendRelationChunked pipelines one chunk-streamed relation: a head naming
+// the mapper count, then every routed sub-block the moment the shuffle emits
+// it (flushed per chunk so the worker decodes while later mappers still
+// route), then a tail with the exact total. Every return path — success or
+// failure — leaves this worker's channel drained, so a failed sub-job never
+// wedges the producer's buffers (the stream's other consumers are
+// independent; the driver's releaseRelData backstops relations never
+// reached).
+func (c *sessConn) sendRelationChunked(id uint32, rel int8, cs *exec.ChunkStream, workerID int) error {
+	drain := func(err error) error {
+		for ch := range cs.Worker(workerID) {
+			exec.PutKeyBuffer(ch.Keys)
+		}
+		return err
+	}
+	if err := writeChunkHead(c.bw, id, rel, cs.Mappers()); err != nil {
+		return drain(err)
+	}
+	total := 0
+	for ch := range cs.Worker(workerID) {
+		n := len(ch.Keys)
+		if total+n > MaxRelationTuples {
+			exec.PutKeyBuffer(ch.Keys)
+			return drain(fmt.Errorf("relation %d holds over %d tuples, wire limit %d",
+				rel, total, MaxRelationTuples))
+		}
+		err := writeChunkKeys(c.bw, id, rel, ch.Mapper, ch.Keys)
+		exec.PutKeyBuffer(ch.Keys)
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		if err != nil {
+			return drain(err)
+		}
+		total += n
+	}
+	return writeChunkTail(c.bw, id, rel, total, 0)
 }

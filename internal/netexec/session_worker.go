@@ -42,6 +42,45 @@ type sessRel struct {
 	off      []uint32 // payload offsets; off[i]..off[i+1] is tuple i
 	payPos   int      // payload bytes received
 	payTup   int      // tuples whose payload lengths arrived
+
+	// Chunk-streamed decode (frameV3ChunkHead/Chunk/ChunkTail): the exact
+	// count is only known at the tail, so sub-blocks accumulate as pooled
+	// parts per mapper (arrival order — TCP preserves it) and assemble
+	// mapper-major into keys when the tail's totals check out. pos doubles as
+	// the running tuple count while streaming.
+	streaming bool
+	chunks    int            // mapper count the head declared
+	parts     [][][]join.Key // parts[mapper] = ordered pooled sub-blocks
+}
+
+// assemble concatenates a chunk-streamed relation's parts mapper-major into
+// one exactly-sized pooled block — byte-identical to the flat scatter's
+// mapper-major per-worker layout, which is what keeps chunked runs
+// crosscheckable against every other transport.
+func (r *sessRel) assemble() {
+	flat := exec.GetKeyBuffer(r.pos)
+	pos := 0
+	for _, parts := range r.parts {
+		for _, p := range parts {
+			copy(flat[pos:], p)
+			pos += len(p)
+			exec.PutKeyBuffer(p)
+		}
+	}
+	r.parts = nil
+	r.keys = flat
+	r.n = r.pos
+	r.streaming = false
+}
+
+// releaseParts recycles a still-streaming relation's accumulated sub-blocks.
+func (r *sessRel) releaseParts() {
+	for _, parts := range r.parts {
+		for _, p := range parts {
+			exec.PutKeyBuffer(p)
+		}
+	}
+	r.parts = nil
 }
 
 // sessJob is one numbered job in flight on a session connection.
@@ -70,9 +109,13 @@ type sessJob struct {
 	plan *planSpec
 	// peerFed marks a stage-2 job whose relation 1 arrives over the peer
 	// mesh; peerSt is its bound transfer state and token its transfer id.
-	peerFed bool
-	peerSt  *peerJobState
-	token   uint64
+	// peerDeferred marks a counts-deferred (stage-overlapped) open: the
+	// tenant charge for the assembled transfer happens at assembly, when the
+	// size is first known.
+	peerFed      bool
+	peerDeferred bool
+	peerSt       *peerJobState
+	token        uint64
 }
 
 // fail records the job's first error; subsequent data frames for the job
@@ -94,6 +137,7 @@ func (j *sessJob) release() {
 			putByteBuf(r.pay)
 			r.pay = nil
 		}
+		r.releaseParts()
 	}
 	if j.charged > 0 {
 		j.w.creditTenant(j.tenant, j.charged)
@@ -330,6 +374,21 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			j.cond = cond
 			j.workerID = po.WorkerID
 			j.token = po.Token
+			if po.CountsDeferred {
+				// Stage-overlapped open: the exact counts arrive in a late
+				// PEERBIND once stage 1 finishes. Attach to (or create) the
+				// transfer state unbound; the tenant charge moves to assembly,
+				// where the transfer's size is first known. Pre-bind buffering
+				// stays capped by the per-transfer declared-count ceiling.
+				st := w.peerState(po.Token)
+				if st == nil {
+					j.fail(fmt.Errorf("transfer table full (%d tokens)", maxPeerStates))
+					continue
+				}
+				j.peerDeferred = true
+				j.peerSt = st
+				continue
+			}
 			// The peer transfer's assembled block is buffered on this worker
 			// on the tenant's behalf: charge it before binding allocates.
 			var peerTuples int64
@@ -355,6 +414,13 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 				return
 			}
 			pt.deliver(id, &ps)
+
+		case frameV3PeerBind:
+			var pb peerBind
+			if err := readGobPayload(br, n, &pb); err != nil {
+				return
+			}
+			w.bindPeerCounts(pb.Token, pb.SenderCounts)
 
 		case frameV3PlanCancel:
 			var pc planCancel
@@ -459,6 +525,94 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 				return
 			}
 
+		case frameV3ChunkHead:
+			j := jobs[id]
+			if j == nil || n != chunkHeadLen {
+				return // malformed head (or unopened job) is connection-fatal
+			}
+			var h [chunkHeadLen]byte
+			if _, err := io.ReadFull(br, h[:]); err != nil {
+				return
+			}
+			if j.err != nil {
+				continue
+			}
+			r, err := j.rel(h[0])
+			if err != nil {
+				j.fail(err)
+				continue
+			}
+			switch {
+			case j.peerFed && h[0] == 1:
+				j.fail(fmt.Errorf("relation 1 of a peer-fed job arrives from peers, not the coordinator"))
+			case r.declared:
+				j.fail(fmt.Errorf("relation %d declared twice", h[0]))
+			case h[1] != 0:
+				j.fail(fmt.Errorf("chunked relation %d declares flags %d (bare-key only)", h[0], h[1]))
+			default:
+				chunks := int64(binary.LittleEndian.Uint32(h[2:]))
+				if chunks < 1 || chunks > maxRelationChunks {
+					j.fail(fmt.Errorf("chunked relation %d declares %d mappers, limit %d",
+						h[0], chunks, maxRelationChunks))
+					continue
+				}
+				r.declared = true
+				r.streaming = true
+				r.chunks = int(chunks)
+				r.parts = make([][][]join.Key, chunks)
+			}
+
+		case frameV3Chunk:
+			j := jobs[id]
+			if j == nil {
+				return
+			}
+			if j.err != nil {
+				if _, err := io.CopyN(io.Discard, br, int64(n)); err != nil {
+					return
+				}
+				continue
+			}
+			if err := j.readChunk(br, n); err != nil {
+				if _, ok := err.(*protoErr); ok {
+					j.fail(err)
+					continue
+				}
+				return // I/O failure: connection-fatal
+			}
+
+		case frameV3ChunkTail:
+			j := jobs[id]
+			if j == nil || n != chunkTailLen {
+				return
+			}
+			var h [chunkTailLen]byte
+			if _, err := io.ReadFull(br, h[:]); err != nil {
+				return
+			}
+			if j.err != nil {
+				continue
+			}
+			r, err := j.rel(h[0])
+			if err != nil {
+				j.fail(err)
+				continue
+			}
+			count := int(binary.LittleEndian.Uint32(h[1:]))
+			payBytes := int(binary.LittleEndian.Uint32(h[5:]))
+			switch {
+			case !r.streaming:
+				j.fail(fmt.Errorf("tail for non-streaming relation %d", h[0]))
+			case payBytes != 0:
+				j.fail(fmt.Errorf("chunked relation %d tail declares %d payload bytes (bare-key only)",
+					h[0], payBytes))
+			case r.pos != count:
+				j.fail(fmt.Errorf("chunked relation %d streamed %d tuples, tail declares %d",
+					h[0], r.pos, count))
+			default:
+				r.assemble()
+			}
+
 		case frameV3EOS:
 			j := jobs[id]
 			if j == nil || n != 0 {
@@ -499,10 +653,17 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 }
 
 // protoErr marks a job-level protocol violation: the job fails with an
-// error reply but the connection (and its framing) stays intact.
-type protoErr struct{ msg string }
+// error reply but the connection (and its framing) stays intact. cause, when
+// set, preserves a typed underlying error (a quota rejection surfaced
+// mid-stream) for rejectCode's errors.As walk.
+type protoErr struct {
+	msg   string
+	cause error
+}
 
 func (e *protoErr) Error() string { return e.msg }
+
+func (e *protoErr) Unwrap() error { return e.cause }
 
 func protoErrf(format string, args ...any) *protoErr {
 	return &protoErr{msg: fmt.Sprintf(format, args...)}
@@ -542,12 +703,65 @@ func (j *sessJob) readBlock(br *bufio.Reader, n int) error {
 	if !r.declared {
 		return drain(protoErrf("block for undeclared relation %d", bh[0]))
 	}
+	if r.streaming {
+		return drain(protoErrf("flat block for chunk-streaming relation %d", bh[0]))
+	}
 	if r.pos+count > r.n {
 		return drain(protoErrf("relation %d overflows declared count %d", bh[0], r.n))
 	}
 	if err := readKeysLE(br, r.keys[r.pos:r.pos+count]); err != nil {
 		return err
 	}
+	r.pos += count
+	return nil
+}
+
+// readChunk decodes one pipelined sub-block frame into a pooled part buffer,
+// appended to its mapper's arrival-ordered part list. Totals validate at the
+// tail; the only mid-stream caps are the wire-wide relation ceiling and the
+// tenant budget (charged chunk by chunk — a quota rejection drains the rest
+// of the stream exactly like any other job-level failure).
+func (j *sessJob) readChunk(br *bufio.Reader, n int) error {
+	if n < chunkHeaderLen {
+		return fmt.Errorf("chunk frame length %d below sub-header size", n)
+	}
+	var h [chunkHeaderLen]byte
+	if _, err := io.ReadFull(br, h[:]); err != nil {
+		return err
+	}
+	count := int(binary.LittleEndian.Uint32(h[3:]))
+	drain := func(e *protoErr) error {
+		if _, err := io.CopyN(io.Discard, br, int64(n-chunkHeaderLen)); err != nil {
+			return err
+		}
+		return e
+	}
+	if n != chunkHeaderLen+8*count {
+		return drain(protoErrf("chunk frame length %d inconsistent with count %d", n, count))
+	}
+	r, err := j.rel(h[0])
+	if err != nil {
+		return drain(protoErrf("%s", err))
+	}
+	if !r.streaming {
+		return drain(protoErrf("chunk for non-streaming relation %d", h[0]))
+	}
+	mapper := int(binary.LittleEndian.Uint16(h[1:]))
+	if mapper >= r.chunks {
+		return drain(protoErrf("chunk names mapper %d, head declared %d", mapper, r.chunks))
+	}
+	if int64(r.pos)+int64(count) > MaxRelationTuples {
+		return drain(protoErrf("chunked relation %d exceeds %d tuples", h[0], MaxRelationTuples))
+	}
+	if err := j.charge(8 * int64(count)); err != nil {
+		return drain(&protoErr{msg: err.Error(), cause: err})
+	}
+	buf := exec.GetKeyBuffer(count)
+	if err := readKeysLE(br, buf); err != nil {
+		exec.PutKeyBuffer(buf)
+		return err
+	}
+	r.parts[mapper] = append(r.parts[mapper], buf)
 	r.pos += count
 	return nil
 }
@@ -585,20 +799,33 @@ func (j *sessJob) readPayBlock(br *bufio.Reader, n int) error {
 	if r.payTup+count > r.n {
 		return drain(protoErrf("relation %d payload tuples overflow declared count %d", bh[0], r.n))
 	}
-	var lenBuf [4]byte
+	// Pull the length vector through pooled scratch: one buffered read per
+	// ~16k tuples instead of a 4-byte ReadFull per tuple.
+	scratch := getScratch()
 	total := 0
-	for i := 0; i < count; i++ {
-		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+	for i := 0; i < count; {
+		buf := *scratch
+		c := len(buf) / 4
+		if c > count-i {
+			c = count - i
+		}
+		if _, err := io.ReadFull(br, buf[:4*c]); err != nil {
+			putScratch(scratch)
 			return err
 		}
-		rest -= 4
-		sz := int(binary.LittleEndian.Uint32(lenBuf[:]))
-		if r.payPos+total+sz > r.payBytes {
-			return drain(protoErrf("relation %d payload overflows declared %d bytes", bh[0], r.payBytes))
+		rest -= 4 * c
+		for k := 0; k < c; k++ {
+			sz := int(binary.LittleEndian.Uint32(buf[4*k:]))
+			if r.payPos+total+sz > r.payBytes {
+				putScratch(scratch)
+				return drain(protoErrf("relation %d payload overflows declared %d bytes", bh[0], r.payBytes))
+			}
+			total += sz
+			r.off[r.payTup+1+i+k] = uint32(r.payPos + total)
 		}
-		total += sz
-		r.off[r.payTup+1+i] = uint32(r.payPos + total)
+		i += c
 	}
+	putScratch(scratch)
 	if rest != total {
 		// The byte segment disagrees with the lengths: a truncated (or
 		// padded) payload frame.
@@ -620,6 +847,9 @@ func (j *sessJob) validateComplete() error {
 		r := &j.rels[i]
 		if !r.declared {
 			return fmt.Errorf("relation %d never declared", i+1)
+		}
+		if r.streaming {
+			return fmt.Errorf("chunked relation %d never received its tail", i+1)
 		}
 		if r.pos != r.n {
 			return fmt.Errorf("relation %d ended at %d tuples, head declared %d", i+1, r.pos, r.n)
@@ -796,7 +1026,11 @@ func (w *Worker) runPlanJob(j *sessJob, r1, r2 *sessRel, bw *bufio.Writer, wmu *
 	sender := j.workerID
 
 	if ps.WantStats {
-		sum := sample.Summarize(inter, ps.StatsCap, ps.StatsBuckets,
+		statsCap := ps.StatsCap
+		if ps.StatsAdaptive {
+			statsCap = sample.AdaptiveCap(len(inter), ps.StatsCap)
+		}
+		sum := sample.Summarize(inter, statsCap, ps.StatsBuckets,
 			stats.NewRNG(statsSenderSeed(ps.StatsSeed, sender)))
 		enc, err := planio.EncodeSummary(sum)
 		if err != nil {
@@ -868,7 +1102,7 @@ func (w *Worker) runPlanJob(j *sessJob, r1, r2 *sessRel, bw *bufio.Writer, wmu *
 			}
 			continue
 		}
-		if err := w.sendToPeer(ps.Peers[p], ps.Token, sender, blk); err != nil {
+		if err := w.sendToPeer(ps.Peers[p], ps.Token, sender, blk, nil); err != nil {
 			return 0, nil, fmt.Errorf("transfer %d: %w", ps.Token,
 				&peerFaultError{addr: ps.Peers[p], err: err})
 		}
@@ -906,6 +1140,8 @@ func (w *Worker) finishPeerSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mu
 			j.err = fmt.Errorf("relation 1 of a peer-fed job arrived from the coordinator")
 		case !r2.declared:
 			j.err = fmt.Errorf("relation 2 never declared")
+		case r2.streaming:
+			j.err = fmt.Errorf("chunked relation 2 never received its tail")
 		case r2.pos != r2.n:
 			j.err = fmt.Errorf("relation 2 ended at %d tuples, head declared %d", r2.pos, r2.n)
 		case r2.hasPay && (r2.payPos != r2.payBytes || r2.payTup != r2.n):
@@ -947,6 +1183,12 @@ func (w *Worker) finishPeerSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mu
 	st.mu.Lock()
 	flat, stErr := st.flat, st.err
 	st.flat = nil // the job owns it now
+	if st.flatPay != nil {
+		// The session's peer-fed join is keys-only; an assembled payload
+		// segment has no consumer here yet, so recycle it.
+		putByteBuf(st.flatPay)
+		st.flatPay, st.flatOff = nil, nil
+	}
 	st.mu.Unlock()
 	w.finishPeerState(j.token)
 	if stErr == nil && flat == nil {
@@ -957,6 +1199,16 @@ func (w *Worker) finishPeerSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mu
 	if stErr != nil {
 		reply(metrics{Err: fmt.Sprintf("peer transfer %d: %v", j.token, stErr)})
 		return
+	}
+	if j.peerDeferred {
+		// Counts-deferred open: the transfer's size is known only now; charge
+		// the assembled block against the tenant budget (release credits it
+		// back with the rest of the job's reservation).
+		if err := j.charge(8 * int64(len(flat))); err != nil {
+			exec.PutKeyBuffer(flat)
+			reply(metrics{Err: err.Error(), Code: rejectCode(err)})
+			return
+		}
 	}
 	r2 := &j.rels[1]
 	start := time.Now()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ewh/internal/exec"
@@ -49,11 +50,15 @@ func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
 
 	token := newPeerToken()
 	id1 := s.ids.Add(1)
+	id2 := s.ids.Add(1)
 	counts := make([][]int64, j1)
 	var j2 int
+	var handlers2 []*jobHandler
+	var stage1Done atomic.Bool
 	var wg sync.WaitGroup
 	if next.Replan != nil {
-		j2, err = s.runDeferredStage1(id1, token, spec1, first, next, wm1, counts)
+		j2, handlers2, err = s.runDeferredStage1(id1, id2, token, spec1, spec2, first, next,
+			wm1, counts, &stage1Done)
 		if err != nil {
 			return 0, err
 		}
@@ -64,6 +69,20 @@ func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
 				j2, len(s.conns))
 		}
 		peers := s.Addrs()[:j2]
+		// Stage-overlapped dispatch: the stage-2 peer jobs open (counts
+		// deferred) and stream their coordinator-owned right relation WHILE
+		// stage 1 runs — the workers park on the transfer token they already
+		// support, and only the late PEERBIND below waits for stage 1.
+		handlers2 = make([]*jobHandler, j2)
+		openErrs := make([]error, j2)
+		var wg2 sync.WaitGroup
+		for p := 0; p < j2; p++ {
+			wg2.Add(1)
+			go func(p int) {
+				defer wg2.Done()
+				handlers2[p], openErrs[p] = s.conns[p].openPeerJob(id2, p, spec2, token, next, &stage1Done)
+			}(p)
+		}
 		errs := make([]error, j1)
 		for w := 0; w < j1; w++ {
 			wg.Add(1)
@@ -78,10 +97,14 @@ func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
 			}(w)
 		}
 		wg.Wait()
-		if err := errors.Join(errs...); err != nil {
+		stage1Done.Store(true)
+		wg2.Wait()
+		if err := errors.Join(append(errs, openErrs...)...); err != nil {
 			// Some workers may already have streamed contributions to their
-			// peers; tell every worker to discard the orphaned transfer.
-			s.cancelPlan(token)
+			// peers; tell every worker to discard the orphaned transfer. The
+			// parked stage-2 jobs wake through the poisoned token, reply an
+			// error nobody awaits, and are dropped by the read loops.
+			s.abandonPeerJobs(token, id2, handlers2)
 			return 0, err
 		}
 	}
@@ -128,37 +151,56 @@ func (s *Session) RunStages(first *exec.Job, next *exec.PlanJob,
 		}
 	}
 
-	id2 := s.ids.Add(1)
+	// The peer jobs opened and received their right relation while stage 1
+	// ran; the late PEERBIND delivers the per-sender expectations and the
+	// reply carries the joined metrics.
 	errs2 := make([]error, j2)
 	for p := 0; p < j2; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs2[p] = s.conns[p].runPeerJob(id2, p, spec2, token, expected[p], next, &wm2[p])
+			errs2[p] = s.conns[p].finishPeerJob(id2, p, token, expected[p], handlers2[p], &wm2[p])
 		}(p)
 	}
 	wg.Wait()
 	if err := errors.Join(errs2...); err != nil {
-		// A worker whose peer job never opened (or failed before binding)
-		// still holds its fully-delivered contributions; cancel so they are
-		// released rather than buffered until the worker restarts. Workers
-		// whose job consumed the transfer just tombstone the token.
+		// A worker whose peer job never bound still holds its fully-delivered
+		// contributions; cancel so they are released rather than buffered
+		// until the worker restarts. Workers whose job consumed the transfer
+		// just tombstone the token.
 		s.cancelPlan(token)
 		return 0, err
 	}
 	return intermediate, nil
 }
 
+// abandonPeerJobs tears down stage-2 peer jobs whose stage 1 failed: the
+// cancel poisons the transfer token (waking the parked jobs into an error
+// reply nobody awaits) and the deregistrations make the read loops drop
+// those replies.
+func (s *Session) abandonPeerJobs(token uint64, id2 uint32, handlers []*jobHandler) {
+	s.cancelPlan(token)
+	for p, h := range handlers {
+		if h != nil {
+			s.conns[p].deregister(id2)
+		}
+	}
+}
+
 // runDeferredStage1 runs a stats-deferred plan's stage 1: phase A collects
 // every worker's statistics summary, the driver's Replan turns them into the
 // real stage-2 plan, and phase B broadcasts it and collects the count
-// vectors. Returns the replanned worker count.
-func (s *Session) runDeferredStage1(id1 uint32, token uint64, spec1 join.Spec,
-	first *exec.Job, next *exec.PlanJob, wm1 []exec.WorkerMetrics, counts [][]int64) (int, error) {
+// vectors. The stage-2 worker count is only known after Replan, so the
+// overlapped peer-job opens launch right then — concurrent with phase B,
+// which is where the workers route and stream the intermediate. Returns the
+// replanned worker count and the still-registered peer-job handlers.
+func (s *Session) runDeferredStage1(id1, id2 uint32, token uint64, spec1, spec2 join.Spec,
+	first *exec.Job, next *exec.PlanJob, wm1 []exec.WorkerMetrics, counts [][]int64,
+	stage1Done *atomic.Bool) (int, []*jobHandler, error) {
 
 	j1 := first.Workers
 	if next.Stats == nil {
-		return 0, fmt.Errorf("netexec: stats-deferred plan without a statistics spec")
+		return 0, nil, fmt.Errorf("netexec: stats-deferred plan without a statistics spec")
 	}
 	handlers := make([]*jobHandler, j1)
 	sentPays := make([][2]int64, j1)
@@ -170,12 +212,13 @@ func (s *Session) runDeferredStage1(id1 uint32, token uint64, spec1 join.Spec,
 		go func(w int) {
 			defer wg.Done()
 			ps := planSpec{Token: token, WantStats: true, StatsCap: next.Stats.Cap,
-				StatsBuckets: next.Stats.Buckets, StatsSeed: next.Stats.Seed}
+				StatsBuckets: next.Stats.Buckets, StatsSeed: next.Stats.Seed,
+				StatsAdaptive: next.Stats.Adaptive}
 			sums[w], handlers[w], sentPays[w], errs[w] = s.conns[w].openStatsStageJob(id1, w, spec1, &ps, first)
 		}(w)
 	}
 	wg.Wait()
-	abandon := func(err error) (int, error) {
+	abandon := func(err error) (int, []*jobHandler, error) {
 		// Wake the workers still holding their matches for a plan that will
 		// never come; their (error) replies land after deregistration and
 		// are dropped by the read loops.
@@ -185,7 +228,7 @@ func (s *Session) runDeferredStage1(id1 uint32, token uint64, spec1 join.Spec,
 				s.conns[w].deregister(id1)
 			}
 		}
-		return 0, err
+		return 0, nil, err
 	}
 	if err := errors.Join(errs...); err != nil {
 		return abandon(err)
@@ -207,6 +250,19 @@ func (s *Session) runDeferredStage1(id1 uint32, token uint64, spec1 join.Spec,
 	}
 
 	peers := s.Addrs()[:j2]
+	// Stage-overlapped dispatch, deferred flavor: the replanned worker count
+	// just became known, so the stage-2 peer jobs open and receive their
+	// right relation WHILE phase B routes and streams the intermediate.
+	handlers2 := make([]*jobHandler, j2)
+	openErrs := make([]error, j2)
+	var wg2 sync.WaitGroup
+	for p := 0; p < j2; p++ {
+		wg2.Add(1)
+		go func(p int) {
+			defer wg2.Done()
+			handlers2[p], openErrs[p] = s.conns[p].openPeerJob(id2, p, spec2, token, next, stage1Done)
+		}(p)
+	}
 	for w := 0; w < j1; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -216,11 +272,13 @@ func (s *Session) runDeferredStage1(id1 uint32, token uint64, spec1 join.Spec,
 		}(w)
 	}
 	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		s.cancelPlan(token)
-		return 0, err
+	stage1Done.Store(true)
+	wg2.Wait()
+	if err := errors.Join(append(errs, openErrs...)...); err != nil {
+		s.abandonPeerJobs(token, id2, handlers2)
+		return 0, nil, err
 	}
-	return j2, nil
+	return j2, handlers2, nil
 }
 
 // cancelPlan tells every session worker to discard buffered peer state — and
@@ -354,19 +412,131 @@ func (c *sessConn) finishStatsStageJob(id uint32, workerID int, token uint64, pl
 	return c.stageReply(op, id, workerID, r, sentPay, m)
 }
 
-// runPeerJob runs one stage-2 sub-job: the open names the transfer token and
-// the exact per-sender counts, the coordinator streams only the right
-// relation, and the worker joins once its peer transfer completes.
-func (c *sessConn) runPeerJob(id uint32, workerID int, spec join.Spec, token uint64,
-	senderCounts []int64, next *exec.PlanJob, m *exec.WorkerMetrics) error {
+// openPeerJob opens one stage-2 sub-job in counts-deferred mode and streams
+// the coordinator-owned right relation — all while stage 1 may still be
+// running on the same connections. The returned handler stays registered;
+// finishPeerJob (or abandonPeerJobs) takes it over once stage 1 settles.
+func (c *sessConn) openPeerJob(id uint32, workerID int, spec join.Spec, token uint64,
+	next *exec.PlanJob, stage1Done *atomic.Bool) (*jobHandler, error) {
 
 	const op = "peer job"
 	h := &jobHandler{done: make(chan sessReply, 1)}
 	if err := c.register(id, h); err != nil {
-		return c.connFault(op, id, workerID, err)
+		return nil, c.connFault(op, id, workerID, err)
 	}
+	po := peerJobOpen{WorkerID: workerID, Cond: spec, Token: token, CountsDeferred: true}
+	c.wmu.Lock()
+	err := writeV3GobFrame(c.bw, frameV3OpenPeerJob, id, po)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.deregister(id)
+		return nil, c.connFault(op, id, workerID, err)
+	}
+	if err := c.streamPeerRelation(id, workerID, next, stage1Done); err != nil {
+		c.deregister(id)
+		return nil, c.connFault(op, id, workerID, err)
+	}
+	return h, nil
+}
+
+// streamPeerRelation ships a counts-deferred peer job's right relation and
+// EOS. R2.Wait() runs outside the write lock so stage-1 jobs sharing the
+// connection keep sending while the relation still shuffles, and the chunked
+// path re-acquires the lock per sub-block so this stream never monopolizes
+// the connection.
+func (c *sessConn) streamPeerRelation(id uint32, workerID int, next *exec.PlanJob,
+	stage1Done *atomic.Bool) error {
+
+	rd := next.R2.Wait()
+	if !stage1Done.Load() {
+		c.sess.overlapped.Add(1)
+	}
+	if rd.Chunks != nil {
+		return c.streamChunkedPeerRelation(id, workerID, rd.Chunks)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.sendRelation(id, 2, rd, workerID); err != nil {
+		_ = writeV3FrameHeader(c.bw, frameV3Abort, id, 0)
+		_ = c.bw.Flush()
+		return err
+	}
+	if err := writeV3FrameHeader(c.bw, frameV3EOS, id, 0); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *sessConn) streamChunkedPeerRelation(id uint32, workerID int, cs *exec.ChunkStream) error {
+	drain := func(err error) error {
+		for ch := range cs.Worker(workerID) {
+			exec.PutKeyBuffer(ch.Keys)
+		}
+		return err
+	}
+	c.wmu.Lock()
+	err := writeChunkHead(c.bw, id, 2, cs.Mappers())
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		return drain(err)
+	}
+	total := 0
+	for ch := range cs.Worker(workerID) {
+		n := len(ch.Keys)
+		if total+n > MaxRelationTuples {
+			exec.PutKeyBuffer(ch.Keys)
+			c.wmu.Lock()
+			_ = writeV3FrameHeader(c.bw, frameV3Abort, id, 0)
+			_ = c.bw.Flush()
+			c.wmu.Unlock()
+			return drain(fmt.Errorf("relation 2 holds over %d tuples, wire limit %d",
+				total, MaxRelationTuples))
+		}
+		c.wmu.Lock()
+		err := writeChunkKeys(c.bw, id, 2, ch.Mapper, ch.Keys)
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		c.wmu.Unlock()
+		exec.PutKeyBuffer(ch.Keys)
+		if err != nil {
+			return drain(err)
+		}
+		total += n
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	err = writeChunkTail(c.bw, id, 2, total, 0)
+	if err == nil {
+		err = writeV3FrameHeader(c.bw, frameV3EOS, id, 0)
+	}
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	return err
+}
+
+// finishPeerJob binds the per-sender counts to an opened peer job and waits
+// for its terminal metrics. Only called once stage 1 settled, so the worker's
+// parked job wakes as soon as its transfer completes against these counts.
+func (c *sessConn) finishPeerJob(id uint32, workerID int, token uint64,
+	senderCounts []int64, h *jobHandler, m *exec.WorkerMetrics) error {
+
+	const op = "peer job"
 	defer c.deregister(id)
-	if err := c.sendPeerJob(id, workerID, spec, token, senderCounts, next); err != nil {
+	c.wmu.Lock()
+	err := writeV3GobFrame(c.bw, frameV3PeerBind, 0, peerBind{Token: token, SenderCounts: senderCounts})
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
 		return c.connFault(op, id, workerID, err)
 	}
 	r, ferr := c.awaitReply(op, id, workerID, h)
@@ -391,27 +561,4 @@ func (c *sessConn) runPeerJob(id uint32, workerID int, spec join.Spec, token uin
 	m.InputR2 = r.m.InputR2
 	m.Output = r.m.Output
 	return nil
-}
-
-func (c *sessConn) sendPeerJob(id uint32, workerID int, spec join.Spec, token uint64,
-	senderCounts []int64, next *exec.PlanJob) error {
-
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	abort := func(err error) error {
-		_ = writeV3FrameHeader(c.bw, frameV3Abort, id, 0)
-		_ = c.bw.Flush()
-		return err
-	}
-	po := peerJobOpen{WorkerID: workerID, Cond: spec, Token: token, SenderCounts: senderCounts}
-	if err := writeV3GobFrame(c.bw, frameV3OpenPeerJob, id, po); err != nil {
-		return abort(err)
-	}
-	if _, err := c.sendRelation(id, 2, next.R2.Wait(), workerID); err != nil {
-		return abort(err)
-	}
-	if err := writeV3FrameHeader(c.bw, frameV3EOS, id, 0); err != nil {
-		return err
-	}
-	return c.bw.Flush()
 }

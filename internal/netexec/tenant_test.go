@@ -250,3 +250,39 @@ func TestTenantTableBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTenantWeightsFlag covers the fleet-config helper: flag-syntax parsing,
+// rendering, and Apply installing weights that the admitter's weight
+// resolver observes, budgets carried from the base policy.
+func TestTenantWeightsFlag(t *testing.T) {
+	tw := TenantWeights{}
+	for _, s := range []string{"etl=3", "dash=1", "etl=4"} {
+		if err := tw.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	if got := tw.String(); got != "dash=1,etl=4" {
+		t.Fatalf("String() = %q, want last-entry-wins sorted rendering", got)
+	}
+	for _, bad := range []string{"", "noequals", "=3", "x=", "x=0", "x=-1", "x=zz"} {
+		if err := tw.Set(bad); err == nil {
+			t.Fatalf("Set(%q) accepted", bad)
+		}
+	}
+
+	w, err := ListenWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	tw.Apply(w, TenantPolicy{MaxBytes: 512})
+	if got := w.tenantWeight("etl"); got != 4 {
+		t.Fatalf("applied weight for etl = %v, want 4", got)
+	}
+	if got := w.tenantWeight("unnamed"); got != 1 {
+		t.Fatalf("unconfigured tenant weight = %v, want default 1", got)
+	}
+	if p := w.tenants.policy("etl"); p.MaxBytes != 512 {
+		t.Fatalf("weighted tenant lost base budget: MaxBytes = %d, want 512", p.MaxBytes)
+	}
+}

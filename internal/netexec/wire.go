@@ -89,18 +89,47 @@ const (
 	// hello's job field is 0 and old workers never receive one).
 	frameV3Hello = 23 // coord→worker gob sessionHello
 
+	// CHUNK frames (pipelined relation streaming): instead of waiting for the
+	// whole relation's scatter and announcing exact counts up front
+	// (frameV3RelHead), the coordinator declares only the mapper count and
+	// streams each mapper's routed sub-block the moment routing fills it. Any
+	// number of chunk frames may carry one mapper's sub-block (an oversized
+	// sub-block splits at the frame cap); the TAIL is the terminator, carrying
+	// exact totals the coordinator only knows at the end, and the worker
+	// validates its running counts against them.
+	frameV3ChunkHead = 25 // coord→worker [rel u8][flags u8][chunks u32]
+	frameV3Chunk     = 26 // coord→worker [rel u8][mapper u16][count u32][count×8 LE keys]
+	frameV3ChunkTail = 27 // coord→worker [rel u8][count u32][payBytes u32] — exact totals
+
+	// PEERBIND frame (stage-overlapped dispatch): a peer-fed job opened with
+	// CountsDeferred learns its exact per-sender counts only after stage 1
+	// finishes; the coordinator then sends this frame carrying gob peerBind.
+	// It is keyed by transfer token, not job id, because the job's EOS has
+	// already retired the id from the demux table by the time the bind lands.
+	frameV3PeerBind = 28 // coord→worker gob peerBind: late exact sender counts
+
 	// Peer-mesh frames (worker→worker connections, protoVersionPeer). They
 	// use the v2-style [type u8][len u32] framing; the 64-bit transfer token
 	// rides in each payload, so peer transfers are immune to session job-id
 	// collisions across coordinators.
 	framePeerHead  = 30 // [token u64][sender u32][count u32] — declares one sender's contribution
 	framePeerBlock = 31 // [token u64][sender u32][count u32][count×8 LE keys]
+	framePeerPay   = 32 // [token u64][sender u32][count u32][count×4 LE lens][bytes]
 
 	// relFlagPayload marks a relation head that declares a payload segment.
 	relFlagPayload = 1
 
 	// blockHeaderLen is [rel u8][count u32].
 	blockHeaderLen = 5
+	// chunkHeadLen is [rel u8][flags u8][chunks u32].
+	chunkHeadLen = 6
+	// chunkHeaderLen is frameV3Chunk's sub-header: [rel u8][mapper u16][count u32].
+	chunkHeaderLen = 7
+	// chunkTailLen is [rel u8][count u32][payBytes u32].
+	chunkTailLen = 9
+	// maxRelationChunks bounds the chunk count a chunk head may declare; it
+	// is the mapper count, which no sane coordinator sets anywhere near this.
+	maxRelationChunks = 1 << 16
 	// relHeadLen is [rel u8][flags u8][count u32][payBytes u32].
 	relHeadLen = 10
 	// maxBlockKeys caps one block frame (128 MiB of keys); a larger
@@ -392,13 +421,26 @@ func writePayloadBlocks(w *bufio.Writer, job uint32, rel int8, pb exec.PayloadBl
 		if _, err := w.Write(bh[:]); err != nil {
 			return err
 		}
-		var lenBuf [4]byte
-		for i := lo; i < hi; i++ {
-			binary.LittleEndian.PutUint32(lenBuf[:], pb.Off[i+1]-pb.Off[i])
-			if _, err := w.Write(lenBuf[:]); err != nil {
+		// Stage the length vector through pooled scratch: one buffered Write
+		// per ~16k tuples instead of one per tuple, identical wire bytes.
+		scratch := getScratch()
+		buf := *scratch
+		for i := lo; i < hi; {
+			c := len(buf) / 4
+			if c > hi-i {
+				c = hi - i
+			}
+			chunk := buf[:4*c]
+			for k := 0; k < c; k++ {
+				binary.LittleEndian.PutUint32(chunk[4*k:], pb.Off[i+k+1]-pb.Off[i+k])
+			}
+			if _, err := w.Write(chunk); err != nil {
+				putScratch(scratch)
 				return err
 			}
+			i += c
 		}
+		putScratch(scratch)
 		if _, err := w.Write(pb.Flat[pb.Off[lo]:pb.Off[hi]]); err != nil {
 			return err
 		}
@@ -437,6 +479,76 @@ func writePairsFrame(w *bufio.Writer, job uint32, pairs []exec.PairIdx) error {
 		pairs = pairs[c:]
 	}
 	return nil
+}
+
+// writeChunkHead declares a chunked relation routed by `chunks` mappers;
+// chunk frames follow in any interleaving (empty sub-blocks are skipped),
+// then a tail with exact totals terminates the relation. Chunked relations
+// are bare-key only, so flags is always 0 for now and the worker rejects
+// anything else.
+func writeChunkHead(w io.Writer, job uint32, rel int8, chunks int) error {
+	if err := writeV3FrameHeader(w, frameV3ChunkHead, job, chunkHeadLen); err != nil {
+		return err
+	}
+	var h [chunkHeadLen]byte
+	h[0] = byte(rel)
+	binary.LittleEndian.PutUint32(h[2:], uint32(chunks))
+	_, err := w.Write(h[:])
+	return err
+}
+
+// writeChunkFrame streams one mapper's routed sub-block (or a split of one)
+// for one worker; callers split oversized sub-blocks via writeChunkKeys.
+func writeChunkFrame(w *bufio.Writer, job uint32, rel int8, mapper int, keys []join.Key) error {
+	if len(keys) > maxBlockKeys {
+		return fmt.Errorf("chunk of %d keys exceeds frame limit %d", len(keys), maxBlockKeys)
+	}
+	if err := writeV3FrameHeader(w, frameV3Chunk, job, chunkHeaderLen+8*len(keys)); err != nil {
+		return err
+	}
+	var h [chunkHeaderLen]byte
+	h[0] = byte(rel)
+	binary.LittleEndian.PutUint16(h[1:], uint16(mapper))
+	binary.LittleEndian.PutUint32(h[3:], uint32(len(keys)))
+	if _, err := w.Write(h[:]); err != nil {
+		return err
+	}
+	scratch := getScratch()
+	defer putScratch(scratch)
+	return writeKeysLE(w, keys, *scratch)
+}
+
+// writeChunkKeys frames one mapper's sub-block, splitting at the per-frame
+// key cap: consecutive frames with the same mapper id reassemble in arrival
+// order on the worker (TCP preserves intra-connection order).
+func writeChunkKeys(w *bufio.Writer, job uint32, rel int8, mapper int, keys []join.Key) error {
+	for {
+		n := len(keys)
+		if n > maxBlockKeys {
+			n = maxBlockKeys
+		}
+		if err := writeChunkFrame(w, job, rel, mapper, keys[:n]); err != nil {
+			return err
+		}
+		keys = keys[n:]
+		if len(keys) == 0 {
+			return nil
+		}
+	}
+}
+
+// writeChunkTail closes a chunked relation with its exact totals; the worker
+// cross-checks them against the running counts the chunks accumulated.
+func writeChunkTail(w io.Writer, job uint32, rel int8, count, payBytes int) error {
+	if err := writeV3FrameHeader(w, frameV3ChunkTail, job, chunkTailLen); err != nil {
+		return err
+	}
+	var h [chunkTailLen]byte
+	h[0] = byte(rel)
+	binary.LittleEndian.PutUint32(h[1:], uint32(count))
+	binary.LittleEndian.PutUint32(h[5:], uint32(payBytes))
+	_, err := w.Write(h[:])
+	return err
 }
 
 // pairsBufPool recycles the coordinator's pairs receive chunks: the

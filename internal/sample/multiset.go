@@ -44,6 +44,53 @@ func (m *KeyMultiset) Total() int64 { return m.prefix[len(m.keys)] }
 // Distinct returns the number of distinct keys.
 func (m *KeyMultiset) Distinct() int { return len(m.keys) }
 
+// lowerBound returns the first index i with m.keys[i] >= k.
+func (m *KeyMultiset) lowerBound(k join.Key) int {
+	keys := m.keys
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gallopUpper returns the first index j >= i in the sorted slice a with
+// a[j] > target, galloping forward from i. Joinable ranges are narrow
+// relative to the key domain, so when i is the range's lower bound the
+// answer is almost always within a few slots — the gallop touches O(log d)
+// cache lines instead of a full-width binary search's O(log n).
+func gallopUpper[T interface{ ~int64 }](a []T, i int, target T) int {
+	n := len(a)
+	if i >= n || a[i] > target {
+		return i
+	}
+	step := 1
+	lo, hi := i, i+1
+	for hi < n && a[hi] <= target {
+		lo = hi
+		step <<= 1
+		hi = i + step
+	}
+	if hi > n {
+		hi = n
+	}
+	// Invariant: a[lo] <= target, and (hi == n or a[hi] > target).
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
 // RangeCount returns the total multiplicity of keys in the inclusive range
 // [lo, hi]. For a condition c, RangeCount(c.JoinableRange(k)) is exactly
 // d2(k), the joinable-set size of k.
@@ -51,11 +98,8 @@ func (m *KeyMultiset) RangeCount(lo, hi join.Key) int64 {
 	if lo > hi {
 		return 0
 	}
-	i, _ := slices.BinarySearch(m.keys, lo)
-	j, found := slices.BinarySearch(m.keys, hi) // keys are distinct
-	if found {
-		j++
-	}
+	i := m.lowerBound(lo)
+	j := gallopUpper(m.keys, i, hi)
 	return m.prefix[j] - m.prefix[i]
 }
 
@@ -63,10 +107,18 @@ func (m *KeyMultiset) RangeCount(lo, hi join.Key) int64 {
 // keys >= lo. The caller guarantees 0 <= u < RangeCount(lo, hi) for the hi it
 // has in mind; Select only needs the lower bound.
 func (m *KeyMultiset) Select(lo join.Key, u int64) join.Key {
-	i, _ := slices.BinarySearch(m.keys, lo)
+	return m.SelectAt(int32(m.lowerBound(lo)), u)
+}
+
+// SelectAt is Select with the joinable range's lower-bound index already
+// known — the handle D2At hands out so repeated draws for the same key skip
+// the key search entirely.
+func (m *KeyMultiset) SelectAt(at int32, u int64) join.Key {
+	i := int(at)
 	target := m.prefix[i] + u
-	// First j with prefix[j+1] > target (prefix is strictly increasing).
-	j, _ := slices.BinarySearch(m.prefix[1:], target+1)
+	// First j with prefix[j+1] > target (prefix is strictly increasing);
+	// u < d2 keeps the answer inside the joinable range, so gallop from i.
+	j := gallopUpper(m.prefix, i+1, target) - 1
 	return m.keys[j]
 }
 
@@ -74,4 +126,18 @@ func (m *KeyMultiset) Select(lo join.Key, u int64) join.Key {
 func (m *KeyMultiset) D2(c join.Condition, k join.Key) int64 {
 	lo, hi := c.JoinableRange(k)
 	return m.RangeCount(lo, hi)
+}
+
+// D2At returns d2(k) together with the lower-bound index of k's joinable
+// range, for callers that will draw partners for k later (SelectAt) or that
+// scan the same keys twice (Stream-Sample's weight and materialize passes
+// cache these instead of re-searching).
+func (m *KeyMultiset) D2At(c join.Condition, k join.Key) (int64, int32) {
+	lo, hi := c.JoinableRange(k)
+	if lo > hi {
+		return 0, 0
+	}
+	i := m.lowerBound(lo)
+	j := gallopUpper(m.keys, i, hi)
+	return m.prefix[j] - m.prefix[i], int32(i)
 }

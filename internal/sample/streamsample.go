@@ -61,8 +61,15 @@ func streamSampleWithMultiset(r1 []join.Key, m2 *KeyMultiset, cond join.Conditio
 		return &OutputSample{}
 	}
 
-	// Step 2: per-shard total weights.
+	// Step 2: per-shard total weights. Each element's d2 and its joinable
+	// range's lower-bound index are cached so the materialize pass (step 3)
+	// and the partner draws (step 4) never repeat the multiset searches —
+	// the searches dominate the planner's profile, and the cached values are
+	// exactly what the second scan would recompute, so the sample is
+	// bit-identical to the two-scan formulation.
 	shardW := make([]int64, workers)
+	d2s := make([]int64, n)
+	ats := make([]int32, n)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -70,8 +77,10 @@ func streamSampleWithMultiset(r1 []join.Key, m2 *KeyMultiset, cond join.Conditio
 			defer wg.Done()
 			lo, hi := shardBounds(n, workers, w)
 			var sum int64
-			for _, k := range r1[lo:hi] {
-				sum += m2.D2(cond, k)
+			for i, k := range r1[lo:hi] {
+				d2, at := m2.D2At(cond, k)
+				d2s[lo+i], ats[lo+i] = d2, at
+				sum += d2
 			}
 			shardW[w] = sum
 		}(w)
@@ -115,17 +124,16 @@ func streamSampleWithMultiset(r1 []join.Key, m2 *KeyMultiset, cond join.Conditio
 			pairs := make([][2]join.Key, 0, len(local))
 			cum := offsets[w]
 			pi := 0
-			for _, k := range r1[lo:hi] {
-				d2 := m2.D2(cond, k)
+			for i, k := range r1[lo:hi] {
+				d2 := d2s[lo+i]
 				if d2 == 0 {
 					continue
 				}
 				next := cum + d2
 				for pi < len(local) && local[pi] < next {
 					// Step 4: uniform partner from the joinable multiset.
-					jLo, _ := cond.JoinableRange(k)
 					u := rngs[w].Int64n(d2)
-					pairs = append(pairs, [2]join.Key{k, m2.Select(jLo, u)})
+					pairs = append(pairs, [2]join.Key{k, m2.SelectAt(ats[lo+i], u)})
 					pi++
 				}
 				cum = next

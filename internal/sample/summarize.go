@@ -9,6 +9,24 @@ import (
 	"ewh/internal/stats"
 )
 
+// AdaptiveCap sizes a summary's sample cap from the shard it summarizes:
+// n/16, clamped to [64, cap]. A small shard stops inflating its summary with
+// sample slots it cannot fill informatively (the full equi-depth histogram
+// already carries its distribution), while a large shard keeps the full
+// configured resolution. The result never exceeds cap, so merge capacity
+// invariants are unchanged; it is a pure function of the shard SIZE, so
+// summaries stay deterministic and reproducible.
+func AdaptiveCap(n, cap int) int {
+	c := n / 16
+	if c < 64 {
+		c = 64
+	}
+	if c > cap {
+		c = cap
+	}
+	return c
+}
+
 // Summarize builds the mergeable statistics summary of one shard of keys —
 // the worker side of distributed statistics collection: an exact count, a
 // uniform without-replacement sample of at most cap keys (sorted, the
