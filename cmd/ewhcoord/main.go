@@ -64,8 +64,14 @@ func main() {
 		retries    = flag.Int("retries", 0, "retry a job this many times on worker failure, replanning over the survivors (0: fail fast)")
 		backoff    = flag.Duration("retry-backoff", 50*time.Millisecond, "base delay before the first retry (doubles per attempt)")
 		tenant     = flag.String("tenant", "", "tenant id declared in the session handshake: workers key admission control and resource budgets by it (empty: anonymous)")
+		engineStr  = flag.String("join-engine", "auto", "local-join engine on the workers (auto, merge, hash); auto picks hash for pure-equality conditions, merge otherwise")
 	)
 	flag.Parse()
+
+	engine, err := exec.ParseJoinEngine(*engineStr)
+	if err != nil {
+		fatal(err)
+	}
 
 	r1 := workload.Zipfian(*n, int64(*n), *z, *seed)
 	r2 := workload.Zipfian(*n, int64(*n), *z, *seed+1)
@@ -163,7 +169,7 @@ func main() {
 		if *relay && mode != multiway.Stage2Auto {
 			fatal(fmt.Errorf("-relay re-plans stage 2 on the coordinator; -stage2-scheme %v applies to the peer path only", mode))
 		}
-		runMultiway(addrs, *tenant, r1, r2, *n, *j, *seed, model, timeouts, retry, *relay, mode)
+		runMultiway(addrs, *tenant, r1, r2, *n, *j, *seed, model, timeouts, retry, *relay, mode, engine)
 		return
 	}
 
@@ -179,7 +185,7 @@ func main() {
 		var err error
 		for i := 0; i < *jobs; i++ {
 			res, err = netexec.Run(addrs, r1, r2, cond, scheme, model,
-				exec.Config{Seed: execSeed})
+				exec.Config{Seed: execSeed, Engine: engine})
 			if err != nil {
 				fatal(err)
 			}
@@ -198,7 +204,7 @@ func main() {
 	var res *exec.Result
 	for i := 0; i < *jobs; i++ {
 		res, err = exec.RunOverReplan(sess, r1, r2, cond, scheme.Workers(), planFor,
-			model, exec.Config{Seed: execSeed, Retry: retry})
+			model, exec.Config{Seed: execSeed, Retry: retry, Engine: engine})
 		if err != nil {
 			fatal(err)
 		}
@@ -216,7 +222,8 @@ func main() {
 // built from distributed statistics); -relay forces the coordinator-relay
 // baseline.
 func runMultiway(addrs []string, tenant string, r1, r2 []join.Key, n, j int, seed uint64, model cost.Model,
-	timeouts netexec.Timeouts, retry exec.RetryPolicy, relay bool, stage2 multiway.Stage2Mode) {
+	timeouts netexec.Timeouts, retry exec.RetryPolicy, relay bool, stage2 multiway.Stage2Mode,
+	engine exec.JoinEngine) {
 
 	mid := multiway.MidRelation{
 		A: r2,
@@ -240,7 +247,7 @@ func runMultiway(addrs []string, tenant string, r1, r2 []join.Key, n, j int, see
 		mode = "coordinator relay"
 	}
 	res, err := run(sess, q, core.Options{J: j, Model: model, Seed: seed},
-		exec.Config{Seed: seed + 2, Retry: retry})
+		exec.Config{Seed: seed + 2, Retry: retry, Engine: engine})
 	if err != nil {
 		fatal(err)
 	}

@@ -118,10 +118,12 @@ func ExecBench(cfg Config) (*ExecBenchReport, error) {
 		return nil, fmt.Errorf("execbench: plan CSIO: %w", err)
 	}
 
-	runRow := func(name string, s partition.Scheme, ra, rb []join.Key, cond join.Condition) {
+	runRow := func(name string, s partition.Scheme, ra, rb []join.Key, cond join.Condition,
+		engine exec.JoinEngine) {
 		var best *exec.Result
 		for i := 0; i < execBenchReps; i++ {
-			res := exec.Run(ra, rb, cond, s, cost.DefaultBand, exec.Config{Seed: cfg.Seed, Mappers: 4})
+			res := exec.Run(ra, rb, cond, s, cost.DefaultBand,
+				exec.Config{Seed: cfg.Seed, Mappers: 4, Engine: engine})
 			if best == nil || res.WallTime < best.WallTime {
 				best = res
 			}
@@ -133,9 +135,14 @@ func ExecBench(cfg Config) (*ExecBenchReport, error) {
 		})
 	}
 
-	runRow("shuffle-hash", hash, r1, empty, join.Equi{})
-	runRow("shuffle-ci-replicated", ci, r1, empty, band)
-	runRow("run-csio-band", csio.Scheme, r1, r2, band)
+	runRow("shuffle-hash", hash, r1, empty, join.Equi{}, exec.EngineAuto)
+	runRow("shuffle-ci-replicated", ci, r1, empty, band, exec.EngineAuto)
+	runRow("run-csio-band", csio.Scheme, r1, r2, band, exec.EngineAuto)
+	// The equi hot path under the explicit hash engine: Local consumes the
+	// chunked scatter and insert-while-probes — the row the PR-9 local-join
+	// work is tracked by (its merge twin is the localjoin row below; the
+	// distributed twin is netexec-session-hashjoin-overlap).
+	runRow("exec-hashjoin-equi", hash, r1, r2, join.Equi{}, exec.EngineHash)
 
 	var bestCount time.Duration
 	var out int64
@@ -223,6 +230,13 @@ func ExecBench(cfg Config) (*ExecBenchReport, error) {
 		return nil, err
 	}
 	if err := runNetRow("netexec-session-csio-band", sessRun, csio.Scheme, r1, r2, band); err != nil {
+		return nil, err
+	}
+	// The distributed insert-while-probe row: an equi count job whose chunks
+	// feed the workers' hash builds as they decode (relation 2 probes the
+	// sealed build chunk by chunk, never materializing). The auto engine
+	// resolves to hash for equi, so this is the default session equi path.
+	if err := runNetRow("netexec-session-hashjoin-overlap", sessRun, hash, r1, r2, join.Equi{}); err != nil {
 		return nil, err
 	}
 

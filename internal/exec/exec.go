@@ -31,6 +31,10 @@ type Config struct {
 	// Retry bounds fault recovery on fault-tolerant runtimes (see RunRetry);
 	// the zero value disables retries entirely.
 	Retry RetryPolicy
+	// Engine selects the local-join engine (EngineAuto picks per condition).
+	// Counts and pair streams are identical across engines; the session
+	// transport forwards the selection to its workers on the wire.
+	Engine JoinEngine
 }
 
 // DefaultBytesPerTuple is the modeled tuple width when Config leaves
@@ -133,10 +137,12 @@ func RunOver(rt Runtime, r1, r2 []join.Key, cond join.Condition,
 	start := time.Now()
 	j := scheme.Workers()
 	f1, f2 := newRelFuture(), newRelFuture()
-	if streamsChunks(rt) {
+	job := &Job{Cond: cond, Workers: j, R1: f1, R2: f2, Engine: cfg.Engine}
+	if streamsChunksFor(rt, job) {
 		// Chunk-consuming transports skip the flat scatter entirely: both
 		// relations resolve immediately as chunk streams and the transport
-		// frames sub-blocks onto sockets as the mappers emit them.
+		// frames sub-blocks onto sockets (or, for Local's hash engine, into
+		// the incremental build) as the mappers emit them.
 		cs1, cs2 := ShufflePairChunked(r1, r2, scheme, cfg)
 		f1.resolve(RelData{Chunks: cs1})
 		f2.resolve(RelData{Chunks: cs2})
@@ -146,7 +152,6 @@ func RunOver(rt Runtime, r1, r2 []join.Key, cond join.Condition,
 			func(s shuffled[join.Key]) { f2.resolve(RelData{Keys: &KeyShuffle{s}}) })
 	}
 
-	job := &Job{Cond: cond, Workers: j, R1: f1, R2: f2}
 	res := &Result{Scheme: scheme.Name() + rt.Label(), Workers: make([]WorkerMetrics, j)}
 	err := rt.RunJob(job, res.Workers)
 	releaseRelData(f1.Wait())

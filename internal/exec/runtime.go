@@ -116,6 +116,23 @@ func streamsChunks(rt Runtime) bool {
 	return ok && cs.StreamsChunks()
 }
 
+// JobChunkStreamer is the job-aware refinement of ChunkStreamer: a runtime
+// whose chunk appetite depends on the job (Local consumes chunks only when
+// the job resolves to the incremental hash engine) implements this; blanket
+// streamers keep the plain interface.
+type JobChunkStreamer interface {
+	StreamsChunksFor(job *Job) bool
+}
+
+// streamsChunksFor reports whether rt wants this job's relations chunked,
+// preferring the job-aware interface when implemented.
+func streamsChunksFor(rt Runtime, job *Job) bool {
+	if jcs, ok := rt.(JobChunkStreamer); ok {
+		return jcs.StreamsChunksFor(job)
+	}
+	return streamsChunks(rt)
+}
+
 // Job is one planned join handed to a Runtime: the predicate, the (still
 // shuffling) relations, and an optional pair sink.
 type Job struct {
@@ -134,6 +151,10 @@ type Job struct {
 	// valid for the duration of the call. When nil the job is count-only
 	// and workers may sort their blocks in place.
 	Pairs func(worker int, chunk []PairIdx)
+	// Engine selects the local-join engine (from Config.Engine); transports
+	// forward it to wherever the join runs. Counts and pair streams are
+	// engine-independent.
+	Engine JoinEngine
 }
 
 // pairChunk is the flush granularity of JoinPairs: bounded buffering on
@@ -223,9 +244,22 @@ type Local struct{}
 // Label implements Runtime; in-process results carry the bare scheme name.
 func (Local) Label() string { return "" }
 
-// RunJob implements Runtime. Count-only jobs sort the (owned) key blocks in
-// place with the merge-sweep join; pair jobs run the deterministic
-// index-pair join. Local never returns an error.
+// StreamsChunksFor implements JobChunkStreamer: Local consumes chunked
+// relations exactly when the job explicitly selects the hash engine for a
+// count-only equality join — the workers then feed each routed sub-block
+// into the incremental build as the mappers emit it, overlapping build work
+// with the still-running scatter. Every other job keeps the flat scatter;
+// a local merge join gains nothing from chunking.
+func (Local) StreamsChunksFor(job *Job) bool {
+	return job.Engine == EngineHash && job.Pairs == nil &&
+		job.Engine.ForCond(job.Cond) == EngineHash
+}
+
+// RunJob implements Runtime. Count-only jobs run the selected engine over
+// the (owned) key blocks — merge sorts in place, hash builds and probes;
+// chunk-streamed jobs feed arriving sub-blocks straight into the
+// incremental hash build. Pair jobs run the deterministic index-pair join.
+// Local never returns an error.
 func (Local) RunJob(job *Job, wm []WorkerMetrics) error {
 	r1 := job.R1.Wait()
 	r2 := job.R2.Wait()
@@ -237,16 +271,21 @@ func (Local) RunJob(job *Job, wm []WorkerMetrics) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			m := &wm[w]
+			if r1.Chunks != nil {
+				m.InputR1, m.InputR2, m.Output = localStreamCount(
+					r1.Chunks.Worker(w), r2.Chunks.Worker(w))
+				return
+			}
 			in1, in2 := r1.Keys.Worker(w), r2.Keys.Worker(w)
 			var out int64
 			if job.Pairs == nil {
-				out = localjoin.AutoCountOwned(in1, in2, job.Cond)
+				out = CountOwned(job.Engine, in1, in2, job.Cond)
 			} else {
-				out = JoinPairs(in1, in2, job.Cond, func(chunk []PairIdx) {
+				out = JoinPairsEngine(job.Engine, in1, in2, job.Cond, func(chunk []PairIdx) {
 					job.Pairs(w, chunk)
 				})
 			}
-			m := &wm[w]
 			m.InputR1 = int64(len(in1))
 			m.InputR2 = int64(len(in2))
 			m.Output = out
@@ -254,4 +293,26 @@ func (Local) RunJob(job *Job, wm []WorkerMetrics) error {
 	}
 	wg.Wait()
 	return nil
+}
+
+// localStreamCount is one in-process worker's incremental hash join over
+// chunk streams: every R1 sub-block inserts into the build the moment a
+// mapper routes it (overlapping the scatter still running for later
+// mappers), then R2 sub-blocks probe as they arrive. The per-worker stream
+// buffers are sized so producers never block, which is what makes draining
+// R1 before R2 deadlock-free.
+func localStreamCount(c1, c2 <-chan KeyChunk) (n1, n2, out int64) {
+	b := localjoin.NewBuild()
+	for ch := range c1 {
+		b.Insert(ch.Keys)
+		n1 += int64(len(ch.Keys))
+		PutKeyBuffer(ch.Keys)
+	}
+	b.Seal()
+	for ch := range c2 {
+		out += b.ProbeCount(ch.Keys)
+		n2 += int64(len(ch.Keys))
+		PutKeyBuffer(ch.Keys)
+	}
+	return n1, n2, out
 }

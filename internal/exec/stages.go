@@ -260,7 +260,7 @@ func RunStagesOver[P1, P2 any](rt StageRuntime, r1 []Tuple[P1], r2 []Tuple[P2],
 		startR3(sp.Scheme)
 	}
 
-	first := &Job{Cond: cond, Workers: j1, R1: f1, R2: f2}
+	first := &Job{Cond: cond, Workers: j1, R1: f1, R2: f2, Engine: cfg.Engine}
 	res1 := &Result{Scheme: scheme.Name() + rt.Label(), Workers: make([]WorkerMetrics, j1)}
 	res2 := &Result{Workers: make([]WorkerMetrics, j2cap)}
 	inter, err := rt.RunStages(first, next, res1.Workers, res2.Workers)

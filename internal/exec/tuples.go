@@ -93,7 +93,7 @@ func RunTuplesOver[P1, P2 any](rt Runtime, r1 []Tuple[P1], r2 []Tuple[P2],
 		func(s shuffled[Tuple[P1]]) { s1 = s; f1.resolve(tupleRelData(s, enc1)) },
 		func(s shuffled[Tuple[P2]]) { s2 = s; f2.resolve(tupleRelData(s, enc2)) })
 
-	job := &Job{Cond: cond, Workers: j, R1: f1, R2: f2}
+	job := &Job{Cond: cond, Workers: j, R1: f1, R2: f2, Engine: cfg.Engine}
 	if emit != nil {
 		// A nil emit leaves Pairs nil too: the job runs count-only on every
 		// transport (in-place merge-sweep locally, no pairs traffic on a

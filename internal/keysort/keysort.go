@@ -16,6 +16,15 @@ const cutoff = 256
 // sign bit makes uint64 comparison agree with int64 comparison.
 const signMask = 1 << 63
 
+// Digit returns the radix digit of k at the given bit shift under the same
+// sign-bias transform the counting passes use: negative and positive keys
+// order consistently across the whole byte range. Exported so localjoin's
+// partitioned hash build shares digit-for-digit the partitioning this sort
+// histograms — one radix scheme across sort and hash engines.
+func Digit(k int64, shift uint) byte {
+	return byte((uint64(k) ^ signMask) >> shift)
+}
+
 // Sort sorts a ascending in place.
 func Sort(a []int64) {
 	if len(a) < cutoff {
@@ -49,7 +58,7 @@ func SortWithScratch(a, scratch []int64) {
 		}
 		var count [256]int
 		for _, v := range src {
-			count[((uint64(v)^signMask)>>shift)&0xff]++
+			count[Digit(v, shift)]++
 		}
 		sum := 0
 		for i := range count {
@@ -58,7 +67,7 @@ func SortWithScratch(a, scratch []int64) {
 			sum += c
 		}
 		for _, v := range src {
-			b := ((uint64(v) ^ signMask) >> shift) & 0xff
+			b := Digit(v, shift)
 			dst[count[b]] = v
 			count[b]++
 		}

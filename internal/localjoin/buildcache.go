@@ -1,0 +1,177 @@
+package localjoin
+
+import (
+	"container/list"
+	"math/bits"
+	"sync"
+
+	"ewh/internal/join"
+)
+
+// BuildCache shares immutable sealed Builds between jobs that index the same
+// relation content — the multi-tenant fleet's "many queries probe the same
+// dimension table" case. Entries are keyed by a 128-bit content digest of
+// the build-side key block (plus its exact length), so two tenants running
+// the same scheme over the same relation hit the same entry without any
+// coordination, and evicted by size-capped LRU. An evicted build stays valid
+// for jobs still probing it (it is immutable; the cache only drops its own
+// reference), so eviction needs no reference counting.
+
+// digest constants: two independent word-wise FNV-1a-style streams. 64 bits
+// each; H2 folds a rotated view of every key so the pair behaves as one
+// 128-bit digest — collisions between distinct relation contents are not a
+// practical concern at fleet cache sizes.
+const (
+	fnvOffset1 = 0xcbf29ce484222325
+	fnvPrime1  = 0x00000100000001b3
+	fnvOffset2 = 0x6c62272e07bb0142
+	fnvPrime2  = 0x0000010000000233
+)
+
+// ChunkDigest is the content digest of one key chunk. Digests of a streamed
+// relation's chunks combine (in the relation's canonical mapper-major order)
+// into the relation's BuildKey, so hashing overlaps the stream instead of
+// requiring the assembled block.
+type ChunkDigest struct {
+	H1, H2 uint64
+	N      int64
+}
+
+// DigestKeys digests one chunk of keys.
+func DigestKeys(keys []join.Key) ChunkDigest {
+	h1, h2 := uint64(fnvOffset1), uint64(fnvOffset2)
+	for _, k := range keys {
+		x := uint64(k)
+		h1 = (h1 ^ x) * fnvPrime1
+		h2 = (h2 ^ bits.RotateLeft64(x, 31)) * fnvPrime2
+	}
+	return ChunkDigest{H1: h1, H2: h2, N: int64(len(keys))}
+}
+
+// BuildKey identifies a relation's content for cache lookups.
+type BuildKey struct {
+	H1, H2 uint64
+	N      int64
+}
+
+// CombineDigests folds per-chunk digests — in canonical order — into a
+// BuildKey. The fold is order-sensitive on purpose: the canonical order is
+// the relation's assembled mapper-major layout, so equal assembled content
+// arriving with the same chunk structure keys identically.
+func CombineDigests(ds []ChunkDigest) BuildKey {
+	k := BuildKey{H1: fnvOffset1, H2: fnvOffset2}
+	for _, d := range ds {
+		k.H1 = (k.H1^d.H1)*fnvPrime1 ^ uint64(d.N)
+		k.H2 = (k.H2^d.H2)*fnvPrime2 ^ uint64(d.N)
+		k.N += d.N
+	}
+	return k
+}
+
+// HashBuildKey is the one-shot BuildKey of a flat key block.
+func HashBuildKey(keys []join.Key) BuildKey {
+	return CombineDigests([]ChunkDigest{DigestKeys(keys)})
+}
+
+// BuildCacheStats is a point-in-time snapshot of a cache's counters.
+type BuildCacheStats struct {
+	Hits, Misses int64
+	Entries      int
+	Bytes        int64
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 when no lookups happened.
+func (s BuildCacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// BuildCache is a size-capped LRU of sealed Builds keyed by relation
+// content. Safe for concurrent use.
+type BuildCache struct {
+	mu     sync.Mutex
+	max    int64
+	size   int64
+	ll     *list.List // front = most recently used; values are *cacheEntry
+	m      map[BuildKey]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key   BuildKey
+	b     *Build
+	bytes int64
+}
+
+// NewBuildCache returns a cache holding at most maxBytes of build tables
+// (MemBytes accounting). maxBytes <= 0 returns nil — a nil *BuildCache is a
+// valid always-miss cache, so callers gate on one pointer.
+func NewBuildCache(maxBytes int64) *BuildCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &BuildCache{max: maxBytes, ll: list.New(), m: make(map[BuildKey]*list.Element)}
+}
+
+// Get returns the cached build for key, or nil. Hit/miss counters make the
+// lookup observable for the load harness's cache-hit-rate column. Nil
+// receiver: always miss, uncounted.
+func (c *BuildCache) Get(key BuildKey) *Build {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.m[key]
+	if el == nil {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).b
+}
+
+// Add caches a SEALED build under key and returns the canonical build for
+// that key: when a concurrent job raced the same content in first, the
+// existing entry wins and the caller's build is discarded — every sharer
+// probes one immutable build. Builds larger than the whole cache are not
+// admitted (returned as-is). Nil receiver: passthrough.
+func (c *BuildCache) Add(key BuildKey, b *Build) *Build {
+	if c == nil {
+		return b
+	}
+	bytes := b.MemBytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.m[key]; el != nil {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).b
+	}
+	if bytes > c.max {
+		return b
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, b: b, bytes: bytes})
+	c.size += bytes
+	for c.size > c.max {
+		el := c.ll.Back()
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.m, e.key)
+		c.size -= e.bytes
+	}
+	return b
+}
+
+// Stats snapshots the cache counters. Nil receiver: zero stats.
+func (c *BuildCache) Stats() BuildCacheStats {
+	if c == nil {
+		return BuildCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return BuildCacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Bytes: c.size}
+}

@@ -1,0 +1,151 @@
+package localjoin
+
+import (
+	"testing"
+
+	"ewh/internal/join"
+)
+
+func TestDigestCombineMatchesChunkStructure(t *testing.T) {
+	keys := randKeys(1000, 50, 80)
+	whole := HashBuildKey(keys)
+	if again := HashBuildKey(keys); again != whole {
+		t.Fatal("HashBuildKey is not deterministic")
+	}
+	// Same content, same chunk structure: identical key.
+	split := []ChunkDigest{DigestKeys(keys[:400]), DigestKeys(keys[400:])}
+	if CombineDigests(split) != CombineDigests(split) {
+		t.Fatal("CombineDigests is not deterministic")
+	}
+	// Different content must (overwhelmingly) key differently.
+	other := append([]join.Key(nil), keys...)
+	other[500]++
+	if HashBuildKey(other) == whole {
+		t.Fatal("distinct content produced the same BuildKey")
+	}
+	// The fold is order-sensitive: canonical order is part of the identity.
+	swapped := []ChunkDigest{split[1], split[0]}
+	if CombineDigests(swapped) == CombineDigests(split) {
+		t.Fatal("chunk order did not affect the combined key")
+	}
+	if got := CombineDigests(split).N; got != int64(len(keys)) {
+		t.Fatalf("combined N = %d, want %d", got, len(keys))
+	}
+}
+
+func sealedBuild(keys []join.Key) *Build {
+	b := NewBuild()
+	b.Insert(keys)
+	b.Seal()
+	return b
+}
+
+func TestBuildCacheHitMissEvict(t *testing.T) {
+	r1 := randKeys(2000, 100, 81)
+	b1 := sealedBuild(r1)
+	c := NewBuildCache(4 * b1.MemBytes())
+
+	k1 := HashBuildKey(r1)
+	if c.Get(k1) != nil {
+		t.Fatal("empty cache returned a build")
+	}
+	if got := c.Add(k1, b1); got != b1 {
+		t.Fatal("first Add did not return the added build")
+	}
+	if c.Get(k1) != b1 {
+		t.Fatal("Get missed a just-added entry")
+	}
+	// A racing Add of the same content yields the canonical first entry.
+	if got := c.Add(k1, sealedBuild(r1)); got != b1 {
+		t.Fatal("duplicate Add did not return the canonical build")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", st.HitRate())
+	}
+
+	// Fill past the byte cap: the LRU tail (k1, untouched below) evicts.
+	var keys []BuildKey
+	for i := 0; i < 6; i++ {
+		r := randKeys(2000, 100, 90+uint64(i))
+		k := HashBuildKey(r)
+		keys = append(keys, k)
+		c.Add(k, sealedBuild(r))
+	}
+	st = c.Stats()
+	if st.Bytes > 4*b1.MemBytes() {
+		t.Fatalf("cache holds %d bytes, cap %d", st.Bytes, 4*b1.MemBytes())
+	}
+	if c.Get(k1) != nil {
+		t.Fatal("LRU tail survived eviction")
+	}
+	if c.Get(keys[len(keys)-1]) == nil {
+		t.Fatal("most recent entry was evicted")
+	}
+}
+
+func TestBuildCacheOversizedAndNil(t *testing.T) {
+	r := randKeys(5000, 1000, 85)
+	b := sealedBuild(r)
+	c := NewBuildCache(b.MemBytes() / 2)
+	k := HashBuildKey(r)
+	if got := c.Add(k, b); got != b {
+		t.Fatal("oversized Add did not pass the build through")
+	}
+	if c.Get(k) != nil || c.Stats().Entries != 0 {
+		t.Fatal("oversized build was admitted")
+	}
+
+	// A nil cache is the valid always-miss degenerate (cache disabled).
+	var nc *BuildCache
+	if nc != NewBuildCache(0) {
+		t.Fatal("NewBuildCache(0) should return nil")
+	}
+	if nc.Get(k) != nil {
+		t.Fatal("nil cache returned a build")
+	}
+	if nc.Add(k, b) != b {
+		t.Fatal("nil cache Add did not pass through")
+	}
+	if nc.Stats() != (BuildCacheStats{}) {
+		t.Fatal("nil cache stats not zero")
+	}
+}
+
+// TestBuildCacheSharedProbes pins the sharing contract end to end: two "jobs"
+// over the same relation content resolve to one build, and both count
+// correctly through it.
+func TestBuildCacheSharedProbes(t *testing.T) {
+	r1 := dupHeavyKeys(3000, 86)
+	probeA := dupHeavyKeys(1000, 87)
+	probeB := dupHeavyKeys(1000, 88)
+	wantA := NestedLoopCount(r1, probeA, join.Equi{})
+	wantB := NestedLoopCount(r1, probeB, join.Equi{})
+
+	c := NewBuildCache(1 << 20)
+	// Job A: miss, build, publish.
+	k := HashBuildKey(r1)
+	bA := c.Get(k)
+	if bA != nil {
+		t.Fatal("unexpected hit")
+	}
+	bA = c.Add(k, sealedBuild(r1))
+	if got := bA.ProbeCount(probeA); got != wantA {
+		t.Fatalf("job A count = %d, want %d", got, wantA)
+	}
+	// Job B: same content (chunked differently upstream doesn't matter here —
+	// same flat digest), hit, probe the shared build.
+	bB := c.Get(HashBuildKey(append([]join.Key(nil), r1...)))
+	if bB != bA {
+		t.Fatal("job B did not hit job A's build")
+	}
+	if got := bB.ProbeCount(probeB); got != wantB {
+		t.Fatalf("job B count = %d, want %d", got, wantB)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 hit", st)
+	}
+}

@@ -1,0 +1,475 @@
+package localjoin
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ewh/internal/join"
+	"ewh/internal/keysort"
+)
+
+// This file is the hash local-join engine: a partitioned radix-hash build
+// with an incremental insert API, safe for a probe goroutine running
+// concurrently with the build goroutine. The motivating shape is the
+// pipelined wire (CHUNK streaming scatter): a worker can feed each decoded
+// sub-block into Insert the moment it lands instead of joining only after
+// the whole relation assembled, and a sealed Build is immutable, so many
+// jobs can probe one shared build (see BuildCache).
+//
+// Partitioning reuses keysort's radix digit — the low byte of the
+// sign-biased key (keysort.Digit at shift 0), the byte that varies most on
+// the clustered key domains the sort is tuned for — so sort and hash engines
+// agree digit-for-digit on what a partition is. Each partition is an
+// open-addressing multiplicity table (linear probing, power-of-two capacity)
+// guarded by its own mutex while building; Seal publishes every partition
+// through a per-partition atomic flag, after which probes are lock-free.
+// Band and inequality conditions stay on the merge-sweep engine: their
+// joinable windows span partitions, which is exactly what a hash layout
+// destroys (see DESIGN.md "Local join engines").
+
+// enginePartitions is the radix fan-out: one partition per value of the
+// partitioning digit.
+const enginePartitions = 256
+
+// partShift selects the partitioning digit: the least-significant byte of
+// the sign-biased key.
+const partShift = 0
+
+// EquiLike reports whether cond is a pure-equality predicate — join.Equi or
+// a zero-width band — i.e. the conditions the hash engine can serve. All
+// other conditions need the merge-sweep's ordered window.
+func EquiLike(cond join.Condition) bool {
+	switch c := cond.(type) {
+	case join.Equi:
+		return true
+	case join.Band:
+		return c.Beta == 0
+	}
+	return false
+}
+
+// hashKey spreads the full key over 64 bits for the in-partition slot
+// choice. The partition already consumed the low radix digit, so the slot
+// hash must draw on every byte; a Fibonacci multiply with an avalanche shift
+// does, cheaply.
+func hashKey(k join.Key) uint64 {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	return h ^ (h >> 29)
+}
+
+// buildPart is one radix partition of a Build: an open-addressing
+// multiplicity table. mult[i] == 0 marks an empty slot, so no sentinel key
+// is reserved; len(keys) is a power of two.
+type buildPart struct {
+	mu     sync.Mutex
+	sealed atomic.Bool
+	keys   []join.Key
+	mult   []uint32
+	used   int
+}
+
+// insertOne adds one key under the caller-held lock, growing at 3/4 load.
+func (p *buildPart) insertOne(k join.Key) {
+	if 4*(p.used+1) > 3*len(p.keys) {
+		p.grow()
+	}
+	mask := uint64(len(p.keys) - 1)
+	h := hashKey(k) & mask
+	for {
+		if p.mult[h] == 0 {
+			p.keys[h] = k
+			p.mult[h] = 1
+			p.used++
+			return
+		}
+		if p.keys[h] == k {
+			p.mult[h]++
+			return
+		}
+		h = (h + 1) & mask
+	}
+}
+
+func (p *buildPart) grow() {
+	newCap := 16
+	if len(p.keys) > 0 {
+		newCap = 2 * len(p.keys)
+	}
+	oldKeys, oldMult := p.keys, p.mult
+	p.keys = make([]join.Key, newCap)
+	p.mult = make([]uint32, newCap)
+	mask := uint64(newCap - 1)
+	for i, m := range oldMult {
+		if m == 0 {
+			continue
+		}
+		k := oldKeys[i]
+		h := hashKey(k) & mask
+		for p.mult[h] != 0 {
+			h = (h + 1) & mask
+		}
+		p.keys[h] = k
+		p.mult[h] = m
+	}
+}
+
+// lookup returns k's multiplicity; zero when absent. Caller must hold the
+// lock or have observed sealed.
+func (p *buildPart) lookup(k join.Key) uint32 {
+	if len(p.keys) == 0 {
+		return 0
+	}
+	mask := uint64(len(p.keys) - 1)
+	h := hashKey(k) & mask
+	for {
+		m := p.mult[h]
+		if m == 0 {
+			return 0
+		}
+		if p.keys[h] == k {
+			return m
+		}
+		h = (h + 1) & mask
+	}
+}
+
+// Build is an incrementally built multiplicity index over one relation's
+// keys: Insert accepts each arriving chunk, ProbeCount/Probe run against
+// whatever has been inserted so far (concurrently with further inserts),
+// and Seal publishes the finished immutable build for lock-free probes and
+// cache sharing.
+type Build struct {
+	parts [enginePartitions]buildPart
+	// n and bytes are maintained by the build goroutine only (probes never
+	// read them); after Seal they are safe for any reader.
+	n     int64
+	bytes int64
+}
+
+// NewBuild returns an empty build. Partitions allocate lazily, so an empty
+// or tiny relation costs almost nothing.
+func NewBuild() *Build { return &Build{} }
+
+// Len returns the number of keys inserted so far. Call it from the build
+// goroutine, or after Seal.
+func (b *Build) Len() int64 { return b.n }
+
+// MemBytes estimates the build's retained table bytes — the unit BuildCache
+// budgets in. Call after Seal.
+func (b *Build) MemBytes() int64 { return b.bytes + int64(len(b.parts))*8 }
+
+// partScratchPool recycles the chunk-partitioning scratch buffers.
+var partScratchPool sync.Pool // stores *[]join.Key
+
+func getPartScratch(n int) []join.Key {
+	if v := partScratchPool.Get(); v != nil {
+		s := *v.(*[]join.Key)
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]join.Key, n)
+}
+
+func putPartScratch(s []join.Key) {
+	partScratchPool.Put(&s)
+}
+
+// partitionRuns radix-partitions keys by their partitioning digit into
+// scratch (a stable counting scatter — arrival order is preserved within
+// each partition, the property the pair layer's ordering rests on) and
+// returns the per-partition end offsets. Run d occupies
+// scratch[off[d]-count[d] : off[d]].
+func partitionRuns(keys, scratch []join.Key) (off [enginePartitions]int32) {
+	var count [enginePartitions]int32
+	for _, k := range keys {
+		count[keysort.Digit(k, partShift)]++
+	}
+	var sum int32
+	for d := range off {
+		sum += count[d]
+		off[d] = sum
+	}
+	pos := off
+	for d := range pos {
+		pos[d] -= count[d]
+	}
+	for _, k := range keys {
+		d := keysort.Digit(k, partShift)
+		scratch[pos[d]] = k
+		pos[d]++
+	}
+	return off
+}
+
+// Insert adds one chunk of build-side keys. It may be called once with the
+// whole relation or repeatedly with arriving sub-blocks; chunk boundaries do
+// not affect the finished build. The chunk is radix-partitioned first, so
+// each touched partition's lock is taken once per chunk, not once per key.
+// Insert is safe to run concurrently with Probe/ProbeCount (but not with
+// another Insert — one build goroutine owns the insert side, matching one
+// socket read loop per relation). Must not be called after Seal.
+func (b *Build) Insert(keys []join.Key) {
+	if len(keys) == 0 {
+		return
+	}
+	scratch := getPartScratch(len(keys))
+	off := partitionRuns(keys, scratch)
+	var lo int32
+	for d := range off {
+		hi := off[d]
+		if hi == lo {
+			continue
+		}
+		p := &b.parts[d]
+		p.mu.Lock()
+		for _, k := range scratch[lo:hi] {
+			p.insertOne(k)
+		}
+		p.mu.Unlock()
+		lo = hi
+	}
+	putPartScratch(scratch)
+	b.n += int64(len(keys))
+}
+
+// Seal publishes the build: every partition's table is flushed under its
+// lock and its sealed flag set, after which probes skip the locks entirely
+// and the build is immutable — the publication contract that lets a sealed
+// build be shared by any number of concurrent probers (and cached across
+// jobs). Sealing an already-sealed build is a no-op.
+func (b *Build) Seal() {
+	var bytes int64
+	for i := range b.parts {
+		p := &b.parts[i]
+		p.mu.Lock()
+		bytes += int64(cap(p.keys))*8 + int64(cap(p.mult))*4
+		p.sealed.Store(true)
+		p.mu.Unlock()
+	}
+	b.bytes = bytes
+}
+
+// probePart sums the multiplicities of one partition's probe run, lock-free
+// once the partition sealed.
+func (p *buildPart) probeRun(run []join.Key) int64 {
+	var out int64
+	if p.sealed.Load() {
+		for _, k := range run {
+			out += int64(p.lookup(k))
+		}
+		return out
+	}
+	p.mu.Lock()
+	for _, k := range run {
+		out += int64(p.lookup(k))
+	}
+	p.mu.Unlock()
+	return out
+}
+
+// ProbeCount returns the number of equi-join matches between the probe
+// chunk and the build side inserted so far: sum over probe keys of the
+// key's build multiplicity. Safe concurrently with Insert; against a
+// partition that has sealed (all of them, after Seal) it takes no locks.
+func (b *Build) ProbeCount(keys []join.Key) int64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	scratch := getPartScratch(len(keys))
+	off := partitionRuns(keys, scratch)
+	var out int64
+	var lo int32
+	for d := range off {
+		hi := off[d]
+		if hi == lo {
+			continue
+		}
+		out += b.parts[d].probeRun(scratch[lo:hi])
+		lo = hi
+	}
+	putPartScratch(scratch)
+	return out
+}
+
+// Probe calls emit(i, mult) for every probe key keys[i] present on the
+// build side, in input order (no partition reordering), with its build
+// multiplicity. Same concurrency contract as ProbeCount. A partition seals
+// individually, so probes of sealed partitions are lock-free even while
+// other partitions still build.
+func (b *Build) Probe(keys []join.Key, emit func(i int, mult int64)) {
+	for i, k := range keys {
+		p := &b.parts[keysort.Digit(k, partShift)]
+		var m uint32
+		if p.sealed.Load() {
+			m = p.lookup(k)
+		} else {
+			p.mu.Lock()
+			m = p.lookup(k)
+			p.mu.Unlock()
+		}
+		if m != 0 {
+			emit(i, int64(m))
+		}
+	}
+}
+
+// EngineCount is the one-shot form of the hash engine for callers holding
+// both relations flat: build over r1, seal, probe r2. It mutates neither
+// input and serves exactly the EquiLike conditions.
+func EngineCount(r1, r2 []join.Key) int64 {
+	if len(r1) == 0 || len(r2) == 0 {
+		return 0
+	}
+	b := NewBuild()
+	b.Insert(r1)
+	b.Seal()
+	return b.ProbeCount(r2)
+}
+
+// MergeCountOwned is the merge-sweep engine for callers that own their
+// buffers: both relations sort IN PLACE (radix keysort) and the joinable
+// window sweeps once — the path every non-equality condition takes, and
+// what engine selection falls back to when the hash engine is forced onto a
+// condition it cannot serve.
+func MergeCountOwned(r1, r2 []join.Key, cond join.Condition) int64 {
+	if len(r1) == 0 || len(r2) == 0 {
+		return 0
+	}
+	keysort.Sort(r1)
+	keysort.Sort(r2)
+	return CountSorted(r1, r2, cond)
+}
+
+// PairTable is the deterministic pair-ordering layer of the hash engine: an
+// immutable index over one relation's keys mapping each key to its arrival
+// indices in ascending order. For a pure-equality condition every partner of
+// an R1 key shares that key, so "partners ascend by (key, arrival index)" —
+// exec.JoinPairs' contract — degenerates to "arrival indices ascending",
+// which is exactly the order each group stores. Built in two stable
+// counting passes per partition; construction is single-threaded and the
+// result is immutable, so lookups need no synchronization.
+type PairTable struct {
+	parts [enginePartitions]pairPart
+	n     int
+}
+
+// pairPart indexes one partition: an open-addressing table from key to
+// group id, and the flattened ascending index groups.
+type pairPart struct {
+	keys []join.Key // slot -> key
+	gid  []int32    // slot -> group id; -1 empty
+	off  []int32    // group -> start in idx; len = groups+1
+	idx  []uint32   // arrival indices, grouped by key, ascending per group
+}
+
+// NewPairTable indexes keys (arrival order) for Partners lookups.
+func NewPairTable(keys []join.Key) *PairTable {
+	t := &PairTable{n: len(keys)}
+	if len(keys) == 0 {
+		return t
+	}
+	// Stable radix scatter of (key, arrival index) pairs, as in Build.
+	skeys := getPartScratch(len(keys))
+	sidx := make([]uint32, len(keys))
+	var count [enginePartitions]int32
+	for _, k := range keys {
+		count[keysort.Digit(k, partShift)]++
+	}
+	var off [enginePartitions]int32
+	var sum int32
+	for d := range off {
+		off[d] = sum
+		sum += count[d]
+	}
+	pos := off
+	for i, k := range keys {
+		d := keysort.Digit(k, partShift)
+		skeys[pos[d]] = k
+		sidx[pos[d]] = uint32(i)
+		pos[d]++
+	}
+	for d := range t.parts {
+		if count[d] == 0 {
+			continue
+		}
+		lo, hi := off[d], off[d]+count[d]
+		t.parts[d].build(skeys[lo:hi], sidx[lo:hi])
+	}
+	putPartScratch(skeys)
+	return t
+}
+
+// build fills one partition from its arrival-ordered (key, index) run.
+func (p *pairPart) build(keys []join.Key, idx []uint32) {
+	cap := 16
+	for 3*len(keys) >= 2*cap { // load factor 2/3
+		cap *= 2
+	}
+	p.keys = make([]join.Key, cap)
+	p.gid = make([]int32, cap)
+	for i := range p.gid {
+		p.gid[i] = -1
+	}
+	mask := uint64(cap - 1)
+	groups := int32(0)
+	gcount := make([]int32, 0, len(keys))
+	slotOf := make([]int32, len(keys)) // run position -> slot, reused in pass 2
+	for i, k := range keys {
+		h := hashKey(k) & mask
+		for {
+			g := p.gid[h]
+			if g == -1 {
+				p.keys[h] = k
+				p.gid[h] = groups
+				gcount = append(gcount, 1)
+				groups++
+				break
+			}
+			if p.keys[h] == k {
+				gcount[g]++
+				break
+			}
+			h = (h + 1) & mask
+		}
+		slotOf[i] = int32(h)
+	}
+	p.off = make([]int32, groups+1)
+	var sum int32
+	for g, c := range gcount {
+		p.off[g] = sum
+		sum += c
+		gcount[g] = 0 // reused as per-group fill cursor
+	}
+	p.off[groups] = sum
+	p.idx = make([]uint32, len(idx))
+	for i, s := range slotOf {
+		g := p.gid[s]
+		p.idx[p.off[g]+gcount[g]] = idx[i]
+		gcount[g]++
+	}
+}
+
+// Partners returns k's arrival indices in ascending order (nil when k is
+// absent). The slice aliases the table; callers must not mutate it.
+func (t *PairTable) Partners(k join.Key) []uint32 {
+	p := &t.parts[keysort.Digit(k, partShift)]
+	if len(p.keys) == 0 {
+		return nil
+	}
+	mask := uint64(len(p.keys) - 1)
+	h := hashKey(k) & mask
+	for {
+		g := p.gid[h]
+		if g == -1 {
+			return nil
+		}
+		if p.keys[h] == k {
+			return p.idx[p.off[g]:p.off[g+1]]
+		}
+		h = (h + 1) & mask
+	}
+}
+
+// Len returns the number of indexed keys.
+func (t *PairTable) Len() int { return t.n }

@@ -1,0 +1,215 @@
+package netexec
+
+import (
+	"context"
+	"testing"
+
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/localjoin"
+	"ewh/internal/partition"
+	"ewh/internal/workload"
+)
+
+// zipfKeys draws the Zipf-skewed workloads the hash-engine tests use.
+func zipfKeys(n int, domain int64, z float64, seed uint64) []join.Key {
+	return workload.Zipfian(n, domain, z, seed)
+}
+
+// TestSessionHashJoinOverlap is the insert-while-probe crosscheck: an equi
+// count job over the chunked session scatter must produce the exact Local
+// answer AND prove the worker started building before the job's tail frames
+// decoded — BuildOverlappedChunks, the hash-side mirror of OverlappedStage2.
+func TestSessionHashJoinOverlap(t *testing.T) {
+	_, addrs := startWorkerSet(t, 3)
+	r1 := zipfKeys(30000, 4000, 0.8, 130)
+	r2 := zipfKeys(30000, 4000, 0.8, 131)
+	scheme := partition.NewCI(3)
+	// Mappers fixed well above the feeder channel capacity: with ~2×Mappers
+	// chunk frames per worker the read loop must block on a full feed channel
+	// before it can decode EOS, so overlap is structural, not a scheduling
+	// accident.
+	cfg := exec.Config{Seed: 132, Mappers: 12}
+
+	want := exec.Run(r1, r2, join.Equi{}, scheme, model, cfg)
+
+	sess, err := DialTenant(context.Background(), "", addrs, Timeouts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	got, err := exec.RunOver(sess, r1, r2, join.Equi{}, scheme, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Output != want.Output {
+		t.Fatalf("session output %d, want %d", got.Output, want.Output)
+	}
+	if n := sess.BuildOverlappedChunks(); n <= 0 {
+		t.Fatalf("BuildOverlappedChunks = %d, want > 0: build never overlapped the stream", n)
+	}
+	if sess.RelayedPairs() != 0 {
+		t.Fatalf("count job relayed %d pairs", sess.RelayedPairs())
+	}
+
+	// The other two selections crosscheck against the same answer; forcing
+	// merge must bypass the feeder entirely.
+	for _, e := range []exec.JoinEngine{exec.EngineHash, exec.EngineMerge} {
+		cfg := cfg
+		cfg.Engine = e
+		res, err := exec.RunOver(sess, r1, r2, join.Equi{}, scheme, model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output != want.Output {
+			t.Fatalf("engine %v: output %d, want %d", e, res.Output, want.Output)
+		}
+	}
+	before := sess.BuildOverlappedChunks()
+	cfgMerge := cfg
+	cfgMerge.Engine = exec.EngineMerge
+	if _, err := exec.RunOver(sess, r1, r2, join.Equi{}, scheme, model, cfgMerge); err != nil {
+		t.Fatal(err)
+	}
+	if after := sess.BuildOverlappedChunks(); after != before {
+		t.Fatalf("merge-engine job advanced the overlap counter (%d -> %d)", before, after)
+	}
+}
+
+// TestSessionHashJoinBandFallsBack pins engine resolution across the wire: a
+// band job under an explicit hash request runs the merge sweep (exact
+// answer, no feeder) instead of failing or mis-counting.
+func TestSessionHashJoinBandFallsBack(t *testing.T) {
+	_, addrs := startWorkerSet(t, 2)
+	r1 := zipfKeys(5000, 1000, 0.8, 140)
+	r2 := zipfKeys(5000, 1000, 0.8, 141)
+	scheme := partition.NewCI(2)
+	cfg := exec.Config{Seed: 142, Engine: exec.EngineHash, Mappers: 4}
+	cond := join.NewBand(2)
+
+	want := exec.Run(r1, r2, cond, scheme, model, cfg)
+	sess, err := DialTenant(context.Background(), "", addrs, Timeouts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	got, err := exec.RunOver(sess, r1, r2, cond, scheme, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Output != want.Output {
+		t.Fatalf("band under hash request: output %d, want %d", got.Output, want.Output)
+	}
+	if n := sess.BuildOverlappedChunks(); n != 0 {
+		t.Fatalf("band job overlapped %d chunks through the hash feeder", n)
+	}
+}
+
+// TestPoolBuildCacheHit is the shared-build acceptance test: two tenants of
+// one pool join different probe relations against the SAME build-side
+// relation; the second tenant's jobs must hit the first tenant's cached
+// builds (identical content, identical chunk structure under the shared
+// seed) and both answers stay bit-exact. leakCheck (in startWorkerSet) pins
+// that no feeder goroutine outlives its job.
+func TestPoolBuildCacheHit(t *testing.T) {
+	ws, addrs := startWorkerSet(t, 2)
+	dim := zipfKeys(20000, 3000, 0.7, 150) // shared build side
+	probeA := zipfKeys(8000, 3000, 0.7, 151)
+	probeB := zipfKeys(8000, 3000, 0.7, 152)
+	scheme := partition.NewCI(2)
+	cfg := exec.Config{Seed: 153, Mappers: 8}
+
+	pool, err := NewPool(addrs, Timeouts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	run := func(tenant string, probe []join.Key) int64 {
+		t.Helper()
+		s, err := pool.Session(context.Background(), tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.RunOver(s, dim, probe, join.Equi{}, scheme, model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Output
+	}
+
+	gotA := run("alpha", probeA)
+	gotB := run("beta", probeB)
+	// A repeat of tenant alpha's exact job must also hit and agree.
+	if again := run("alpha", probeA); again != gotA {
+		t.Fatalf("cache-hit rerun output %d, want %d", again, gotA)
+	}
+
+	wantA := exec.Run(dim, probeA, join.Equi{}, scheme, model, cfg).Output
+	wantB := exec.Run(dim, probeB, join.Equi{}, scheme, model, cfg).Output
+	if gotA != wantA || gotB != wantB {
+		t.Fatalf("outputs (%d, %d), want (%d, %d)", gotA, gotB, wantA, wantB)
+	}
+
+	var hits, misses int64
+	for _, w := range ws {
+		st := w.BuildCacheStats()
+		hits += st.Hits
+		misses += st.Misses
+		if st.Bytes <= 0 || st.Entries <= 0 {
+			t.Errorf("worker %s cache holds %d entries / %d bytes after hash jobs",
+				w.Addr(), st.Entries, st.Bytes)
+		}
+	}
+	// Three jobs per worker over identical build content: the first misses,
+	// the other two share its build.
+	if hits <= 0 {
+		t.Fatalf("no build-cache hits across the fleet (hits=%d misses=%d)", hits, misses)
+	}
+	if st := (localjoin.BuildCacheStats{Hits: hits, Misses: misses}); st.HitRate() < 0.5 {
+		t.Fatalf("hit rate %.2f below the 2-of-3 sharing expectation (hits=%d misses=%d)",
+			st.HitRate(), hits, misses)
+	}
+}
+
+// TestWorkerEngineDefault pins the worker-side knob: a fleet set to
+// EngineMerge runs auto-opened equi jobs on the merge path (no overlap), and
+// the coordinator's explicit hash request overrides it.
+func TestWorkerEngineDefault(t *testing.T) {
+	ws, addrs := startWorkerSet(t, 2)
+	for _, w := range ws {
+		w.SetJoinEngine(exec.EngineMerge)
+	}
+	r1 := zipfKeys(20000, 3000, 0.8, 160)
+	r2 := zipfKeys(20000, 3000, 0.8, 161)
+	scheme := partition.NewCI(2)
+	cfg := exec.Config{Seed: 162, Mappers: 12}
+	want := exec.Run(r1, r2, join.Equi{}, scheme, model, cfg)
+
+	sess, err := DialTenant(context.Background(), "", addrs, Timeouts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := exec.RunOver(sess, r1, r2, join.Equi{}, scheme, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != want.Output {
+		t.Fatalf("merge-default output %d, want %d", res.Output, want.Output)
+	}
+	if n := sess.BuildOverlappedChunks(); n != 0 {
+		t.Fatalf("merge-default fleet overlapped %d chunks", n)
+	}
+	cfg.Engine = exec.EngineHash
+	res, err = exec.RunOver(sess, r1, r2, join.Equi{}, scheme, model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != want.Output {
+		t.Fatalf("explicit-hash output %d, want %d", res.Output, want.Output)
+	}
+	if n := sess.BuildOverlappedChunks(); n <= 0 {
+		t.Fatal("explicit hash request did not override the merge fleet default")
+	}
+}

@@ -33,9 +33,9 @@ import (
 	"sync"
 	"time"
 
-	"ewh/internal/cost"
 	"sync/atomic"
 
+	"ewh/internal/cost"
 	"ewh/internal/exec"
 	"ewh/internal/join"
 	"ewh/internal/localjoin"
@@ -87,15 +87,26 @@ type metrics struct {
 	// surface as ErrAdmission/ErrQuota rather than worker faults.
 	// Gob-compatible addition: absent on old wires, decoded as 0.
 	Code int
+
+	// BuildOverlapped counts the CHUNK sub-blocks this job's hash engine
+	// consumed (inserted or probed) BEFORE the read loop decoded the job's
+	// EOS — the observable proving the build/probe work overlapped the
+	// still-streaming scatter instead of waiting out assembly (the local
+	// analog of OverlappedStage2). Gob-compatible addition: decoded as 0 on
+	// old wires and on merge-engine jobs.
+	BuildOverlapped int64
 }
 
 // jobOpen opens one numbered job on a v3 session connection. Counts travel
 // separately in per-relation head frames, so a job can start streaming its
-// first relation before the second one's shuffle has finished.
+// first relation before the second one's shuffle has finished. Engine is
+// the coordinator's exec.JoinEngine selection; gob decodes it as 0
+// (EngineAuto) from coordinators predating the field.
 type jobOpen struct {
 	WorkerID  int
 	Cond      join.Spec
 	WantPairs bool
+	Engine    int
 }
 
 // planSpec rides a frameV3Plan alongside a stage-1 job: the job's matches
@@ -218,6 +229,16 @@ type Worker struct {
 	// per-tenant budgets and live byte usage.
 	admit   *admitter
 	tenants *tenantTable
+
+	// joinEngine is the worker-side default local-join engine, applied when
+	// a job opens with EngineAuto; a job's explicit merge/hash selection
+	// wins. Set before Serve (see SetJoinEngine).
+	joinEngine exec.JoinEngine
+	// buildCache shares sealed hash builds between jobs indexing the same
+	// relation content — across sessions and tenants, since a sealed build
+	// is immutable and content-addressed (see localjoin.BuildCache). Nil
+	// disables caching.
+	buildCache *localjoin.BuildCache
 }
 
 // connState tracks one accepted connection for shutdown: active counts the
@@ -256,7 +277,45 @@ func ListenWorkerOn(ln net.Listener) *Worker {
 		peers:      make(map[string]*peerConn),
 		peerStates: make(map[uint64]*peerJobState),
 		tenants:    newTenantTable(),
+		buildCache: localjoin.NewBuildCache(DefaultBuildCacheBytes),
 	}
+}
+
+// DefaultBuildCacheBytes is the worker's default build-side cache budget.
+// The cache holds sealed hash-engine builds (content-addressed, shared
+// across sessions and tenants); its tables live outside the per-tenant byte
+// budgets, bounded globally by this cap instead.
+const DefaultBuildCacheBytes = 64 << 20
+
+// SetBuildCacheBytes resizes the worker's build-side cache budget; <= 0
+// disables caching entirely. Call before Serve.
+func (w *Worker) SetBuildCacheBytes(n int64) {
+	w.buildCache = localjoin.NewBuildCache(n)
+}
+
+// BuildCacheStats snapshots the worker's build-cache counters — the
+// cache-hit observability the multi-tenant load harness reports.
+func (w *Worker) BuildCacheStats() localjoin.BuildCacheStats {
+	return w.buildCache.Stats()
+}
+
+// SetJoinEngine sets the worker-side default local-join engine, applied to
+// jobs that open with exec.EngineAuto; a job's explicit merge/hash
+// selection always wins. Engines are count- and pair-identical, so this is
+// a fleet performance knob, not a correctness one. Call before Serve.
+func (w *Worker) SetJoinEngine(e exec.JoinEngine) { w.joinEngine = e }
+
+// effectiveEngine resolves a job's wire engine selection against the
+// worker default.
+func (w *Worker) effectiveEngine(wire int) exec.JoinEngine {
+	e := exec.JoinEngine(wire)
+	if e != exec.EngineMerge && e != exec.EngineHash {
+		e = exec.EngineAuto // unknown future values degrade to auto
+	}
+	if e == exec.EngineAuto {
+		e = w.joinEngine
+	}
+	return e
 }
 
 // FailAfterJobs schedules the worker to kill itself (abrupt Close, as a

@@ -46,6 +46,12 @@ type Session struct {
 	// views like ids/relayed.
 	overlapped *atomic.Int64
 
+	// buildOverlapped accumulates the workers' metrics.BuildOverlapped: the
+	// CHUNK sub-blocks hash-engine jobs consumed before their EOS frames —
+	// build/probe work that overlapped the streaming scatter. Shared by
+	// survivor views like ids/relayed.
+	buildOverlapped *atomic.Int64
+
 	// tenant is the id this session declared in its HELLO frames — the key
 	// workers use for admission queuing and quota accounting. "" (no hello
 	// sent) is the anonymous tenant.
@@ -94,7 +100,7 @@ func DialTenant(ctx context.Context, tenant string, addrs []string, t Timeouts) 
 		return nil, fmt.Errorf("netexec: tenant id %d bytes long, limit %d", len(tenant), maxTenantLen)
 	}
 	s := &Session{ids: new(atomic.Uint32), relayed: new(atomic.Int64),
-		overlapped: new(atomic.Int64), tenant: tenant}
+		overlapped: new(atomic.Int64), buildOverlapped: new(atomic.Int64), tenant: tenant}
 	for _, addr := range addrs {
 		c, err := dialSessConn(ctx, addr, t, s)
 		if err != nil {
@@ -118,6 +124,13 @@ func (s *Session) RelayedPairs() int64 { return s.relayed.Load() }
 // their right relation while stage 1 was still running — the pipelining the
 // stage-overlapped dispatch buys over the old open-after-stage-1 sequence.
 func (s *Session) OverlappedStage2() int64 { return s.overlapped.Load() }
+
+// BuildOverlappedChunks reports how many CHUNK sub-blocks this session's
+// workers fed into their incremental hash builds (or probed) before the
+// owning job's EOS had even been decoded — the join-side pipelining the
+// insert-while-probe engine buys over join-after-assembly, mirroring
+// OverlappedStage2 for the scatter/join boundary.
+func (s *Session) BuildOverlappedChunks() int64 { return s.buildOverlapped.Load() }
 
 // StreamsChunks implements exec.ChunkStreamer: the session consumes chunked
 // relations, framing each routed sub-block onto the socket the moment a
@@ -439,6 +452,7 @@ func (c *sessConn) runJob(id uint32, workerID int, spec join.Spec, job *exec.Job
 			fmt.Errorf("worker decoded %d/%d payload bytes, coordinator sent %d/%d",
 				r.m.PayBytes1, r.m.PayBytes2, sentPay[0], sentPay[1]))
 	}
+	c.sess.buildOverlapped.Add(r.m.BuildOverlapped)
 	m.InputR1 = r.m.InputR1
 	m.InputR2 = r.m.InputR2
 	m.Output = r.m.Output
@@ -467,7 +481,8 @@ func (c *sessConn) sendJob(id uint32, workerID int, spec join.Spec, ps *planSpec
 		_ = c.bw.Flush()
 		return [2]int64{}, err
 	}
-	jo := jobOpen{WorkerID: workerID, Cond: spec, WantPairs: job.Pairs != nil}
+	jo := jobOpen{WorkerID: workerID, Cond: spec, WantPairs: job.Pairs != nil,
+		Engine: int(job.Engine)}
 	if err := writeV3GobFrame(c.bw, frameV3OpenJob, id, jo); err != nil {
 		return abort(err)
 	}

@@ -51,6 +51,10 @@ type sessRel struct {
 	streaming bool
 	chunks    int            // mapper count the head declared
 	parts     [][][]join.Key // parts[mapper] = ordered pooled sub-blocks
+	// fed marks a relation whose chunks route to the job's insert-while-probe
+	// feeder (see hashfeed.go) instead of accumulating parts: it never
+	// materializes a flat block, so its tail skips assemble.
+	fed bool
 }
 
 // assemble concatenates a chunk-streamed relation's parts mapper-major into
@@ -92,6 +96,16 @@ type sessJob struct {
 	counted   bool // beginJob admitted it (draining workers refuse)
 	err       error
 	rels      [2]sessRel
+
+	// engine is the job's effective join-engine selection (the coordinator's
+	// wire request resolved against the worker default; never a future
+	// unknown value — see Worker.effectiveEngine).
+	engine exec.JoinEngine
+	// feed, when set, is the job's insert-while-probe feeder: a count-only
+	// equality job whose relations arrive as CHUNK streams builds relation 1
+	// incrementally (and probes relation 2) while later chunks are still on
+	// the wire, instead of assembling flat blocks at the tails.
+	feed *buildFeeder
 
 	// w and tenant key the job's quota accounting; charged is the byte
 	// reservation release() credits back (see tenant.go).
@@ -138,6 +152,12 @@ func (j *sessJob) release() {
 			r.pay = nil
 		}
 		r.releaseParts()
+	}
+	if j.feed != nil {
+		// Every job exit path lands here, so the feeder goroutine (and any
+		// buffers it parked) never outlives the job. stop is idempotent —
+		// a finished job's feeder already stopped collecting its results.
+		j.feed.stop()
 	}
 	if j.charged > 0 {
 		j.w.creditTenant(j.tenant, j.charged)
@@ -305,6 +325,7 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			j.cond = cond
 			j.workerID = jo.WorkerID
 			j.wantPairs = jo.WantPairs
+			j.engine = w.effectiveEngine(jo.Engine)
 			// Admission happens HERE, before the job's data frames are read:
 			// an un-admitted job buffers nothing worker-side — its frames stay
 			// in the kernel socket buffer, TCP backpressure stalls the
@@ -559,7 +580,23 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 				r.declared = true
 				r.streaming = true
 				r.chunks = int(chunks)
-				r.parts = make([][][]join.Key, chunks)
+				// Insert-while-probe: a count-only job whose effective engine
+				// resolves to hash streams its chunks through a feeder
+				// goroutine (hashfeed.go) instead of accumulating parts —
+				// relation 1 builds as chunks land, relation 2 probes the
+				// sealed (or cache-shared) build chunk by chunk. Plan and
+				// pairs jobs need materialized arrival-ordered blocks, so
+				// they keep the assemble path.
+				switch {
+				case h[0] == 1 && j.plan == nil && !j.wantPairs &&
+					j.engine.ForCond(j.cond) == exec.EngineHash:
+					j.feed = newBuildFeeder(w.buildCache, int(chunks))
+					r.fed = true
+				case h[0] == 2 && j.feed != nil:
+					r.fed = true
+				default:
+					r.parts = make([][][]join.Key, chunks)
+				}
 			}
 
 		case frameV3Chunk:
@@ -609,6 +646,13 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			case r.pos != count:
 				j.fail(fmt.Errorf("chunked relation %d streamed %d tuples, tail declares %d",
 					h[0], r.pos, count))
+			case r.fed:
+				// A fed relation never materializes: record completion (so
+				// validateComplete passes) and tell the feeder — relation 1's
+				// tail seals the build and unblocks probing.
+				j.feed.feedTail(int(h[0]))
+				r.streaming = false
+				r.n = r.pos
 			default:
 				r.assemble()
 			}
@@ -619,6 +663,12 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 				return
 			}
 			delete(jobs, id)
+			if j.feed != nil {
+				// Chunks the feeder consumed before this frame decoded were
+				// overlapped with the stream — the counter the coordinator's
+				// BuildOverlappedChunks aggregates.
+				j.feed.markEOS()
+			}
 			if j.peerFed {
 				go w.finishPeerSessionJob(j, bw, &wmu, cs, conn, connDone)
 			} else {
@@ -761,7 +811,15 @@ func (j *sessJob) readChunk(br *bufio.Reader, n int) error {
 		exec.PutKeyBuffer(buf)
 		return err
 	}
-	r.parts[mapper] = append(r.parts[mapper], buf)
+	if r.fed {
+		// Ownership transfers to the feeder, which recycles the buffer after
+		// inserting (relation 1) or probing (relation 2). The tenant charge
+		// above stays until release — a conservative reservation, since the
+		// feeder frees the bytes long before the job retires.
+		j.feed.feedChunk(int(h[0]), mapper, buf)
+	} else {
+		r.parts[mapper] = append(r.parts[mapper], buf)
+	}
 	r.pos += count
 	return nil
 }
@@ -937,29 +995,65 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 		return
 	}
 	start := time.Now()
-	var out int64
-	if j.wantPairs {
+	var out, overlapped int64
+	switch {
+	case j.wantPairs:
 		// The pair join must not sort the blocks in place: indices refer to
 		// arrival order on both sides of the wire. Chunks stream back as
 		// they fill, interleaving with other jobs' replies at frame
-		// granularity.
-		out = exec.JoinPairs(r1.keys, r2.keys, j.cond, func(chunk []exec.PairIdx) {
-			wmu.Lock()
-			_ = writePairsFrame(bw, j.id, chunk)
-			wmu.Unlock()
-		})
-	} else {
-		// Count-only jobs own their buffers outright: in-place sort, as v2.
-		out = localjoin.AutoCountOwned(r1.keys, r2.keys, j.cond)
+		// granularity. The engines emit bit-identical streams (the hash
+		// path's PairTable reproduces the merge argsort's partner order), so
+		// the selection stays a pure performance knob here too.
+		out = exec.JoinPairsEngine(j.engine, r1.keys, r2.keys, j.cond,
+			func(chunk []exec.PairIdx) {
+				wmu.Lock()
+				_ = writePairsFrame(bw, j.id, chunk)
+				wmu.Unlock()
+			})
+	case j.feed != nil:
+		// Insert-while-probe: the feeder built (and for a chunked relation 2,
+		// probed) while the stream was still arriving; collect its results.
+		// A relation 2 that arrived flat probes the finished build here.
+		build, count, ov, _ := j.feed.finish()
+		out, overlapped = count, ov
+		if r2.keys != nil {
+			out += build.ProbeCount(r2.keys)
+		}
+	default:
+		// Flat count-only job: the job owns its buffers outright, so the
+		// merge engine sorts in place, as v2; the hash engine consults the
+		// worker's shared build cache.
+		out = w.countFlat(j.engine, r1.keys, r2.keys, j.cond)
 	}
 	reply(metrics{
-		InputR1:   int64(r1.n),
-		InputR2:   int64(r2.n),
-		Output:    out,
-		Nanos:     time.Since(start).Nanoseconds(),
-		PayBytes1: int64(r1.payBytes),
-		PayBytes2: int64(r2.payBytes),
+		InputR1:         int64(r1.n),
+		InputR2:         int64(r2.n),
+		Output:          out,
+		Nanos:           time.Since(start).Nanoseconds(),
+		PayBytes1:       int64(r1.payBytes),
+		PayBytes2:       int64(r2.payBytes),
+		BuildOverlapped: overlapped,
 	})
+}
+
+// countFlat joins two fully materialized key blocks the job owns under its
+// effective engine. The hash path shares builds through the worker's
+// content-keyed cache — a second tenant joining against the same dimension
+// relation probes the first tenant's sealed build instead of rebuilding —
+// and mutates neither block; the merge path sorts both in place.
+func (w *Worker) countFlat(e exec.JoinEngine, r1, r2 []join.Key, cond join.Condition) int64 {
+	if e.ForCond(cond) != exec.EngineHash || len(r1) == 0 || len(r2) == 0 {
+		return exec.CountOwned(e, r1, r2, cond)
+	}
+	key := localjoin.HashBuildKey(r1)
+	b := w.buildCache.Get(key)
+	if b == nil {
+		b = localjoin.NewBuild()
+		b.Insert(r1)
+		b.Seal()
+		b = w.buildCache.Add(key, b)
+	}
+	return b.ProbeCount(r2)
 }
 
 // runPlanJob executes a stage-1 plan job's join and peer re-shuffle: the
@@ -1212,9 +1306,10 @@ func (w *Worker) finishPeerSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mu
 	}
 	r2 := &j.rels[1]
 	start := time.Now()
-	// The job owns both blocks outright: in-place count join, as any other
-	// count-only session job.
-	out := localjoin.AutoCountOwned(flat, r2.keys, j.cond)
+	// The job owns both blocks outright: count under the worker's default
+	// engine (peer opens carry no per-job selection), uncached — a transfer's
+	// assembled block is job-unique, so caching it would only churn the LRU.
+	out := exec.CountOwned(w.effectiveEngine(0), flat, r2.keys, j.cond)
 	n1 := int64(len(flat))
 	exec.PutKeyBuffer(flat)
 	reply(metrics{
