@@ -22,7 +22,11 @@
 // recovery loop: the coordinator excludes the failed workers, re-plans over
 // the survivors (re-profiling the relations, or shrinking/CI-falling-back a
 // -planin artifact) and re-runs, backing off -retry-backoff doubling per
-// attempt.
+// attempt. -stream N switches to the continuous-join mode: N tuple windows
+// arrive against a static base relation on one long-lived stream job, the
+// window distribution flips mid-stream, and drift-triggered replanning
+// live-repartitions the base without restarting the stream (-freeze-plan
+// runs the same workload under the frozen first plan for comparison).
 package main
 
 import (
@@ -42,6 +46,7 @@ import (
 	"ewh/internal/netexec"
 	"ewh/internal/partition"
 	"ewh/internal/planio"
+	"ewh/internal/streamjoin"
 	"ewh/internal/workload"
 )
 
@@ -65,12 +70,27 @@ func main() {
 		backoff    = flag.Duration("retry-backoff", 50*time.Millisecond, "base delay before the first retry (doubles per attempt)")
 		tenant     = flag.String("tenant", "", "tenant id declared in the session handshake: workers key admission control and resource budgets by it (empty: anonymous)")
 		engineStr  = flag.String("join-engine", "auto", "local-join engine on the workers (auto, merge, hash); auto picks hash for pure-equality conditions, merge otherwise")
+		stream     = flag.Int("stream", 0, "run a continuous join: this many tuple windows arrive against the static base relation, with drift-triggered mid-stream replanning; the window distribution flips to a narrow range at the midpoint (0: off)")
+		windowRows = flag.Int("window-rows", 0, "with -stream: rows per window (default n/10)")
+		driftThr   = flag.Float64("drift", 0, "with -stream: replanning drift threshold in (0,1] (0: the streamjoin default)")
+		freeze     = flag.Bool("freeze-plan", false, "with -stream: disable drift replanning; every window runs under the first window's plan (the control arm)")
 	)
 	flag.Parse()
 
 	engine, err := exec.ParseJoinEngine(*engineStr)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *stream > 0 {
+		if *mway {
+			fatal(fmt.Errorf("-stream and -multiway are separate modes"))
+		}
+		runStream(streamArgs{workers: *workers, tenant: *tenant, n: *n, windows: *stream,
+			windowRows: *windowRows, beta: *beta, z: *z, j: *j, seed: *seed,
+			timeouts: netexec.Timeouts{Dial: *timeout, IO: *timeout, Job: *jobTimeout},
+			driftThr: *driftThr, freeze: *freeze, engine: engine})
+		return
 	}
 
 	r1 := workload.Zipfian(*n, int64(*n), *z, *seed)
@@ -260,6 +280,101 @@ func runMultiway(addrs []string, tenant string, r1, r2 []join.Key, n, j int, see
 		}
 		fmt.Printf("  stage %d: %s plan=%v %v\n", i+1, st.Scheme,
 			st.PlanDuration.Round(time.Millisecond), st.Exec)
+	}
+}
+
+// streamArgs bundles the continuous-join mode's knobs.
+type streamArgs struct {
+	workers    string
+	tenant     string
+	n          int
+	windows    int
+	windowRows int
+	beta       int64
+	z          float64
+	j          int
+	seed       uint64
+	timeouts   netexec.Timeouts
+	driftThr   float64
+	freeze     bool
+	engine     exec.JoinEngine
+}
+
+// runStream executes the continuous-join demo: a stream of tuple windows
+// joining against a static base relation on a long-lived stream job, with
+// the window distribution flipping into a narrow range at the midpoint. With
+// replanning on, the drift metric catches the flip and the base is live-
+// repartitioned under a fresh plan mid-stream; -freeze-plan shows what the
+// frozen plan costs on the same workload.
+func runStream(a streamArgs) {
+	rows := a.windowRows
+	if rows <= 0 {
+		rows = a.n / 10
+		if rows < 1 {
+			rows = 1
+		}
+	}
+	base := workload.Zipfian(a.n, int64(a.n), a.z, a.seed)
+	narrow := int64(a.n)/50 + 1
+	flip := a.windows / 2
+	windows := make([][]join.Key, a.windows)
+	for i := range windows {
+		span := int64(a.n)
+		if i >= flip && flip > 0 {
+			span = narrow
+		}
+		windows[i] = workload.Uniform(rows, span, a.seed+10+uint64(i))
+	}
+
+	var addrs []string
+	if a.workers == "" {
+		for i := 0; i < a.j; i++ {
+			w, err := netexec.ListenWorker("127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			go func() { _ = w.Serve() }()
+			defer w.Close()
+			addrs = append(addrs, w.Addr())
+		}
+		fmt.Printf("spawned %d in-process workers\n", len(addrs))
+	} else {
+		addrs = strings.Split(a.workers, ",")
+	}
+
+	sess, err := netexec.DialTenant(context.Background(), a.tenant, addrs, a.timeouts)
+	if err != nil {
+		fatal(err)
+	}
+	defer sess.Close()
+
+	cfg := streamjoin.Config{
+		Opts:           core.Options{J: a.j, Model: cost.DefaultBand, Seed: a.seed},
+		Exec:           exec.Config{Seed: a.seed + 2, Engine: a.engine},
+		Stats:          exec.StatsSpec{Seed: a.seed + 3},
+		DriftThreshold: a.driftThr,
+		FreezePlan:     a.freeze,
+	}
+	start := time.Now()
+	res, err := streamjoin.Run(sess, base, windows, join.NewBand(a.beta), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	mode := "drift replanning"
+	if a.freeze {
+		mode = "frozen plan"
+	}
+	fmt.Printf("continuous join (%s): %d windows x %d rows vs %d-row base, total %d matches in %v\n",
+		mode, len(res.Windows), rows, a.n, res.Total, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %d replan(s), %d fault(s), modeled makespan %.0f, %d pairs relayed through coordinator\n",
+		res.Replans, res.Faults, res.Makespan, sess.RelayedPairs())
+	for _, w := range res.Windows {
+		marker := ""
+		if w.Replanned {
+			marker = "  << drift replan"
+		}
+		fmt.Printf("  window %2d: epoch %d in=%d matches=%d drift=%.3f work=%.0f%s\n",
+			w.Window, w.Epoch, w.Input, w.Count, w.Drift, w.Makespan, marker)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"ewh/internal/netexec"
 	"ewh/internal/partition"
 	"ewh/internal/planio"
+	"ewh/internal/streamjoin"
 )
 
 // This file exposes the paper's extension features (§IV-B, §A5): multi-way
@@ -212,3 +213,33 @@ func EncodePlan(plan *PlanResult) ([]byte, error) { return core.EncodePlan(plan)
 
 // DecodePlan reconstructs a plan serialized by EncodePlan.
 func DecodePlan(data []byte) (*PlanResult, error) { return core.DecodePlan(data) }
+
+// StreamConfig tunes a continuous windowed join (see ExecuteStream).
+type StreamConfig = streamjoin.Config
+
+// StreamResult is a finished continuous-join run: per-window accounting,
+// the stream's match total, and the replan/fault/makespan bookkeeping.
+type StreamResult = streamjoin.Result
+
+// WindowStat is one window's accounting within a StreamResult.
+type WindowStat = streamjoin.WindowStat
+
+// ExecuteStream runs a continuous windowed join of windows (relation 1)
+// against the static base relation (relation 2) with drift-triggered
+// mid-stream replanning: each window's merged worker summaries are compared
+// against the distribution the active plan was built for, and when they
+// drift past cfg.DriftThreshold the base is live-repartitioned under a new
+// plan without restarting the stream. The match total is bit-identical
+// regardless of how often the run replans or recovers from worker faults.
+// rt must host stream jobs: NewLocalStreamRuntime or a Cluster.
+func ExecuteStream(rt Runtime, base []Key, windows [][]Key, cond Condition,
+	cfg StreamConfig) (*StreamResult, error) {
+	return streamjoin.Run(rt, base, windows, cond, cfg)
+}
+
+// NewLocalStreamRuntime returns an in-process runtime hosting continuous
+// stream jobs over workers simulated worker slots — the reference
+// implementation the wire transport is crosschecked against.
+func NewLocalStreamRuntime(workers int) Runtime {
+	return exec.LocalStreamRuntime{Workers: workers}
+}

@@ -116,3 +116,32 @@ func TestFacadeRefineAndSerialize(t *testing.T) {
 		t.Fatalf("decoded plan changed the join result: %d vs %d", res3.Output, res.Output)
 	}
 }
+
+func TestFacadeExecuteStream(t *testing.T) {
+	base := workload.Uniform(8000, 4000, 31)
+	windows := [][]ewh.Key{
+		workload.Uniform(1000, 4000, 32),
+		workload.Uniform(1000, 4000, 33),
+		workload.Uniform(1000, 4000, 34),
+	}
+	cond := ewh.Band(2)
+	res, err := ewh.ExecuteStream(ewh.NewLocalStreamRuntime(3), base, windows, cond,
+		ewh.StreamConfig{Opts: ewh.Options{J: 3, Seed: 35}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, w := range windows {
+		for _, a := range w {
+			for _, b := range base {
+				if cond.Matches(a, b) {
+					want++
+				}
+			}
+		}
+	}
+	if res.Total != want || len(res.Windows) != len(windows) {
+		t.Fatalf("stream total %d over %d windows, want %d over %d",
+			res.Total, len(res.Windows), want, len(windows))
+	}
+}

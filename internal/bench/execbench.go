@@ -18,6 +18,7 @@ import (
 	"ewh/internal/netexec"
 	"ewh/internal/partition"
 	"ewh/internal/stats"
+	"ewh/internal/streamjoin"
 )
 
 // ExecBenchRow is one engine micro-measurement. WallNS is the minimum of
@@ -56,6 +57,13 @@ const execBenchReps = 5
 // across runners; its deterministic checksum rides in Output so the exact-
 // output rule also validates the spin itself.
 const CalibrationRow = "calibrate-spin"
+
+// StreamDriftRow names the continuous-join benchmark entry: a stream job
+// whose window distribution flips mid-stream, forcing a drift-triggered
+// replan every run. Its wall time and modeled makespan depend on windows
+// genuinely overlapping across workers, so the regression gate refuses to
+// compare it across parallelism shapes (see CheckExecBenchAgainst).
+const StreamDriftRow = "netexec-stream-drift"
 
 // spinCalibration runs the calibration loop (min wall over the usual reps).
 func spinCalibration() (int64, time.Duration) {
@@ -349,7 +357,74 @@ func ExecBench(cfg Config) (*ExecBenchReport, error) {
 	if err := runMwayRow("netexec-peer-multiway-pipelined", peerMode(multiway.Stage2Auto)); err != nil {
 		return nil, err
 	}
+
+	// The continuous-join row: a long-lived stream job over the same session
+	// whose window distribution flips mid-stream, so every rep exercises the
+	// whole drift path — per-window summaries, the drift comparison, at least
+	// one mid-stream replan with a live base re-partition, and the epoch
+	// cutover on the wire. Output is the stream's match total (deterministic,
+	// exact-gated); MaxWork is the modeled makespan the replan is supposed to
+	// keep down, so a drift-detection or replanning regression moves a gated
+	// number even when wall time hides it.
+	sbase, swindows := streamDriftWorkload(n, cfg.Seed)
+	scond := join.NewBand(25)
+	scfg := streamjoin.Config{
+		Opts:  core.Options{J: cfg.J, Model: cost.DefaultBand, Seed: cfg.Seed},
+		Exec:  exec.Config{Seed: cfg.Seed, Mappers: 4},
+		Stats: exec.StatsSpec{Seed: cfg.Seed},
+	}
+	var bestStream *streamjoin.Result
+	var bestStreamWall time.Duration
+	for i := 0; i < execBenchReps; i++ {
+		start := time.Now()
+		res, err := streamjoin.Run(sess, sbase, swindows, scond, scfg)
+		wall := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("execbench: %s: %w", StreamDriftRow, err)
+		}
+		if res.Replans < 1 {
+			return nil, fmt.Errorf("execbench: %s: the skew flip fired no replan; the row measures nothing", StreamDriftRow)
+		}
+		if bestStream == nil || wall < bestStreamWall {
+			bestStream, bestStreamWall = res, wall
+		}
+	}
+	var streamShipped, streamN1 int64
+	for _, ws := range bestStream.Windows {
+		streamShipped += int64(ws.Input)
+	}
+	for _, w := range swindows {
+		streamN1 += int64(len(w))
+	}
+	rep.Rows = append(rep.Rows, ExecBenchRow{
+		Name: StreamDriftRow, Scheme: "csio-stream", N1: int(streamN1), N2: len(sbase), Mappers: 4,
+		WallNS: bestStreamWall.Nanoseconds(), Output: bestStream.Total,
+		NetworkTuples: streamShipped, MaxWork: bestStream.Makespan,
+	})
 	return rep, nil
+}
+
+// streamDriftWorkload builds the skew-flip stream the StreamDriftRow runs:
+// two windows uniform over the wide keyspace, then the distribution
+// collapses into a narrow range for the rest of the stream — the flip the
+// drift detector must catch and replan through.
+func streamDriftWorkload(n int, seed uint64) (base []join.Key, windows [][]join.Key) {
+	rng := stats.NewRNG(seed + 61)
+	draw := func(count int, span int64) []join.Key {
+		ks := make([]join.Key, count)
+		for i := range ks {
+			ks[i] = rng.Int64n(span)
+		}
+		return ks
+	}
+	base = draw(n/10, int64(2*n))
+	for i := 0; i < 2; i++ {
+		windows = append(windows, draw(n/100, int64(2*n)))
+	}
+	for i := 0; i < 8; i++ {
+		windows = append(windows, draw(n/100, int64(n/20)))
+	}
+	return base, windows
 }
 
 // WriteExecBenchJSON runs ExecBench, writes the report to path, echoes a

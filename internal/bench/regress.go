@@ -154,6 +154,18 @@ func calibrationRatio(base, cur *ExecBenchReport) float64 {
 	return ratio
 }
 
+// gatesRow reports whether rep's gate covers a row of the given name —
+// baseline rows are what CompareExecBench iterates, so a row present in the
+// baseline is a row the gate passes verdicts on.
+func gatesRow(rep *ExecBenchReport, name string) bool {
+	for _, r := range rep.Rows {
+		if r.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
 // effectiveParallelism is the concurrency a report's recording actually
 // delivered: min(physical CPUs, GOMAXPROCS). Zero when the report predates
 // the cpus field.
@@ -173,8 +185,8 @@ func effectiveParallelism(r *ExecBenchReport) int {
 // machine speed, but it cannot rescale parallelism: a baseline recorded
 // with GOMAXPROCS=4 on a 1-core container never saw the concurrent shuffle
 // actually overlap, so its wall times compare apples to oranges against a
-// genuine 4-core run (BENCH_exec_mc4.json is exactly this case until
-// refreshed from a real multi-core recording). Both shapes come from the
+// genuine 4-core run — the mc4 baseline's history before it was re-anchored
+// from a BENCH_current recording. Both shapes come from the
 // reports' recorded cpus/gomaxprocs fields, so comparing two saved files on
 // a third machine stays meaningful. Empty when the shapes agree or either
 // report predates the cpus field.
@@ -196,6 +208,16 @@ func CPUMismatchWarning(base, cur *ExecBenchReport, path string) string {
 // differs from the running GOMAXPROCS gets a loud warning and an annotated
 // gate line (see CPUMismatchWarning); the gate still runs — exact-output
 // checks are hardware-independent — but its wall verdicts carry the caveat.
+//
+// Exception: when the baseline gates the StreamDriftRow, a parallelism
+// mismatch is an ERROR, not a warning. The legacy rows predate the cpus
+// field and tolerated envelope baselines, but the continuous-join row's
+// wall and makespan only mean something when stream windows genuinely
+// overlap across workers — a 1-core recording never saw that overlap, so
+// gating it across shapes would certify numbers the recording could not
+// have measured. The remedy is the documented BENCH_current
+// artifact-promotion flow: re-anchor the baseline from a run on matching
+// hardware (DESIGN.md, "Baseline promotion").
 func CheckExecBenchAgainst(w io.Writer, cur *ExecBenchReport, path string, maxRegress float64) error {
 	base, err := LoadExecBench(path)
 	if err != nil {
@@ -204,6 +226,12 @@ func CheckExecBenchAgainst(w io.Writer, cur *ExecBenchReport, path string, maxRe
 	warn := CPUMismatchWarning(base, cur, path)
 	if warn != "" {
 		fmt.Fprintf(w, "%s\n", warn)
+		if gatesRow(base, StreamDriftRow) {
+			return fmt.Errorf("bench: baseline %s gates the %s row at a different parallelism shape "+
+				"(baseline %d, current %d): its wall/makespan verdicts require matching worker overlap; "+
+				"re-anchor the baseline via the BENCH_current artifact-promotion flow",
+				path, StreamDriftRow, effectiveParallelism(base), effectiveParallelism(cur))
+		}
 	}
 	regs, err := CompareExecBench(base, cur, maxRegress)
 	if err != nil {

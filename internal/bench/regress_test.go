@@ -244,3 +244,56 @@ func TestCPUMismatchWarningAnnotatesGate(t *testing.T) {
 		t.Fatalf("output lacks the mismatch warning/annotation: %q", out)
 	}
 }
+
+// TestCPUMismatchFailsWhenStreamDriftGated pins the hard edge of the
+// mismatch policy: the moment a baseline gates the continuous-join drift
+// row, a parallelism-shape mismatch stops being a warning and fails the
+// gate outright — that row's wall/makespan verdicts require the recording
+// and the run to have the same worker overlap. A matching-shape run over
+// the same baseline must still pass, and a mismatched baseline WITHOUT the
+// drift row must stay a warning (the legacy envelope contract).
+func TestCPUMismatchFailsWhenStreamDriftGated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	rows := []ExecBenchRow{
+		row("a", 100_000_000, 50, 200, 10),
+		row(StreamDriftRow, 80_000_000, 1234, 20_000, 40_000),
+	}
+	base := &ExecBenchReport{Scale: 1, Seed: 42, CPUs: 1, GOMAXPROCS: 4, Rows: rows}
+	if err := writeReportJSON(path, base); err != nil {
+		t.Fatal(err)
+	}
+
+	mismatched := &ExecBenchReport{Scale: 1, Seed: 42, CPUs: 4, GOMAXPROCS: 4, Rows: rows}
+	var sb strings.Builder
+	err := CheckExecBenchAgainst(&sb, mismatched, path, 0.25)
+	if err == nil {
+		t.Fatal("parallelism mismatch over a drift-gated baseline passed")
+	}
+	if !strings.Contains(err.Error(), StreamDriftRow) || !strings.Contains(err.Error(), "BENCH_current") {
+		t.Fatalf("failure does not name the row and the promotion remedy: %v", err)
+	}
+	if !strings.Contains(sb.String(), "WARNING") {
+		t.Fatalf("the loud warning must still print before the failure: %q", sb.String())
+	}
+
+	matched := &ExecBenchReport{Scale: 1, Seed: 42, CPUs: 1, GOMAXPROCS: 4, Rows: rows}
+	sb.Reset()
+	if err := CheckExecBenchAgainst(&sb, matched, path, 0.25); err != nil {
+		t.Fatalf("matching shape failed: %v (output %q)", err, sb.String())
+	}
+
+	// Same mismatch, baseline without the drift row: warn and gate as before.
+	legacyPath := filepath.Join(dir, "legacy.json")
+	legacy := &ExecBenchReport{Scale: 1, Seed: 42, CPUs: 1, GOMAXPROCS: 4, Rows: rows[:1]}
+	if err := writeReportJSON(legacyPath, legacy); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := CheckExecBenchAgainst(&sb, mismatched, legacyPath, 0.25); err != nil {
+		t.Fatalf("legacy mismatch hard-failed: %v", err)
+	}
+	if !strings.Contains(sb.String(), "WARNING") {
+		t.Fatalf("legacy mismatch lost its warning: %q", sb.String())
+	}
+}

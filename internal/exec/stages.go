@@ -74,6 +74,10 @@ type PlanJob struct {
 	// point the total is known on a transport whose driver never sees the
 	// intermediate.
 	MaxIntermediate int64
+	// Engine is the coordinator's local-join engine selection for the stage,
+	// forwarded by wire transports so a peer-fed stage-2 job resolves the
+	// same engine a coordinator-fed job would (Config.Engine end to end).
+	Engine JoinEngine
 
 	// Stats, non-nil exactly when the plan is stats-deferred, sizes the
 	// per-worker summaries of the stage-1 matches.
@@ -220,7 +224,7 @@ func RunStagesOver[P1, P2 any](rt StageRuntime, r1 []Tuple[P1], r2 []Tuple[P2],
 		j2known = 0
 	}
 	next := &PlanJob{Plan: sp.Bytes, Workers: j2known, Cond: sp.Cond, R2: f3,
-		MaxIntermediate: sp.MaxIntermediate, Stats: sp.Stats}
+		MaxIntermediate: sp.MaxIntermediate, Stats: sp.Stats, Engine: cfg.Engine}
 	if deferred {
 		next.Replan = func(encoded [][]byte) ([]byte, int, error) {
 			// The driver layer owns the summary codec: decode once, enforce

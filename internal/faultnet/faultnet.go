@@ -62,6 +62,14 @@ const (
 	// v3 late peer-count bind (stage-overlapped dispatch).
 	FramePeerBind byte = 28
 
+	// v3 continuous-join stream frames.
+	FrameStreamOpen    byte = 33
+	FrameStreamBase    byte = 34
+	FrameStreamBaseEnd byte = 35
+	FrameStreamWin     byte = 36
+	FrameStreamWinEnd  byte = 37
+	FrameStreamRep     byte = 38
+
 	// v4 peer-mesh frames.
 	FramePeerHead  byte = 30
 	FramePeerBlock byte = 31

@@ -1,0 +1,31 @@
+package histogram
+
+import (
+	"math"
+
+	"ewh/internal/join"
+)
+
+// Drift measures how far two key distributions have diverged as the sup-norm
+// distance between their piecewise-uniform CDFs — the Kolmogorov statistic
+// of the two histograms, in [0, 1]. Both CDFs are piecewise linear between
+// consecutive keys of the UNION of the two boundary sets, so their
+// difference is piecewise linear too and attains its supremum at a union
+// boundary; evaluating only there is exact, not a sampling approximation.
+//
+// This is the continuous-join replanner's trigger: the histogram the active
+// plan was built from is compared against each arriving window's merged
+// summary histogram, and a drift past the configured threshold means the
+// plan's region table no longer reflects the stream (§VI adaptivity) — time
+// to replan mid-stream.
+func Drift(a, b *EquiDepth) float64 {
+	var max float64
+	for _, bounds := range [2][]join.Key{a.bounds, b.bounds} {
+		for _, e := range bounds {
+			if d := math.Abs(massBelow(a.bounds, e) - massBelow(b.bounds, e)); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,83 @@
+package histogram_test
+
+import (
+	"math"
+	"testing"
+
+	"ewh/internal/histogram"
+	"ewh/internal/join"
+	"ewh/internal/stats"
+)
+
+func mustBounds(t *testing.T, bounds ...join.Key) *histogram.EquiDepth {
+	t.Helper()
+	h, err := histogram.FromBounds(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestDriftIdentical(t *testing.T) {
+	h := mustBounds(t, 0, 10, 20, 40)
+	if d := histogram.Drift(h, h); d != 0 {
+		t.Fatalf("self drift = %v, want 0", d)
+	}
+	// Same distribution expressed at different resolutions: uniform over
+	// [0, 40) as 2 buckets vs 4 buckets — CDFs coincide everywhere.
+	a := mustBounds(t, 0, 20, 40)
+	b := mustBounds(t, 0, 10, 20, 30, 40)
+	if d := histogram.Drift(a, b); d > 1e-12 {
+		t.Fatalf("resolution-only drift = %v, want ~0", d)
+	}
+}
+
+func TestDriftSymmetricAndBounded(t *testing.T) {
+	rng := stats.NewRNG(7)
+	low := make([]join.Key, 4000)
+	high := make([]join.Key, 4000)
+	for i := range low {
+		low[i] = join.Key(rng.Int64n(1000))
+		high[i] = join.Key(5000 + rng.Int64n(1000))
+	}
+	a := buildShard(t, low, 16)
+	b := buildShard(t, high, 16)
+	ab, ba := histogram.Drift(a, b), histogram.Drift(b, a)
+	if ab != ba {
+		t.Fatalf("asymmetric drift: %v vs %v", ab, ba)
+	}
+	// Disjoint supports: one CDF reaches 1 before the other leaves 0.
+	if ab < 0.999 || ab > 1 {
+		t.Fatalf("disjoint-support drift = %v, want ~1", ab)
+	}
+}
+
+// TestDriftMonotoneInShift checks the metric grows as a distribution slides
+// further from the reference — the property the replanner's threshold
+// comparison relies on.
+func TestDriftMonotoneInShift(t *testing.T) {
+	rng := stats.NewRNG(11)
+	base := make([]join.Key, 6000)
+	for i := range base {
+		base[i] = join.Key(rng.Int64n(10000))
+	}
+	ref := buildShard(t, base, 24)
+	prev := 0.0
+	for _, shift := range []join.Key{0, 1000, 3000, 6000, 12000} {
+		moved := make([]join.Key, len(base))
+		for i, k := range base {
+			moved[i] = k + shift
+		}
+		d := histogram.Drift(ref, buildShard(t, moved, 24))
+		if d < prev {
+			t.Fatalf("drift %v at shift %d below %v at smaller shift", d, shift, prev)
+		}
+		if math.IsNaN(d) || d < 0 || d > 1 {
+			t.Fatalf("drift %v out of [0,1]", d)
+		}
+		prev = d
+	}
+	if prev < 0.999 {
+		t.Fatalf("fully shifted drift = %v, want ~1", prev)
+	}
+}

@@ -330,6 +330,12 @@ func TestFaultnetFrameParity(t *testing.T) {
 		{"chunk", frameV3Chunk, faultnet.FrameChunk},
 		{"chunk tail", frameV3ChunkTail, faultnet.FrameChunkTail},
 		{"peer bind", frameV3PeerBind, faultnet.FramePeerBind},
+		{"stream open", frameV3StreamOpen, faultnet.FrameStreamOpen},
+		{"stream base", frameV3StreamBase, faultnet.FrameStreamBase},
+		{"stream base end", frameV3StreamBaseEnd, faultnet.FrameStreamBaseEnd},
+		{"stream win", frameV3StreamWin, faultnet.FrameStreamWin},
+		{"stream win end", frameV3StreamWinEnd, faultnet.FrameStreamWinEnd},
+		{"stream rep", frameV3StreamRep, faultnet.FrameStreamRep},
 		{"peer head", framePeerHead, faultnet.FramePeerHead},
 		{"peer block", framePeerBlock, faultnet.FramePeerBlock},
 		{"peer pay", framePeerPay, faultnet.FramePeerPay},

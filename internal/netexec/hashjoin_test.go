@@ -213,3 +213,141 @@ func TestWorkerEngineDefault(t *testing.T) {
 		t.Fatal("explicit hash request did not override the merge fleet default")
 	}
 }
+
+// TestChunkStreamedPairsBitIdentical pins the pair-capable feeder: an equi
+// pairs job whose relations arrive as CHUNK streams must emit the pair
+// stream bit-identically to the flat path — same pairs, same order, same
+// flush (frame) boundaries — while absorbing its chunks through the feeder
+// instead of assembling on the read loop.
+func TestChunkStreamedPairsBitIdentical(t *testing.T) {
+	_, addrs := startWorkerSet(t, 2)
+	sess, err := DialTenant(context.Background(), "", addrs, Timeouts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	r1 := zipfKeys(30000, 4000, 0.8, 170)
+	r2 := zipfKeys(30000, 4000, 0.8, 171)
+	scheme := partition.NewCI(2)
+	// Mappers above feedCap so the feeder must interleave with the stream;
+	// the zipf output volume forces several pairChunk flushes per worker.
+	cfg := exec.Config{Seed: 172, Mappers: 12, Engine: exec.EngineHash}
+
+	run := func(chunked bool) [][][]exec.PairIdx {
+		chunks := make([][][]exec.PairIdx, scheme.Workers())
+		job := &exec.Job{Cond: join.Equi{}, Workers: scheme.Workers(), Engine: cfg.Engine,
+			// Distinct workers write distinct slice elements; per-worker
+			// delivery is sequential, so no locking is needed.
+			Pairs: func(w int, chunk []exec.PairIdx) {
+				chunks[w] = append(chunks[w], append([]exec.PairIdx(nil), chunk...))
+			}}
+		if chunked {
+			cs1, cs2 := exec.ShufflePairChunked(r1, r2, scheme, cfg)
+			job.R1 = exec.ResolvedRelFuture(exec.RelData{Chunks: cs1})
+			job.R2 = exec.ResolvedRelFuture(exec.RelData{Chunks: cs2})
+		} else {
+			s1, s2 := exec.ShufflePair(r1, r2, scheme, cfg)
+			defer s1.Release()
+			defer s2.Release()
+			job.R1 = exec.ResolvedRelFuture(exec.RelData{Keys: s1})
+			job.R2 = exec.ResolvedRelFuture(exec.RelData{Keys: s2})
+		}
+		wm := make([]exec.WorkerMetrics, scheme.Workers())
+		if err := sess.RunJob(job, wm); err != nil {
+			t.Fatal(err)
+		}
+		return chunks
+	}
+
+	flat := run(false)
+	before := sess.BuildOverlappedChunks()
+	streamed := run(true)
+	if got := sess.BuildOverlappedChunks() - before; got <= 0 {
+		t.Fatalf("chunk-streamed pairs job fed %d chunks through the feeder", got)
+	}
+	for w := range flat {
+		if len(flat[w]) < 2 {
+			t.Fatalf("worker %d emitted %d flush chunks; need several to pin boundaries", w, len(flat[w]))
+		}
+		if len(streamed[w]) != len(flat[w]) {
+			t.Fatalf("worker %d: %d flush chunks streamed, flat path emitted %d",
+				w, len(streamed[w]), len(flat[w]))
+		}
+		for c := range flat[w] {
+			if len(streamed[w][c]) != len(flat[w][c]) {
+				t.Fatalf("worker %d chunk %d: %d pairs streamed, flat %d — flush boundary moved",
+					w, c, len(streamed[w][c]), len(flat[w][c]))
+			}
+			for i := range flat[w][c] {
+				if streamed[w][c][i] != flat[w][c][i] {
+					t.Fatalf("worker %d chunk %d pair %d: streamed %+v, flat %+v",
+						w, c, i, streamed[w][c][i], flat[w][c][i])
+				}
+			}
+		}
+	}
+}
+
+// TestPeerStageJobsHonorCoordinatorEngine pins the engine hint on the peer
+// open frame. Stage-2 jobs are opened by PEER workers (frameV3OpenPeerJob),
+// not the coordinator, so before the hint existed they silently resolved the
+// WORKER's default engine no matter what the coordinator asked for. A
+// merge-default fleet driven with an explicit coordinator `hash` must now
+// resolve every sub-job — the peer-fed stage-2 jobs included — to hash,
+// while an absent hint (EngineAuto on the wire, what an old coordinator
+// sends) keeps the worker-default behavior.
+func TestPeerStageJobsHonorCoordinatorEngine(t *testing.T) {
+	ws, addrs := startWorkerSet(t, 3)
+	for _, w := range ws {
+		w.SetJoinEngine(exec.EngineMerge)
+	}
+	r1 := randKeys(1200, 600, 240)
+	r2 := randKeys(1000, 600, 241)
+	r3 := randKeys(900, 2000, 242)
+	scheme1, err := partition.NewHash(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := stagePlanFor(t, join.Equi{}, 3, 91)
+
+	// Coordinator-selected hash: stage 1 fans out scheme1.Workers() plan
+	// jobs, the plan fans out sp.Scheme.Workers() peer-opened stage-2 jobs,
+	// and every one of them must report the hash engine back.
+	sessHash := dialSession(t, addrs)
+	cfgHash := exec.Config{Seed: 17, Mappers: 2, Engine: exec.EngineHash}
+	res1h, res2h, err := exec.RunStagesOver(sessHash, exec.WrapKeys(r1), tuplesWithPayloadKeys(r2),
+		join.Equi{}, scheme1, sp, r3, model, cfgHash, nil, encodeKeyLE8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sessHash.EngineUses(exec.EngineMerge); n != 0 {
+		t.Fatalf("%d sub-jobs fell back to the worker merge default under coordinator hash", n)
+	}
+	want := int64(scheme1.Workers() + sp.Scheme.Workers())
+	if got := sessHash.EngineUses(exec.EngineHash); got != want {
+		t.Fatalf("EngineUses(hash) = %d, want %d (stage-1 + peer stage-2 sub-jobs)", got, want)
+	}
+
+	// No coordinator selection: the hint decodes as EngineAuto and the merge
+	// fleet default wins everywhere — the behavior old coordinators keep.
+	sessAuto := dialSession(t, addrs)
+	cfgAuto := exec.Config{Seed: 17, Mappers: 2}
+	res1a, res2a, err := exec.RunStagesOver(sessAuto, exec.WrapKeys(r1), tuplesWithPayloadKeys(r2),
+		join.Equi{}, scheme1, sp, r3, model, cfgAuto, nil, encodeKeyLE8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sessAuto.EngineUses(exec.EngineHash); n != 0 {
+		t.Fatalf("%d sub-jobs ran hash although the coordinator never asked for it", n)
+	}
+	if got := sessAuto.EngineUses(exec.EngineMerge); got != want {
+		t.Fatalf("EngineUses(merge) = %d, want %d with no coordinator selection", got, want)
+	}
+
+	// Engine selection must not perturb the answer.
+	if res1h.Output != res1a.Output || res2h.Output != res2a.Output {
+		t.Fatalf("engine selection changed outputs: hash (%d,%d) vs default (%d,%d)",
+			res1h.Output, res2h.Output, res1a.Output, res2a.Output)
+	}
+}

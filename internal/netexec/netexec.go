@@ -95,6 +95,13 @@ type metrics struct {
 	// analog of OverlappedStage2). Gob-compatible addition: decoded as 0 on
 	// old wires and on merge-engine jobs.
 	BuildOverlapped int64
+
+	// Engine echoes the RESOLVED local-join engine that served the job (1
+	// merge, 2 hash) so the coordinator can audit its selection end to end —
+	// the observable that pins per-job engine hints on peer opens actually
+	// reaching the worker. Gob-compatible addition: decoded as 0 (unreported)
+	// from workers predating the field.
+	Engine int
 }
 
 // jobOpen opens one numbered job on a v3 session connection. Counts travel
@@ -158,6 +165,12 @@ type peerJobOpen struct {
 	Token          uint64
 	SenderCounts   []int64
 	CountsDeferred bool
+
+	// Engine is the coordinator's exec.JoinEngine selection for the stage-2
+	// local join, same contract as jobOpen.Engine. Gob-compatible addition:
+	// decoded as 0 (EngineAuto) from coordinators predating the field, which
+	// resolves to the worker's configured default — the old behavior.
+	Engine int
 }
 
 // peerBind delivers a counts-deferred peer job's exact per-sender counts.

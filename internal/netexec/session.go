@@ -52,6 +52,13 @@ type Session struct {
 	// survivor views like ids/relayed.
 	buildOverlapped *atomic.Int64
 
+	// engineUses tallies successful worker replies by the resolved local-join
+	// engine they echoed (index = the wire engine value; 0 collects legacy
+	// workers that report nothing). The audit that per-job engine selection —
+	// including the peer-open hint — actually reached the workers. Shared by
+	// survivor views like ids/relayed.
+	engineUses *[3]atomic.Int64
+
 	// tenant is the id this session declared in its HELLO frames — the key
 	// workers use for admission queuing and quota accounting. "" (no hello
 	// sent) is the anonymous tenant.
@@ -100,7 +107,8 @@ func DialTenant(ctx context.Context, tenant string, addrs []string, t Timeouts) 
 		return nil, fmt.Errorf("netexec: tenant id %d bytes long, limit %d", len(tenant), maxTenantLen)
 	}
 	s := &Session{ids: new(atomic.Uint32), relayed: new(atomic.Int64),
-		overlapped: new(atomic.Int64), buildOverlapped: new(atomic.Int64), tenant: tenant}
+		overlapped: new(atomic.Int64), buildOverlapped: new(atomic.Int64),
+		engineUses: new([3]atomic.Int64), tenant: tenant}
 	for _, addr := range addrs {
 		c, err := dialSessConn(ctx, addr, t, s)
 		if err != nil {
@@ -131,6 +139,25 @@ func (s *Session) OverlappedStage2() int64 { return s.overlapped.Load() }
 // insert-while-probe engine buys over join-after-assembly, mirroring
 // OverlappedStage2 for the scatter/join boundary.
 func (s *Session) BuildOverlappedChunks() int64 { return s.buildOverlapped.Load() }
+
+// EngineUses reports how many successful sub-job replies resolved to engine
+// e on the worker side since Dial — including peer-fed stage-2 jobs, whose
+// selection travels in the peer open's engine hint. EngineUses(EngineAuto)
+// counts legacy workers that echo no engine.
+func (s *Session) EngineUses(e exec.JoinEngine) int64 {
+	if e < 0 || int(e) >= len(s.engineUses) {
+		return 0
+	}
+	return s.engineUses[e].Load()
+}
+
+// noteEngine tallies one successful reply's echoed engine, ignoring values
+// outside the known range (a newer worker's engine family).
+func (s *Session) noteEngine(e int) {
+	if e >= 0 && e < len(s.engineUses) {
+		s.engineUses[e].Add(1)
+	}
+}
 
 // StreamsChunks implements exec.ChunkStreamer: the session consumes chunked
 // relations, framing each routed sub-block onto the socket the moment a
@@ -210,6 +237,9 @@ type jobHandler struct {
 	onPairs func([]exec.PairIdx)
 	stats   chan []byte
 	done    chan sessReply
+	// onStream delivers a stream job's per-window replies (frameV3StreamRep);
+	// like onPairs it runs inline in the read loop.
+	onStream func(streamWinReply)
 }
 
 // sessConn is one persistent worker connection: a writer serialized by wmu
@@ -370,6 +400,15 @@ func (c *sessConn) readLoop() {
 			case h.stats <- payload:
 			default: // a second summary for one job is dropped, not fatal
 			}
+		case frameV3StreamRep:
+			var r streamWinReply
+			if err := readGobPayload(br, n, &r); err != nil {
+				c.fail(fmt.Errorf("stream reply frame: %w", err))
+				return
+			}
+			if h := c.handler(id); h != nil && h.onStream != nil {
+				h.onStream(r)
+			}
 		case frameV3Metrics:
 			var m metrics
 			if err := readGobPayload(br, n, &m); err != nil {
@@ -453,6 +492,7 @@ func (c *sessConn) runJob(id uint32, workerID int, spec join.Spec, job *exec.Job
 				r.m.PayBytes1, r.m.PayBytes2, sentPay[0], sentPay[1]))
 	}
 	c.sess.buildOverlapped.Add(r.m.BuildOverlapped)
+	c.sess.noteEngine(r.m.Engine)
 	m.InputR1 = r.m.InputR1
 	m.InputR2 = r.m.InputR2
 	m.Output = r.m.Output

@@ -130,6 +130,11 @@ type sessJob struct {
 	peerDeferred bool
 	peerSt       *peerJobState
 	token        uint64
+
+	// stream, when set, marks a long-lived continuous-join stream job (see
+	// stream_worker.go): its frames feed a dedicated goroutine and the job
+	// never reaches finishSessionJob.
+	stream *sessStream
 }
 
 // fail records the job's first error; subsequent data frames for the job
@@ -158,6 +163,11 @@ func (j *sessJob) release() {
 		// buffers it parked) never outlives the job. stop is idempotent —
 		// a finished job's feeder already stopped collecting its results.
 		j.feed.stop()
+	}
+	if j.stream != nil {
+		// Same contract for a stream job's goroutine: teardown and abort land
+		// here (the EOS path finalizes itself and retires the job first).
+		j.stream.stop()
 	}
 	if j.charged > 0 {
 		j.w.creditTenant(j.tenant, j.charged)
@@ -395,6 +405,7 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 			j.cond = cond
 			j.workerID = po.WorkerID
 			j.token = po.Token
+			j.engine = w.effectiveEngine(po.Engine)
 			if po.CountsDeferred {
 				// Stage-overlapped open: the exact counts arrive in a late
 				// PEERBIND once stage 1 finishes. Attach to (or create) the
@@ -580,17 +591,20 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 				r.declared = true
 				r.streaming = true
 				r.chunks = int(chunks)
-				// Insert-while-probe: a count-only job whose effective engine
-				// resolves to hash streams its chunks through a feeder
-				// goroutine (hashfeed.go) instead of accumulating parts —
-				// relation 1 builds as chunks land, relation 2 probes the
-				// sealed (or cache-shared) build chunk by chunk. Plan and
-				// pairs jobs need materialized arrival-ordered blocks, so
-				// they keep the assemble path.
+				// Insert-while-probe: a job whose effective engine resolves
+				// to hash streams its chunks through a feeder goroutine
+				// (hashfeed.go) instead of accumulating parts. A count-only
+				// job builds relation 1 as chunks land and probes relation 2
+				// against the sealed (or cache-shared) build chunk by chunk;
+				// a pairs job absorbs both relations off the read loop and
+				// pre-builds the PairTable at relation 2's tail, emitting the
+				// stream at finish. Plan jobs need materialized
+				// arrival-ordered payload blocks, so they keep the assemble
+				// path.
 				switch {
-				case h[0] == 1 && j.plan == nil && !j.wantPairs &&
+				case h[0] == 1 && j.plan == nil &&
 					j.engine.ForCond(j.cond) == exec.EngineHash:
-					j.feed = newBuildFeeder(w.buildCache, int(chunks))
+					j.feed = newBuildFeeder(w.buildCache, int(chunks), j.wantPairs)
 					r.fed = true
 				case h[0] == 2 && j.feed != nil:
 					r.fed = true
@@ -657,12 +671,95 @@ func (w *Worker) handleSession(br *bufio.Reader, conn net.Conn, cs *connState) {
 				r.assemble()
 			}
 
+		case frameV3StreamOpen:
+			if jobs[id] != nil {
+				return // job number reuse is connection-fatal
+			}
+			sawJob = true
+			j := &sessJob{id: id, w: w, tenant: tenant}
+			jobs[id] = j
+			j.counted = w.beginJob(cs)
+			var so streamOpen
+			if err := readGobPayload(br, n, &so); err != nil {
+				return
+			}
+			cond, cerr := so.Cond.Condition()
+			if cerr != nil {
+				cond = join.Equi{} // placeholder; the stream is poisoned below
+			}
+			j.workerID = so.WorkerID
+			// The stream goroutine is the job's only reply path, so it spawns
+			// even for a job that is dead on arrival — the poison makes every
+			// window reply (and the final metrics) carry the error. A stream
+			// holds no admission slot: the goroutine acquires one around each
+			// window's probe instead, so an idle stream never starves the
+			// fair scheduler.
+			j.stream = newSessStream(w, j, &so, cond, bw, &wmu, cs, conn, connDone)
+			if !j.counted {
+				j.failStream(fmt.Errorf("worker shutting down"))
+			} else if cerr != nil {
+				j.failStream(cerr)
+			}
+
+		case frameV3StreamBase, frameV3StreamWin:
+			j := jobs[id]
+			if j == nil || j.stream == nil {
+				return // stream frame without a stream job is connection-fatal
+			}
+			hdrLen, kind := streamBaseHdrLen, evStreamBase
+			if typ == frameV3StreamWin {
+				hdrLen, kind = streamWinHdrLen, evStreamWin
+			}
+			win, epoch, keys, err := j.readStreamKeys(br, n, hdrLen)
+			if err != nil {
+				if pe, ok := err.(*protoErr); ok {
+					j.failStream(pe)
+					continue
+				}
+				return // I/O failure: connection-fatal
+			}
+			j.stream.feed(streamEvent{kind: kind, win: win, epoch: epoch, keys: keys})
+
+		case frameV3StreamBaseEnd:
+			j := jobs[id]
+			if j == nil || j.stream == nil || n != streamBaseHdrLen {
+				return
+			}
+			var h [streamBaseHdrLen]byte
+			if _, err := io.ReadFull(br, h[:]); err != nil {
+				return
+			}
+			j.stream.feed(streamEvent{kind: evStreamBaseEnd,
+				epoch: binary.LittleEndian.Uint32(h[0:]),
+				total: int(binary.LittleEndian.Uint32(h[4:]))})
+
+		case frameV3StreamWinEnd:
+			j := jobs[id]
+			if j == nil || j.stream == nil || n != streamWinHdrLen {
+				return
+			}
+			var h [streamWinHdrLen]byte
+			if _, err := io.ReadFull(br, h[:]); err != nil {
+				return
+			}
+			j.stream.feed(streamEvent{kind: evStreamWinEnd,
+				win:   binary.LittleEndian.Uint32(h[0:]),
+				epoch: binary.LittleEndian.Uint32(h[4:]),
+				total: int(binary.LittleEndian.Uint32(h[8:]))})
+
 		case frameV3EOS:
 			j := jobs[id]
 			if j == nil || n != 0 {
 				return
 			}
 			delete(jobs, id)
+			if j.stream != nil {
+				// The goroutine replies the aggregate metrics and finalizes
+				// its own accounting — the job already left the table, so no
+				// teardown release will run for it.
+				j.stream.feed(streamEvent{kind: evStreamEOS})
+				continue
+			}
 			if j.feed != nil {
 				// Chunks the feeder consumed before this frame decoded were
 				// overlapped with the stream — the counter the coordinator's
@@ -991,6 +1088,7 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 			PayBytes1:  int64(r1.payBytes),
 			PayBytes2:  int64(r2.payBytes),
 			PeerCounts: counts,
+			Engine:     int(j.engine.ForCond(j.cond)),
 		})
 		return
 	}
@@ -1004,12 +1102,21 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 		// granularity. The engines emit bit-identical streams (the hash
 		// path's PairTable reproduces the merge argsort's partner order), so
 		// the selection stays a pure performance knob here too.
-		out = exec.JoinPairsEngine(j.engine, r1.keys, r2.keys, j.cond,
-			func(chunk []exec.PairIdx) {
-				wmu.Lock()
-				_ = writePairsFrame(bw, j.id, chunk)
-				wmu.Unlock()
-			})
+		emit := func(chunk []exec.PairIdx) {
+			wmu.Lock()
+			_ = writePairsFrame(bw, j.id, chunk)
+			wmu.Unlock()
+		}
+		if j.feed != nil {
+			// Chunk-streamed hash pairs: the feeder absorbed relation 1's
+			// parts and pre-built the table over relation 2 (or hands back a
+			// flat relation 2 to index now); the emission itself shares
+			// hashJoinPairs' streamer, so the pair stream — flush boundaries
+			// included — is bit-identical to the flat path's.
+			out, overlapped = j.feed.finishPairs(r2.keys, emit)
+		} else {
+			out = exec.JoinPairsEngine(j.engine, r1.keys, r2.keys, j.cond, emit)
+		}
 	case j.feed != nil:
 		// Insert-while-probe: the feeder built (and for a chunked relation 2,
 		// probed) while the stream was still arriving; collect its results.
@@ -1033,6 +1140,7 @@ func (w *Worker) finishSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mutex,
 		PayBytes1:       int64(r1.payBytes),
 		PayBytes2:       int64(r2.payBytes),
 		BuildOverlapped: overlapped,
+		Engine:          int(j.engine.ForCond(j.cond)),
 	})
 }
 
@@ -1306,10 +1414,11 @@ func (w *Worker) finishPeerSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mu
 	}
 	r2 := &j.rels[1]
 	start := time.Now()
-	// The job owns both blocks outright: count under the worker's default
-	// engine (peer opens carry no per-job selection), uncached — a transfer's
-	// assembled block is job-unique, so caching it would only churn the LRU.
-	out := exec.CountOwned(w.effectiveEngine(0), flat, r2.keys, j.cond)
+	// The job owns both blocks outright: count under the job's effective
+	// engine (the peer open's per-job hint, resolved against the worker
+	// default at open), uncached — a transfer's assembled block is job-unique,
+	// so caching it would only churn the LRU.
+	out := exec.CountOwned(j.engine, flat, r2.keys, j.cond)
 	n1 := int64(len(flat))
 	exec.PutKeyBuffer(flat)
 	reply(metrics{
@@ -1319,5 +1428,6 @@ func (w *Worker) finishPeerSessionJob(j *sessJob, bw *bufio.Writer, wmu *sync.Mu
 		Nanos:     time.Since(start).Nanoseconds(),
 		PayBytes1: 0,
 		PayBytes2: int64(r2.payBytes),
+		Engine:    int(j.engine.ForCond(j.cond)),
 	})
 }

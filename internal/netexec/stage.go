@@ -335,6 +335,7 @@ func (c *sessConn) stageReply(op string, id uint32, workerID int, r sessReply,
 			fmt.Errorf("worker decoded %d/%d payload bytes, coordinator sent %d/%d",
 				r.m.PayBytes1, r.m.PayBytes2, sentPay[0], sentPay[1]))
 	}
+	c.sess.noteEngine(r.m.Engine)
 	m.InputR1 = r.m.InputR1
 	m.InputR2 = r.m.InputR2
 	m.Output = r.m.Output
@@ -424,7 +425,8 @@ func (c *sessConn) openPeerJob(id uint32, workerID int, spec join.Spec, token ui
 	if err := c.register(id, h); err != nil {
 		return nil, c.connFault(op, id, workerID, err)
 	}
-	po := peerJobOpen{WorkerID: workerID, Cond: spec, Token: token, CountsDeferred: true}
+	po := peerJobOpen{WorkerID: workerID, Cond: spec, Token: token, CountsDeferred: true,
+		Engine: int(next.Engine)}
 	c.wmu.Lock()
 	err := writeV3GobFrame(c.bw, frameV3OpenPeerJob, id, po)
 	if err == nil {
@@ -557,6 +559,7 @@ func (c *sessConn) finishPeerJob(id uint32, workerID int, token uint64,
 		return c.protoFault(op, id, workerID,
 			fmt.Errorf("worker joined %d peer tuples, senders reported %d", r.m.InputR1, expect))
 	}
+	c.sess.noteEngine(r.m.Engine)
 	m.InputR1 = r.m.InputR1
 	m.InputR2 = r.m.InputR2
 	m.Output = r.m.Output

@@ -1,0 +1,287 @@
+package netexec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ewh/internal/exec"
+	"ewh/internal/join"
+	"ewh/internal/planio"
+)
+
+// This file is the coordinator side of the continuous-join stream protocol:
+// Session implements exec.StreamRuntime by opening the same numbered stream
+// job on every worker connection and multiplexing per-window replies off
+// the existing read loops. The driver (internal/streamjoin) routes windows,
+// merges the per-worker summaries and decides when to replan; this layer
+// only moves frames and classifies faults.
+
+// streamRepCap bounds buffered per-connection window replies. The driver is
+// lockstep (it collects every window it sends), so the steady state is one
+// outstanding reply; the headroom absorbs pipelined sends. Overrunning it
+// means the sender stopped collecting — that is a protocol breach, and the
+// connection is failed rather than blocking the read loop under it.
+const streamRepCap = 256
+
+// streamConn is one worker connection's view of an open stream.
+type streamConn struct {
+	c   *sessConn
+	h   *jobHandler
+	rep chan streamWinReply
+	err error // sticky: the stream is unusable on this connection
+}
+
+// Stream is an open continuous-join stream across the session's fleet; it
+// implements exec.StreamHandle. Not safe for concurrent use — the driver is
+// the single sender, matching the exec contract.
+type Stream struct {
+	sess   *Session
+	id     uint32
+	conns  []*streamConn
+	closed bool
+}
+
+// OpenStream implements exec.StreamRuntime: it opens one stream sub-job per
+// session connection. The open frames are flushed immediately so a dead
+// worker surfaces here rather than at the first window.
+func (s *Session) OpenStream(spec exec.StreamSpec) (exec.StreamHandle, error) {
+	js, err := join.SpecOf(spec.Cond)
+	if err != nil {
+		return nil, err
+	}
+	id := s.ids.Add(1)
+	st := &Stream{sess: s, id: id, conns: make([]*streamConn, 0, len(s.conns))}
+	so := streamOpen{
+		Cond:          js,
+		Engine:        int(spec.Engine),
+		StatsCap:      spec.Stats.Cap,
+		StatsBuckets:  spec.Stats.Buckets,
+		StatsSeed:     spec.Stats.Seed,
+		StatsAdaptive: spec.Stats.Adaptive,
+	}
+	for w, c := range s.conns {
+		sc := &streamConn{c: c, rep: make(chan streamWinReply, streamRepCap)}
+		sc.h = &jobHandler{done: make(chan sessReply, 1)}
+		rep, cc := sc.rep, c
+		sc.h.onStream = func(r streamWinReply) {
+			select {
+			case rep <- r:
+			default:
+				cc.fail(fmt.Errorf("stream job %d reply overrun (%d buffered)", id, streamRepCap))
+			}
+		}
+		if err := c.register(id, sc.h); err != nil {
+			st.abandon()
+			return nil, c.connFault("stream open", id, w, err)
+		}
+		so.WorkerID = w
+		c.wmu.Lock()
+		werr := writeV3GobFrame(c.bw, frameV3StreamOpen, id, so)
+		if werr == nil {
+			werr = c.bw.Flush()
+		}
+		c.wmu.Unlock()
+		if werr != nil {
+			c.deregister(id)
+			st.abandon()
+			return nil, c.connFault("stream open", id, w, werr)
+		}
+		st.conns = append(st.conns, sc)
+	}
+	return st, nil
+}
+
+// abandon aborts the sub-jobs opened so far (a half-open stream is useless).
+func (st *Stream) abandon() {
+	st.closed = true
+	for _, sc := range st.conns {
+		sc.c.deregister(st.id)
+		sc.c.wmu.Lock()
+		_ = writeV3FrameHeader(sc.c.bw, frameV3Abort, st.id, 0)
+		_ = sc.c.bw.Flush()
+		sc.c.wmu.Unlock()
+	}
+}
+
+// Workers implements exec.StreamHandle.
+func (st *Stream) Workers() int { return len(st.conns) }
+
+func (st *Stream) checkShares(shares [][]join.Key) error {
+	if st.closed {
+		return errors.New("netexec: stream is closed")
+	}
+	if len(shares) != len(st.conns) {
+		return fmt.Errorf("netexec: %d shares for %d workers", len(shares), len(st.conns))
+	}
+	return nil
+}
+
+// fanOut runs one send per connection concurrently — base re-ships are the
+// bulk of a replan's cost, and the per-connection writers are independent.
+func (st *Stream) fanOut(op string, send func(w int, sc *streamConn) error) error {
+	errs := make([]error, len(st.conns))
+	var wg sync.WaitGroup
+	for w, sc := range st.conns {
+		if sc.err != nil {
+			errs[w] = sc.err
+			continue
+		}
+		wg.Add(1)
+		go func(w int, sc *streamConn) {
+			defer wg.Done()
+			if err := send(w, sc); err != nil {
+				sc.err = sc.c.connFault(op, st.id, w, err)
+				errs[w] = sc.err
+			}
+		}(w, sc)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// SendBase implements exec.StreamHandle.
+func (st *Stream) SendBase(epoch uint32, shares [][]join.Key) error {
+	if err := st.checkShares(shares); err != nil {
+		return err
+	}
+	return st.fanOut("stream base", func(w int, sc *streamConn) error {
+		share := shares[w]
+		sc.c.wmu.Lock()
+		defer sc.c.wmu.Unlock()
+		if err := writeStreamBaseKeys(sc.c.bw, st.id, epoch, share); err != nil {
+			return err
+		}
+		if err := writeStreamBaseEnd(sc.c.bw, st.id, epoch, len(share)); err != nil {
+			return err
+		}
+		return sc.c.bw.Flush()
+	})
+}
+
+// SendWindow implements exec.StreamHandle.
+func (st *Stream) SendWindow(window, epoch uint32, shares [][]join.Key) error {
+	if err := st.checkShares(shares); err != nil {
+		return err
+	}
+	return st.fanOut("stream window", func(w int, sc *streamConn) error {
+		share := shares[w]
+		sc.c.wmu.Lock()
+		defer sc.c.wmu.Unlock()
+		if err := writeStreamWinKeys(sc.c.bw, st.id, window, epoch, share); err != nil {
+			return err
+		}
+		if err := writeStreamWinEnd(sc.c.bw, st.id, window, epoch, len(share)); err != nil {
+			return err
+		}
+		return sc.c.bw.Flush()
+	})
+}
+
+// Collect implements exec.StreamHandle: one reply per worker, in worker
+// order. Replies for other (window, epoch) pairs — a window re-sent under a
+// newer epoch leaves the old epoch's reply behind — are discarded.
+func (st *Stream) Collect(window, epoch uint32) ([]exec.WindowReply, error) {
+	out := make([]exec.WindowReply, len(st.conns))
+	for w, sc := range st.conns {
+		r, err := st.collectOne(w, sc, window, epoch)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = r
+	}
+	return out, nil
+}
+
+func (st *Stream) collectOne(worker int, sc *streamConn, window, epoch uint32) (exec.WindowReply, error) {
+	const op = "stream collect"
+	if sc.err != nil {
+		return exec.WindowReply{}, sc.err
+	}
+	var deadline <-chan time.Time
+	if t := sc.c.timeouts.Job; t > 0 {
+		timer := time.NewTimer(t)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	for {
+		select {
+		case r := <-sc.rep:
+			if r.Err != "" {
+				sc.err = sc.c.workerFault(op, st.id, worker, &metrics{Err: r.Err, Code: r.Code})
+				return exec.WindowReply{}, sc.err
+			}
+			if r.Window != window || r.Epoch != epoch {
+				continue // stale reply from a superseded send
+			}
+			wr := exec.WindowReply{Worker: worker, Window: r.Window, Epoch: r.Epoch,
+				Input: r.Input, Count: r.Count}
+			if len(r.Summary) > 0 {
+				sum, err := planio.DecodeSummary(r.Summary)
+				if err != nil {
+					sc.err = sc.c.protoFault(op, st.id, worker, fmt.Errorf("window summary: %w", err))
+					return exec.WindowReply{}, sc.err
+				}
+				wr.Summary = sum
+			}
+			return wr, nil
+		case d := <-sc.h.done:
+			// The stream retired before this window's reply: a connection
+			// failure, or error metrics from a poisoned stream.
+			switch {
+			case d.err != nil:
+				sc.err = sc.c.connFault(op, st.id, worker, d.err)
+			case d.m.Err != "":
+				sc.err = sc.c.workerFault(op, st.id, worker, d.m)
+			default:
+				sc.err = sc.c.protoFault(op, st.id, worker,
+					errors.New("stream closed before the window's reply"))
+			}
+			return exec.WindowReply{}, sc.err
+		case <-deadline:
+			sc.err = sc.c.livenessFault(op, st.id, worker,
+				fmt.Errorf("no window reply within liveness deadline %v", sc.c.timeouts.Job))
+			return exec.WindowReply{}, sc.err
+		}
+	}
+}
+
+// Close implements exec.StreamHandle: EOS every live sub-job and await its
+// aggregate metrics. Connections already broken are skipped — their pending
+// entries were retired when they failed.
+func (st *Stream) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	var errs []error
+	for w, sc := range st.conns {
+		if sc.err != nil {
+			errs = append(errs, sc.err)
+			continue
+		}
+		sc.c.wmu.Lock()
+		werr := writeV3FrameHeader(sc.c.bw, frameV3EOS, st.id, 0)
+		if werr == nil {
+			werr = sc.c.bw.Flush()
+		}
+		sc.c.wmu.Unlock()
+		if werr != nil {
+			errs = append(errs, sc.c.connFault("stream close", st.id, w, werr))
+			continue
+		}
+		r, ferr := sc.c.awaitReply("stream close", st.id, w, sc.h)
+		switch {
+		case ferr != nil:
+			errs = append(errs, ferr)
+		case r.err != nil:
+			errs = append(errs, sc.c.connFault("stream close", st.id, w, r.err))
+		case r.m.Err != "":
+			errs = append(errs, sc.c.workerFault("stream close", st.id, w, r.m))
+		default:
+			st.sess.noteEngine(r.m.Engine)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,194 @@
+package netexec
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"ewh/internal/core"
+	"ewh/internal/exec"
+	"ewh/internal/faultnet"
+	"ewh/internal/join"
+	"ewh/internal/keysort"
+	"ewh/internal/localjoin"
+	"ewh/internal/stats"
+	"ewh/internal/streamjoin"
+)
+
+func streamUniformKeys(rng *stats.RNG, n int, lo, span int64) []join.Key {
+	ks := make([]join.Key, n)
+	for i := range ks {
+		ks[i] = join.Key(lo + rng.Int64n(span))
+	}
+	return ks
+}
+
+// streamFlipWorkload is the skew-flip stream the replanning experiments run:
+// two windows uniform over the wide keyspace, then the distribution
+// collapses into a narrow range for the rest of the stream.
+func streamFlipWorkload() (base []join.Key, windows [][]join.Key) {
+	rng := stats.NewRNG(61)
+	base = streamUniformKeys(rng, 20000, 0, 400_000)
+	for i := 0; i < 2; i++ {
+		windows = append(windows, streamUniformKeys(rng, 2000, 0, 400_000))
+	}
+	for i := 0; i < 10; i++ {
+		windows = append(windows, streamUniformKeys(rng, 2000, 0, 10_000))
+	}
+	return base, windows
+}
+
+func streamRefCount(windows [][]join.Key, base []join.Key, cond join.Condition) int64 {
+	var all []join.Key
+	for _, w := range windows {
+		all = append(all, w...)
+	}
+	keysort.Sort(all)
+	b := append([]join.Key(nil), base...)
+	keysort.Sort(b)
+	return localjoin.CountSorted(all, b, cond)
+}
+
+func streamFlipConfig(freeze bool) streamjoin.Config {
+	return streamjoin.Config{
+		Opts:       core.Options{J: 4, Model: model, Seed: 5},
+		Exec:       exec.Config{Seed: 6},
+		Stats:      exec.StatsSpec{Cap: 512, Buckets: 32, Seed: 7},
+		FreezePlan: freeze,
+	}
+}
+
+// TestStreamContinuousJoinWireCrosscheck is the tentpole's acceptance test:
+// a continuous run over live worker processes whose mid-stream distribution
+// flip triggers a replan, with the final count bit-identical to the one-shot
+// reference join over the concatenated windows, zero pairs relayed through
+// the coordinator, a modeled makespan win over the frozen plan — and the
+// whole per-window accounting bit-identical to the in-process reference
+// runtime, which pins that the wire transport computes the same shards,
+// summaries and drifts as the local one.
+func TestStreamContinuousJoinWireCrosscheck(t *testing.T) {
+	base, windows := streamFlipWorkload()
+	cond := join.NewBand(25)
+	want := streamRefCount(windows, base, cond)
+	if want == 0 {
+		t.Fatal("degenerate workload: reference count is 0")
+	}
+
+	_, addrs := startWorkerSet(t, 4)
+	sess := dialSession(t, addrs)
+
+	before := sess.RelayedPairs()
+	live, err := streamjoin.Run(sess, base, windows, cond, streamFlipConfig(false))
+	if err != nil {
+		t.Fatalf("replanning run: %v", err)
+	}
+	frozen, err := streamjoin.Run(sess, base, windows, cond, streamFlipConfig(true))
+	if err != nil {
+		t.Fatalf("frozen run: %v", err)
+	}
+
+	if live.Replans < 1 {
+		t.Fatal("distribution flip fired no replan")
+	}
+	if live.Total != want || frozen.Total != want {
+		t.Fatalf("totals diverge: live %d frozen %d reference %d", live.Total, frozen.Total, want)
+	}
+	if live.Makespan >= frozen.Makespan {
+		t.Fatalf("replanning did not pay: modeled makespan %.0f (replan) vs %.0f (frozen)",
+			live.Makespan, frozen.Makespan)
+	}
+	if relayed := sess.RelayedPairs() - before; relayed != 0 {
+		t.Fatalf("%d pairs transited the coordinator during the stream", relayed)
+	}
+
+	local, err := streamjoin.Run(exec.LocalStreamRuntime{Workers: 4}, base, windows, cond, streamFlipConfig(false))
+	if err != nil {
+		t.Fatalf("local reference run: %v", err)
+	}
+	if !reflect.DeepEqual(live, local) {
+		t.Fatalf("wire and local runs diverge:\nwire:  %+v\nlocal: %+v", live, local)
+	}
+}
+
+// TestStreamWorkerDeathAfterReplanRecovers is the fault scenario: a worker
+// dies mid-window while the stream is running under a drift-replanned epoch.
+// The driver must derive the survivor fleet, replan over it, re-send the
+// base and the failed window under a fresh epoch, and finish with a count
+// bit-identical to the fault-free reference — with zero pairs relayed.
+func TestStreamWorkerDeathAfterReplanRecovers(t *testing.T) {
+	leakCheck(t)
+	base, windows := streamFlipWorkload()
+	cond := join.NewBand(25)
+	want := streamRefCount(windows, base, cond)
+
+	const fleet, victim = 4, 2
+	var victimW *Worker
+	kill := func() {
+		if victimW != nil {
+			_ = victimW.Close()
+		}
+	}
+	// Window-end frames arrive once per window regardless of shard sizes, so
+	// the 4th one is window index 3 — the first full window AFTER the drift
+	// replan at window 2 cut the stream over to epoch 2.
+	script := faultnet.NewScript(faultnet.Rule{
+		Dir: faultnet.In, Frame: faultnet.FrameStreamWinEnd, N: 4,
+		Action: faultnet.ActHook, Fn: kill,
+	})
+
+	addrs := make([]string, fleet)
+	for i := 0; i < fleet; i++ {
+		var w *Worker
+		if i == victim {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			w = ListenWorkerOn(faultnet.Wrap(ln, script))
+			victimW = w
+		} else {
+			var err error
+			w, err = ListenWorker("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		addrs[i] = w.Addr()
+		go func() { _ = w.Serve() }()
+		t.Cleanup(func() { _ = w.Close() })
+	}
+
+	sess, err := DialWith(addrs, Timeouts{Dial: 2 * time.Second, Job: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sess.Close() })
+
+	before := sess.RelayedPairs()
+	res, err := streamjoin.Run(sess, base, windows, cond, streamFlipConfig(false))
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if !script.Fired() {
+		t.Fatal("fault never injected; the run proves nothing")
+	}
+	if res.Faults != 1 {
+		t.Fatalf("recovered from %d faults, want 1", res.Faults)
+	}
+	if res.Replans < 1 {
+		t.Fatal("the drift replan never fired before the fault")
+	}
+	if res.Total != want {
+		t.Fatalf("recovered total %d, fault-free reference %d", res.Total, want)
+	}
+	if relayed := sess.RelayedPairs() - before; relayed != 0 {
+		t.Fatalf("%d pairs transited the coordinator during recovery", relayed)
+	}
+	if _, n, serr := sess.Survivors(); serr != nil || n != fleet-1 {
+		t.Fatalf("survivors after recovery: %d (%v), want %d", n, serr, fleet-1)
+	}
+	if last := res.Windows[len(res.Windows)-1]; last.Epoch < 3 {
+		t.Fatalf("final window at epoch %d; recovery never opened a fresh epoch", last.Epoch)
+	}
+}

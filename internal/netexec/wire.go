@@ -108,6 +108,23 @@ const (
 	// already retired the id from the demux table by the time the bind lands.
 	frameV3PeerBind = 28 // coord→worker gob peerBind: late exact sender counts
 
+	// STREAM frames (continuous joins): a long-lived stream job joins an
+	// unbounded sequence of tuple windows against a static base relation.
+	// The open frame pins the condition and engine; base frames ship the
+	// static side routed under the active plan (re-shipped whole on every
+	// replan, tagged with a new epoch); window frames append one window's
+	// routed shard and its end frame triggers the worker's probe + summary
+	// reply. All frames ride the session connection's FIFO, which is the
+	// drain/cutover contract: windows sent before a new epoch's base are
+	// processed under the old plan, windows after it under the new one.
+	// The stream closes via the ordinary frameV3EOS / frameV3Metrics pair.
+	frameV3StreamOpen    = 33 // coord→worker gob streamOpen
+	frameV3StreamBase    = 34 // coord→worker [epoch u32][count u32][count×8 LE keys]
+	frameV3StreamBaseEnd = 35 // coord→worker [epoch u32][total u32]
+	frameV3StreamWin     = 36 // coord→worker [window u32][epoch u32][count u32][count×8 LE keys]
+	frameV3StreamWinEnd  = 37 // coord→worker [window u32][epoch u32][total u32]
+	frameV3StreamRep     = 38 // worker→coord gob streamWinReply
+
 	// Peer-mesh frames (worker→worker connections, protoVersionPeer). They
 	// use the v2-style [type u8][len u32] framing; the 64-bit transfer token
 	// rides in each payload, so peer transfers are immune to session job-id
@@ -127,6 +144,14 @@ const (
 	chunkHeaderLen = 7
 	// chunkTailLen is [rel u8][count u32][payBytes u32].
 	chunkTailLen = 9
+	// streamBaseHdrLen is frameV3StreamBase's sub-header [epoch u32][count u32];
+	// frameV3StreamBaseEnd reuses the layout with the exact total in the
+	// count slot.
+	streamBaseHdrLen = 8
+	// streamWinHdrLen is frameV3StreamWin's sub-header
+	// [window u32][epoch u32][count u32]; frameV3StreamWinEnd reuses the
+	// layout with the exact total in the count slot.
+	streamWinHdrLen = 12
 	// maxRelationChunks bounds the chunk count a chunk head may declare; it
 	// is the mapper count, which no sane coordinator sets anywhere near this.
 	maxRelationChunks = 1 << 16
@@ -547,6 +572,91 @@ func writeChunkTail(w io.Writer, job uint32, rel int8, count, payBytes int) erro
 	h[0] = byte(rel)
 	binary.LittleEndian.PutUint32(h[1:], uint32(count))
 	binary.LittleEndian.PutUint32(h[5:], uint32(payBytes))
+	_, err := w.Write(h[:])
+	return err
+}
+
+// writeStreamBaseKeys ships one epoch's base shard for one worker, split at
+// the per-frame key cap; consecutive frames append in arrival order. An
+// empty shard writes no frames — the end frame's total says it all.
+func writeStreamBaseKeys(w *bufio.Writer, job, epoch uint32, keys []join.Key) error {
+	scratch := getScratch()
+	defer putScratch(scratch)
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > maxBlockKeys {
+			n = maxBlockKeys
+		}
+		if err := writeV3FrameHeader(w, frameV3StreamBase, job, streamBaseHdrLen+8*n); err != nil {
+			return err
+		}
+		var h [streamBaseHdrLen]byte
+		binary.LittleEndian.PutUint32(h[0:], epoch)
+		binary.LittleEndian.PutUint32(h[4:], uint32(n))
+		if _, err := w.Write(h[:]); err != nil {
+			return err
+		}
+		if err := writeKeysLE(w, keys[:n], *scratch); err != nil {
+			return err
+		}
+		keys = keys[n:]
+	}
+	return nil
+}
+
+// writeStreamBaseEnd seals one epoch's base with its exact total; the worker
+// cross-checks it and (re)builds its join-side structure.
+func writeStreamBaseEnd(w *bufio.Writer, job, epoch uint32, total int) error {
+	if err := writeV3FrameHeader(w, frameV3StreamBaseEnd, job, streamBaseHdrLen); err != nil {
+		return err
+	}
+	var h [streamBaseHdrLen]byte
+	binary.LittleEndian.PutUint32(h[0:], epoch)
+	binary.LittleEndian.PutUint32(h[4:], uint32(total))
+	_, err := w.Write(h[:])
+	return err
+}
+
+// writeStreamWinKeys ships one window's shard for one worker, split at the
+// per-frame key cap. The epoch names the plan the shard was routed under;
+// the worker rejects a window whose epoch does not match its sealed base.
+func writeStreamWinKeys(w *bufio.Writer, job, window, epoch uint32, keys []join.Key) error {
+	scratch := getScratch()
+	defer putScratch(scratch)
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > maxBlockKeys {
+			n = maxBlockKeys
+		}
+		if err := writeV3FrameHeader(w, frameV3StreamWin, job, streamWinHdrLen+8*n); err != nil {
+			return err
+		}
+		var h [streamWinHdrLen]byte
+		binary.LittleEndian.PutUint32(h[0:], window)
+		binary.LittleEndian.PutUint32(h[4:], epoch)
+		binary.LittleEndian.PutUint32(h[8:], uint32(n))
+		if _, err := w.Write(h[:]); err != nil {
+			return err
+		}
+		if err := writeKeysLE(w, keys[:n], *scratch); err != nil {
+			return err
+		}
+		keys = keys[n:]
+	}
+	return nil
+}
+
+// writeStreamWinEnd closes one window's shard with its exact total; the
+// worker cross-checks, probes the window against the sealed base, and
+// replies with a frameV3StreamRep.
+func writeStreamWinEnd(w *bufio.Writer, job, window, epoch uint32, total int) error {
+	if err := writeV3FrameHeader(w, frameV3StreamWinEnd, job, streamWinHdrLen); err != nil {
+		return err
+	}
+	var h [streamWinHdrLen]byte
+	binary.LittleEndian.PutUint32(h[0:], window)
+	binary.LittleEndian.PutUint32(h[4:], epoch)
+	binary.LittleEndian.PutUint32(h[8:], uint32(total))
 	_, err := w.Write(h[:])
 	return err
 }
